@@ -1,0 +1,54 @@
+"""Ablation: the contribution of each don't-care assignment step.
+
+DESIGN.md calls out the three steps (symmetry, sharing, single-output)
+as the design choices of the paper; this bench toggles each one off in
+turn and reports CLB counts so their individual contribution is visible.
+The compatibility claim of the paper implies full >= any ablation only
+*statistically* — the assertion here is the weak sanity that every
+configuration still produces a correct, feasible mapping.
+"""
+
+import pytest
+
+from repro.bench.registry import benchmark as build_circuit
+from repro.core import map_to_xc3000
+from benchmarks.conftest import verify_network
+
+_CIRCUITS = ["clip", "f51m", "misex2", "duke2"]
+
+_CONFIGS = [
+    ("full", {}),
+    ("no-step1", {"use_symmetry_step": False}),
+    ("no-step2", {"use_sharing_step": False}),
+    ("no-step3", {"use_single_step": False}),
+    ("none", {"use_dontcares": False}),
+]
+
+_HEADER = [False]
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+def test_ablation(benchmark, rows, name):
+    func = build_circuit(name)
+
+    def run_all():
+        results = {}
+        for label, kwargs in _CONFIGS:
+            results[label] = map_to_xc3000(func, **kwargs)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for label, result in results.items():
+        assert verify_network(func, result.network), (name, label)
+        assert result.network.max_fanin() <= 5
+
+    if not _HEADER[0]:
+        rows.add("ablation_dcsteps",
+                 f"{'circuit':9s} " + " ".join(
+                     f"{label:>9s}" for label, _ in _CONFIGS)
+                 + "   (CLBs)")
+        _HEADER[0] = True
+    rows.add("ablation_dcsteps",
+             f"{name:9s} " + " ".join(
+                 f"{results[label].clb_count:9d}"
+                 for label, _ in _CONFIGS))

@@ -1,0 +1,70 @@
+"""Figure 2: two-input-gate synthesis of adders vs conditional-sum.
+
+The paper's tool produces a 49-gate 8-bit adder; the conditional-sum
+adder costs 90 gates in the paper's accounting.  We regenerate the
+comparison for several operand widths; the shape to reproduce is
+``decomposed < conditional-sum``, with the 8-bit decomposed adder in the
+vicinity of 50 gates.
+"""
+
+import random
+
+import pytest
+
+from repro.arith.adders import (
+    adder_function,
+    conditional_sum_adder,
+    ripple_carry_adder,
+)
+from repro.bench.paper_tables import FIG2_ADDER
+from repro.core import synthesize_two_input_gates
+
+_RESULTS = {}
+_HEADER = [False]
+
+
+def _verify_adder(net, n, samples=300):
+    rng = random.Random(0)
+    for _ in range(samples):
+        x = rng.randrange(1 << n)
+        y = rng.randrange(1 << n)
+        bits = {f"x{i}": (x >> i) & 1 for i in range(n)}
+        bits.update({f"y{i}": (y >> i) & 1 for i in range(n)})
+        out = net.eval_outputs(bits)
+        if sum(out[f"s{i}"] << i for i in range(n + 1)) != x + y:
+            return False
+    return True
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_fig2_adder(benchmark, rows, n):
+    func = adder_function(n)
+
+    decomposed = benchmark.pedantic(
+        lambda: synthesize_two_input_gates(func), rounds=1, iterations=1)
+    assert _verify_adder(decomposed, n)
+    csa = conditional_sum_adder(n)
+    rca = ripple_carry_adder(n)
+    assert _verify_adder(csa, n)
+
+    if not _HEADER[0]:
+        rows.add("fig2_adder",
+                 f"{'n':>3s} {'decomposed':>11s} {'cond-sum':>9s} "
+                 f"{'ripple':>7s}   (two-input gates)")
+        _HEADER[0] = True
+    rows.add("fig2_adder",
+             f"{n:3d} {decomposed.gate_count:11d} {csa.gate_count:9d} "
+             f"{rca.gate_count:7d}")
+    _RESULTS[n] = (decomposed.gate_count, csa.gate_count)
+
+    # Shape assertions per the paper's Figure 2.
+    if n == FIG2_ADDER["bits"]:
+        ours, baseline = decomposed.gate_count, csa.gate_count
+        rows.add("fig2_adder",
+                 f"    paper (n=8): decomposed "
+                 f"{FIG2_ADDER['mulop_gates']}, conditional-sum "
+                 f"{FIG2_ADDER['conditional_sum_gates']}")
+        # The decomposed adder beats the conditional-sum baseline and
+        # lands near the paper's count.
+        assert ours < baseline
+        assert ours <= FIG2_ADDER["mulop_gates"] * 1.5

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the BDD substrate.
+
+Not a paper experiment — throughput numbers for the foundational
+operations the whole flow stands on, so performance regressions in the
+manager show up in CI.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+
+
+def _random_functions(seed, nvars, count):
+    rng = random.Random(seed)
+    bdd = BDD(nvars)
+    funcs = []
+    for _ in range(count):
+        table = [rng.randint(0, 1) for _ in range(1 << nvars)]
+        funcs.append(bdd.from_truth_table(table, list(range(nvars))))
+    return bdd, funcs
+
+
+def test_bdd_apply_throughput(benchmark):
+    bdd, funcs = _random_functions(1, 10, 20)
+
+    def run():
+        acc = funcs[0]
+        for f in funcs[1:]:
+            acc = bdd.apply_xor(acc, f)
+        return acc
+
+    result = benchmark(run)
+    assert result is not None
+
+
+def test_bdd_restrict_throughput(benchmark):
+    bdd, funcs = _random_functions(2, 12, 4)
+
+    def run():
+        total = 0
+        for f in funcs:
+            for var in range(12):
+                total += bdd.restrict(f, var, 0)
+                bdd.clear_cache()
+        return total
+
+    assert benchmark(run) >= 0
+
+
+def test_adder_bdd_construction(benchmark):
+    from repro.arith.adders import adder_function
+
+    def run():
+        return adder_function(16)
+
+    func = benchmark(run)
+    assert func.num_outputs == 17
+
+
+def test_cofactor_classes_throughput(benchmark):
+    from repro.boolfunc.spec import ISF
+    from repro.decomp.compat import classes_for
+    bdd, funcs = _random_functions(3, 10, 6)
+    outputs = [ISF.complete(f) for f in funcs]
+
+    def run():
+        return classes_for(bdd, outputs, [0, 1, 2, 3, 4])
+
+    classes = benchmark(run)
+    assert classes.ncc >= 1

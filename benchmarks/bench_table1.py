@@ -1,0 +1,96 @@
+"""Table 1: XC3000 CLB counts, ``mulopII`` vs ``mulop-dc``.
+
+Reproduces the paper's Table 1 over the benchmark registry: every
+circuit is mapped with both drivers and the CLB counts are tabulated.
+The paper's claims for the shape: ``mulop-dc <= mulopII`` overall with a
+total reduction >10%, concentrated on the larger circuits (the inputs
+are completely specified, so don't cares arise only inside the
+recursion).
+
+Absolute counts cannot match the 1997 runs (the netlist-only circuits
+are documented synthetic stand-ins — DESIGN.md §5), but the comparison
+columns are like for like.
+"""
+
+import pytest
+
+from repro.bench.registry import BENCHMARKS, TABLE_ORDER
+from repro.bench.registry import benchmark as build_circuit
+from repro.core import map_to_xc3000
+from benchmarks.conftest import skip_if_fast, verify_network
+
+_RESULTS = {}
+_HEADER = [False]
+
+
+def _emit_header(rows):
+    if not _HEADER[0]:
+        rows.add("table1",
+                 f"{'circuit':9s} {'i':>4s} {'o':>4s} "
+                 f"{'mulopII':>8s} {'mulop-dc':>9s} {'saved':>7s}")
+        _HEADER[0] = True
+
+
+#: Wall-clock budget per driver run for the heavy circuits (the engine
+#: degrades to a fast BDD/MUX mapping when exceeded — see
+#: DecompositionEngine(time_budget=...)).
+HEAVY_BUDGET_S = 150
+
+
+@pytest.mark.parametrize("name", TABLE_ORDER)
+def test_table1_row(benchmark, rows, name):
+    spec = BENCHMARKS[name]
+    skip_if_fast(spec.heavy)
+    func = build_circuit(name)
+    budget = HEAVY_BUDGET_S if spec.heavy else None
+
+    def run_both():
+        baseline = map_to_xc3000(func, use_dontcares=False,
+                                 time_budget=budget,
+                                 node_budget=budget and 4_000_000)
+        with_dc = map_to_xc3000(func, use_dontcares=True,
+                                time_budget=budget,
+                                 node_budget=budget and 4_000_000)
+        return baseline, with_dc
+
+    baseline, with_dc = benchmark.pedantic(run_both, rounds=1,
+                                           iterations=1)
+    assert verify_network(func, baseline.network)
+    assert verify_network(func, with_dc.network)
+    assert baseline.network.max_fanin() <= 5
+    assert with_dc.network.max_fanin() <= 5
+
+    fallback = (baseline.stats.budget_exhausted
+                or with_dc.stats.budget_exhausted)
+    _RESULTS[name] = (baseline.clb_count, with_dc.clb_count, fallback)
+    _emit_header(rows)
+    delta = baseline.clb_count - with_dc.clb_count
+    marker = " *" if fallback else ""
+    rows.add("table1",
+             f"{name:9s} {func.num_inputs:4d} {func.num_outputs:4d} "
+             f"{baseline.clb_count:8d} {with_dc.clb_count:9d} "
+             f"{delta:+7d}{marker}")
+
+
+def test_table1_totals(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("no rows collected")
+    clean = {k: v for k, v in _RESULTS.items() if not v[2]}
+    sub_ii = sum(v[0] for v in clean.values())
+    sub_dc = sum(v[1] for v in clean.values())
+    total_ii = sum(v[0] for v in _RESULTS.values())
+    total_dc = sum(v[1] for v in _RESULTS.values())
+    reduction = 100.0 * (sub_ii - sub_dc) / sub_ii if sub_ii else 0.0
+    rows.add("table1",
+             f"{'subtotal':9s} {'':4s} {'':4s} {sub_ii:8d} {sub_dc:9d} "
+             f"{sub_ii - sub_dc:+7d}  ({reduction:.1f}% reduction; "
+             f"paper: >10% — see EXPERIMENTS.md for the gap discussion)")
+    if len(clean) != len(_RESULTS):
+        rows.add("table1",
+                 f"{'total':9s} {'':4s} {'':4s} {total_ii:8d} "
+                 f"{total_dc:9d} {total_ii - total_dc:+7d}  "
+                 f"(* = wall-clock budget fallback dominated the row)")
+    # Shape assertion: don't-care exploitation never hurts the clean
+    # subtotal (the budget-fallback rows depend on machine speed).
+    assert sub_dc <= sub_ii

@@ -1,0 +1,104 @@
+"""Table 2: ``mulop-dcII`` against other LUT mappers.
+
+The paper compares against FGMap, mis-pga(new) and IMODEC — closed or
+long-gone tools.  Per DESIGN.md §5 we substitute three in-repo
+baselines:
+
+* ``mux-tree`` — a BDD-driven Shannon/MUX mapper (approximating the
+  early BDD-based mappers);
+* ``cut-map`` — a greedy structural k-feasible-cut coverer over a
+  BDD-MUX gate expansion (the mis-pga tradition);
+* ``flowmap`` — depth-optimal FlowMap labelling on the same subject
+  graph (the strongest classical structural mapper; light circuits
+  only, its per-node max-flow is too slow for the widest stand-ins).
+
+The shape to reproduce: the decomposition flow wins on most circuits
+(clearly on the symmetric/arithmetic ones) and on the total.
+"""
+
+import pytest
+
+from repro.bench.registry import BENCHMARKS, TABLE_ORDER
+from repro.bench.registry import benchmark as build_circuit
+from repro.core import map_to_xc3000
+from repro.mapping.baselines import mux_tree_map, structural_cut_map
+from repro.mapping.clb import clb_count
+from repro.mapping.flowmap import flowmap
+from benchmarks.conftest import skip_if_fast, verify_network
+
+_RESULTS = {}
+_HEADER = [False]
+
+HEAVY_BUDGET_S = 150
+
+
+def _emit_header(rows):
+    if not _HEADER[0]:
+        rows.add("table2",
+                 f"{'circuit':9s} {'mulop-dcII':>11s} {'mux-tree':>9s} "
+                 f"{'cut-map':>8s} {'flowmap':>8s}   (XC3000 CLBs)")
+        _HEADER[0] = True
+
+
+@pytest.mark.parametrize("name", TABLE_ORDER)
+def test_table2_row(benchmark, rows, name):
+    spec = BENCHMARKS[name]
+    skip_if_fast(spec.heavy)
+    func = build_circuit(name)
+    budget = HEAVY_BUDGET_S if spec.heavy else None
+
+    def run_all():
+        ours = map_to_xc3000(func, use_dontcares=True,
+                             time_budget=budget,
+                             node_budget=budget and 4_000_000)
+        mux_net = mux_tree_map(func, n_lut=5)
+        cut_net = structural_cut_map(func, n_lut=5)
+        fm_net = None if spec.heavy else flowmap(func, k=5)
+        return ours, mux_net, cut_net, fm_net
+
+    ours, mux_net, cut_net, fm_net = benchmark.pedantic(
+        run_all, rounds=1, iterations=1)
+    assert verify_network(func, ours.network)
+    assert verify_network(func.completed_lo(), mux_net)
+    assert verify_network(func.completed_lo(), cut_net)
+    if fm_net is not None:
+        assert verify_network(func.completed_lo(), fm_net)
+
+    mux_clbs = clb_count(mux_net)
+    cut_clbs = clb_count(cut_net)
+    fm_clbs = clb_count(fm_net) if fm_net is not None else None
+    fallback = ours.stats.budget_exhausted
+    _RESULTS[name] = (ours.clb_count, mux_clbs, cut_clbs, fm_clbs,
+                      fallback)
+    _emit_header(rows)
+    marker = " *" if fallback else ""
+    fm_text = f"{fm_clbs:8d}" if fm_clbs is not None else f"{'-':>8s}"
+    rows.add("table2",
+             f"{name:9s} {ours.clb_count:11d} {mux_clbs:9d} "
+             f"{cut_clbs:8d} {fm_text}{marker}")
+
+
+def test_table2_totals(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("no rows collected")
+    clean = {k: v for k, v in _RESULTS.items() if not v[4]}
+    subtotals = [sum(v[i] for v in clean.values()) for i in range(3)]
+    fm_rows = {k: v for k, v in clean.items() if v[3] is not None}
+    fm_sub = sum(v[3] for v in fm_rows.values())
+    ours_on_fm_rows = sum(v[0] for v in fm_rows.values())
+    rows.add("table2",
+             f"{'subtotal':9s} {subtotals[0]:11d} {subtotals[1]:9d} "
+             f"{subtotals[2]:8d} {fm_sub:8d}   (flowmap column over its "
+             f"{len(fm_rows)} rows; * = budget fallback, excluded)")
+    if len(clean) != len(_RESULTS):
+        totals = [sum(v[i] for v in _RESULTS.values()) for i in range(3)]
+        rows.add("table2",
+                 f"{'total':9s} {totals[0]:11d} {totals[1]:9d} "
+                 f"{totals[2]:8d}")
+    # Shape assertions: we beat the heuristic baselines on the clean
+    # subtotal, and FlowMap on its rows.
+    assert subtotals[0] <= subtotals[1]
+    assert subtotals[0] <= subtotals[2]
+    if fm_rows:
+        assert ours_on_fm_rows <= fm_sub

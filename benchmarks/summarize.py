@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Assemble the regenerated experiment tables into one report.
+
+Reads the ``benchmarks/out/*.txt`` files written by the bench harness
+and prints them in the paper's order, ready to paste into
+EXPERIMENTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/summarize.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ORDER = [
+    ("fig2_adder", "Figure 2 — adder, two-input gates"),
+    ("fig3_pm", "Figure 3 — partial multiplier pm_n"),
+    ("multiplier_scaling", "Section 6.1 — multiplier scaling"),
+    ("table1", "Table 1 — mulopII vs mulop-dc (XC3000 CLBs)"),
+    ("table2", "Table 2 — mulop-dcII vs baseline mappers"),
+    ("ablation_dcsteps", "Ablation — don't-care steps"),
+    ("ablation_cover", "Ablation — clique cover quality"),
+]
+
+
+def main(out_dir: Path = None) -> int:
+    out_dir = out_dir or Path(__file__).parent / "out"
+    if not out_dir.is_dir():
+        print(f"no {out_dir} — run the benches first", file=sys.stderr)
+        return 1
+    missing = []
+    for stem, title in ORDER:
+        path = out_dir / f"{stem}.txt"
+        print(f"== {title} " + "=" * max(0, 60 - len(title)))
+        if path.exists():
+            print(path.read_text().rstrip())
+        else:
+            print("(not generated)")
+            missing.append(stem)
+        print()
+    if missing:
+        print(f"missing: {', '.join(missing)}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Figure 2 experiment: automatic two-input-gate synthesis of adders.
+
+Decomposes the n-bit adder (balanced communication-minimising bound
+sets, then minimal gate trees per 3-input block) and compares the gate
+count against the conditional-sum adder — the comparison of the paper's
+Figure 2 (paper: 49 gates vs 90 for n = 8).
+
+Run:  python examples/adder_synthesis.py [n ...]
+"""
+
+import random
+import sys
+
+from repro.arith.adders import adder_function, conditional_sum_adder, \
+    ripple_carry_adder
+from repro.core import synthesize_two_input_gates
+
+
+def verify_adder(net, n, samples=300):
+    rng = random.Random(0)
+    for _ in range(samples):
+        x = rng.randrange(1 << n)
+        y = rng.randrange(1 << n)
+        bits = {f"x{i}": (x >> i) & 1 for i in range(n)}
+        bits.update({f"y{i}": (y >> i) & 1 for i in range(n)})
+        out = net.eval_outputs(bits)
+        if sum(out[f"s{i}"] << i for i in range(n + 1)) != x + y:
+            return False
+    return True
+
+
+def main():
+    sizes = [int(a) for a in sys.argv[1:]] or [2, 4, 8]
+    print(f"{'n':>3s} {'decomposed':>11s} {'cond-sum':>9s} "
+          f"{'ripple':>7s}   (two-input gates)")
+    for n in sizes:
+        ours = synthesize_two_input_gates(adder_function(n))
+        csa = conditional_sum_adder(n)
+        rca = ripple_carry_adder(n)
+        assert verify_adder(ours, n), "decomposed adder is wrong!"
+        print(f"{n:3d} {ours.gate_count:11d} {csa.gate_count:9d} "
+              f"{rca.gate_count:7d}")
+    print("\npaper (n=8): decomposed 49, conditional-sum 90")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""FPGA mapping flow on the paper's benchmark circuits (Table 1 style).
+
+Maps a selection of benchmark circuits to the Xilinx XC3000
+(5-input LUTs, CLB pairing by maximum-cardinality matching) with both
+drivers and prints Table-1-style rows:
+
+    circuit   i   o   mulopII   mulop-dc
+
+Run:  python examples/fpga_flow.py [circuit ...]
+"""
+
+import sys
+
+from repro.bench.registry import BENCHMARKS, benchmark, benchmark_names
+from repro.core import map_to_xc3000
+
+DEFAULT_CIRCUITS = ["rd73", "rd84", "9sym", "z4ml", "misex1", "clip",
+                    "sao2", "5xp1", "f51m", "alu2"]
+
+
+def main():
+    names = sys.argv[1:] or DEFAULT_CIRCUITS
+    print(f"{'circuit':9s} {'i':>4s} {'o':>4s} {'mulopII':>9s} "
+          f"{'mulop-dc':>9s}")
+    total_ii = total_dc = 0
+    for name in names:
+        if name not in BENCHMARKS:
+            print(f"{name:9s}  (unknown; see `python -m repro list`)")
+            continue
+        func = benchmark(name)
+        baseline = map_to_xc3000(func, use_dontcares=False)
+        with_dc = map_to_xc3000(func, use_dontcares=True)
+        total_ii += baseline.clb_count
+        total_dc += with_dc.clb_count
+        print(f"{name:9s} {func.num_inputs:4d} {func.num_outputs:4d} "
+              f"{baseline.clb_count:9d} {with_dc.clb_count:9d}")
+    print(f"{'total':9s} {'':4s} {'':4s} {total_ii:9d} {total_dc:9d}")
+
+
+if __name__ == "__main__":
+    main()

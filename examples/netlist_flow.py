@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Structural netlist in, CLBs out — the full front-to-back pipeline.
+
+1. parse a multi-level BLIF netlist structurally (no flattening);
+2. clean it up (sweep dangling logic, propagate constants);
+3. collapse into per-output BDDs;
+4. run the paper's decomposition flow and formally verify the mapping.
+
+Run:  python examples/netlist_flow.py
+"""
+
+from repro.core import map_to_xc3000
+from repro.network import Network, constant_propagate, sweep
+from repro.verify.equiv import check_extension
+
+BLIF = """\
+.model alu_fragment
+.inputs a0 a1 b0 b1 sel en
+.outputs r0 r1 valid
+# half adder on bit 0
+.names a0 b0 s0
+10 1
+01 1
+.names a0 b0 c0
+11 1
+# full adder slice on bit 1
+.names a1 b1 s1x
+10 1
+01 1
+.names s1x c0 s1
+10 1
+01 1
+.names a1 b1 c0 c1
+11- 1
+1-1 1
+-11 1
+# logical alternative
+.names a0 b0 l0
+11 1
+.names a1 b1 l1
+11 1
+# select between the two
+.names sel s0 l0 r0raw
+01- 1
+1-1 1
+.names sel s1 l1 r1raw
+01- 1
+1-1 1
+# enable gating
+.names en r0raw r0
+11 1
+.names en r1raw r1
+11 1
+.names en valid
+1 1
+# dangling logic (will be swept)
+.names a0 a1 dead
+10 1
+.end
+"""
+
+
+def main():
+    net = Network.from_blif(BLIF)
+    print(f"parsed : {net!r}")
+    removed = sweep(net)
+    folds = constant_propagate(net)
+    print(f"cleanup: removed {removed} dangling nodes, "
+          f"{folds} constant folds")
+    print(f"cleaned: {net!r}")
+
+    func = net.collapse()
+    result = map_to_xc3000(func)
+    print(f"mapped : {result.summary()}")
+
+    verdict = check_extension(func, result.network)
+    print(f"formal verification: "
+          f"{'EQUIVALENT' if verdict else 'MISMATCH — ' + str(verdict)}")
+
+    # Cross-check the structural simulation against the mapped network.
+    import itertools
+    mismatch = 0
+    for bits in itertools.product((0, 1), repeat=6):
+        assignment = dict(zip(net.inputs, bits))
+        if net.eval_outputs(assignment) != \
+                result.network.eval_outputs(assignment):
+            mismatch += 1
+    print(f"simulation cross-check: {mismatch} mismatches over 64 vectors")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Arithmetic function generators and reference circuits.
+
+* :mod:`repro.arith.adders` — the ``n``-bit adder as a
+  :class:`~repro.boolfunc.spec.MultiFunction` (built symbolically), plus
+  the **conditional-sum adder** gate network (Sklansky) — the baseline of
+  the paper's Figure 2 — and a ripple-carry reference.
+* :mod:`repro.arith.multipliers` — the partial multiplier ``pm_n`` of
+  Section 6.1 and the **Wallace-tree multiplier** gate network baseline.
+"""
+
+from repro.arith.adders import (
+    adder_function,
+    conditional_sum_adder,
+    ripple_carry_adder,
+)
+from repro.arith.multipliers import (
+    partial_multiplier_function,
+    wallace_tree_multiplier,
+    multiplier_function,
+)
+
+__all__ = [
+    "adder_function",
+    "conditional_sum_adder",
+    "ripple_carry_adder",
+    "partial_multiplier_function",
+    "wallace_tree_multiplier",
+    "multiplier_function",
+]

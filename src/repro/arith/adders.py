@@ -1,0 +1,185 @@
+"""Adders: the decomposition target function and the gate-level baselines.
+
+Figure 2 of the paper shows the automatically generated two-input-gate
+realisation of an 8-bit adder (49 gates) against the classic
+**conditional-sum adder** of Sklansky (90 gates).  We provide:
+
+* :func:`adder_function` — the ``n+n -> n+1`` bit addition as a
+  :class:`MultiFunction` built symbolically (BDDs of adders are linear in
+  ``n``, so this scales far beyond truth tables);
+* :func:`conditional_sum_adder` — the Sklansky conditional-sum gate
+  network, built exactly as in the textbook construction: blocks compute
+  both possible results (carry-in 0 and 1) and levels of 2:1 MUXes select;
+* :func:`ripple_carry_adder` — full-adder chain, as a second reference.
+
+All gate networks use the same cost model as
+:mod:`repro.mapping.gatelevel` (two-input AND/OR/XOR, free negation), so
+gate counts are directly comparable with the decomposed circuits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF, MultiFunction
+from repro.mapping.gatelevel import GateNetwork
+
+Signal = Tuple[str, bool]
+
+
+def adder_function(n: int, carry_in: bool = False) -> MultiFunction:
+    """The ``n``-bit adder ``(x + y [+ cin])`` as a MultiFunction.
+
+    Inputs (MSB names first in the name list, variable ids ascending from
+    LSB): ``x0..x{n-1}`` and ``y0..y{n-1}`` with index = bit significance,
+    optionally ``cin``.  Outputs ``s0..s{n}`` (``s{n}`` is the carry out).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    bdd = BDD(0)
+    x_vars = [bdd.add_var(f"x{i}") for i in range(n)]
+    y_vars = [bdd.add_var(f"y{i}") for i in range(n)]
+    inputs = x_vars + y_vars
+    input_names = [f"x{i}" for i in range(n)] + [f"y{i}" for i in range(n)]
+    if carry_in:
+        cin = bdd.add_var("cin")
+        inputs.append(cin)
+        input_names.append("cin")
+        carry = bdd.var(cin)
+    else:
+        carry = BDD.FALSE
+    sums: List[int] = []
+    for i in range(n):
+        a = bdd.var(x_vars[i])
+        b = bdd.var(y_vars[i])
+        sums.append(bdd.apply_xor(bdd.apply_xor(a, b), carry))
+        carry = bdd.apply_or(
+            bdd.apply_and(a, b),
+            bdd.apply_and(carry, bdd.apply_or(a, b)))
+    sums.append(carry)
+    outputs = [ISF.complete(s) for s in sums]
+    output_names = [f"s{i}" for i in range(n + 1)]
+    return MultiFunction(bdd, inputs, outputs,
+                         input_names=input_names, output_names=output_names)
+
+
+def _full_adder(net: GateNetwork, a: Signal, b: Signal,
+                c: Signal) -> Tuple[Signal, Signal]:
+    """Full adder from 5 two-input gates; returns (sum, carry)."""
+    axb = net.add_gate("xor", a, b)
+    s = net.add_gate("xor", axb, c)
+    t1 = net.add_gate("and", a, b)
+    t2 = net.add_gate("and", axb, c)
+    carry = net.add_gate("or", t1, t2)
+    return s, carry
+
+
+def _half_adder(net: GateNetwork, a: Signal,
+                b: Signal) -> Tuple[Signal, Signal]:
+    """Half adder: (sum, carry) in 2 gates."""
+    return net.add_gate("xor", a, b), net.add_gate("and", a, b)
+
+
+def _mux(net: GateNetwork, sel: Signal, hi: Signal, lo: Signal) -> Signal:
+    """2:1 MUX (sel ? hi : lo) with the standard local optimisations.
+
+    Complementary data (``hi == NOT lo``) costs one XOR; equal data is a
+    wire; the general case costs three gates.
+    """
+    if hi == lo:
+        return hi
+    if hi[0] == lo[0] and hi[1] != lo[1]:
+        # sel ? ~x : x  ==  sel XOR x (up to the stored polarity).
+        sig, neg = net.add_gate("xor", sel, lo)
+        return (sig, neg)
+    t1 = net.add_gate("and", sel, hi)
+    t2 = net.add_gate("and", (sel[0], not sel[1]), lo)
+    return net.add_gate("or", t1, t2)
+
+
+def _mux_monotone(net: GateNetwork, sel: Signal, hi: Signal,
+                  lo: Signal) -> Signal:
+    """2:1 MUX for ``lo -> hi`` (e.g. block carries, where the carry-in-1
+    carry always dominates the carry-in-0 carry): two gates,
+    ``lo OR (sel AND hi)``."""
+    t = net.add_gate("and", sel, hi)
+    return net.add_gate("or", lo, t)
+
+
+def ripple_carry_adder(n: int) -> GateNetwork:
+    """Full-adder chain; ``5n - 3`` gates (half adder at the bottom)."""
+    net = GateNetwork()
+    xs = [(net.add_input(f"x{i}"), False) for i in range(n)]
+    ys = [(net.add_input(f"y{i}"), False) for i in range(n)]
+    s0, carry = _half_adder(net, xs[0], ys[0])
+    net.set_output("s0", s0)
+    for i in range(1, n):
+        si, carry = _full_adder(net, xs[i], ys[i], carry)
+        net.set_output(f"s{i}", si)
+    net.set_output(f"s{n}", carry)
+    return net
+
+
+def conditional_sum_add(net: GateNetwork, xs: List[Signal],
+                        ys: List[Signal]) -> List[Signal]:
+    """Conditional-sum addition of two equal-width signal vectors.
+
+    Returns ``n + 1`` sum signals (carry-out last).  Usable both for the
+    standalone adder baseline and as the fast final stage of the
+    Wallace-tree multiplier.
+    """
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("operands must be non-empty and equal width")
+    # Blocks: (sums0, carry0, sums1, carry1) — results for carry-in 0/1.
+    # Per bit: s0 = a^b (1), c0 = a&b (1), s1 = ~(a^b) (free), c1 = a|b (1).
+    blocks: List[Tuple[List[Signal], Signal, List[Signal], Signal]] = []
+    for a, b in zip(xs, ys):
+        s0 = net.add_gate("xor", a, b)
+        c0 = net.add_gate("and", a, b)
+        s1 = (s0[0], not s0[1])
+        c1 = net.add_gate("or", a, b)
+        blocks.append(([s0], c0, [s1], c1))
+
+    while len(blocks) > 1:
+        merged = []
+        for i in range(0, len(blocks) - 1, 2):
+            lo_s0, lo_c0, lo_s1, lo_c1 = blocks[i]
+            hi_s0, hi_c0, hi_s1, hi_c1 = blocks[i + 1]
+            # Carry-in 0 result: low block with cin 0; high block selected
+            # by the low block's carry.
+            s0 = lo_s0 + [_mux(net, lo_c0, s1x, s0x)
+                          for s1x, s0x in zip(hi_s1, hi_s0)]
+            c0 = _mux_monotone(net, lo_c0, hi_c1, hi_c0)
+            # Carry-in 1 result.
+            s1 = lo_s1 + [_mux(net, lo_c1, sh, sl)
+                          for sh, sl in zip(hi_s1, hi_s0)]
+            c1 = _mux_monotone(net, lo_c1, hi_c1, hi_c0)
+            merged.append((s0, c0, s1, c1))
+        if len(blocks) % 2:
+            merged.append(blocks[-1])
+        blocks = merged
+
+    sums0, carry0, _, _ = blocks[0]
+    return sums0 + [carry0]
+
+
+def conditional_sum_adder(n: int) -> GateNetwork:
+    """Sklansky's conditional-sum adder as a two-input gate network.
+
+    Every bit position first computes sum and carry for both possible
+    incoming carries; ``log2(n)`` levels of MUX pairs then combine blocks
+    of doubling width.  For ``n = 8`` this costs ~90 gates under the
+    free-inverter cost model — the number the paper quotes (our
+    construction additionally prunes dead conditional variants, landing
+    slightly below).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    net = GateNetwork()
+    xs = [(net.add_input(f"x{i}"), False) for i in range(n)]
+    ys = [(net.add_input(f"y{i}"), False) for i in range(n)]
+    sums = conditional_sum_add(net, xs, ys)
+    for i, s in enumerate(sums):
+        net.set_output(f"s{i}", s)
+    return net

@@ -1,0 +1,165 @@
+"""Multipliers: the partial multiplier ``pm_n`` and the Wallace baseline.
+
+Section 6.1 of the paper decomposes the *partial multiplier*
+``pm_n : {0,1}^{n^2} -> {0,1}^{2n}``: the inputs are the ``n^2`` partial
+product bits ``p_{i,j} = a_i & b_j`` and the outputs are the ``2n``
+product bits of ``sum_{i,j} p_{i,j} 2^{i+j}``.  The decomposed circuit is
+a column-wise adder scheme with ``n^2 + O(n log^2 n)`` two-input gates,
+compared against the Wallace-tree multiplier (``~10n^2 - 20n`` gates).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF, MultiFunction
+from repro.arith.adders import _full_adder, _half_adder
+from repro.mapping.gatelevel import GateNetwork
+
+Signal = Tuple[str, bool]
+
+
+def partial_multiplier_function(n: int) -> MultiFunction:
+    """``pm_n``: sum the ``n x n`` partial-product matrix.
+
+    Inputs ``p_i_j`` (weight ``2**(i+j)``), outputs ``r0..r{2n-1}``.
+    Built symbolically by column-wise binary addition on BDDs.
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    bdd = BDD(0)
+    names: List[str] = []
+    variables: List[int] = []
+    columns: List[List[int]] = [[] for _ in range(2 * n)]
+    for i in range(n):
+        for j in range(n):
+            name = f"p{i}_{j}"
+            var = bdd.add_var(name)
+            names.append(name)
+            variables.append(var)
+            columns[i + j].append(bdd.var(var))
+
+    # Column-compression with symbolic full/half adders.
+    result: List[int] = []
+    for w in range(2 * n):
+        bits = columns[w]
+        while len(bits) > 1:
+            if len(bits) >= 3:
+                a, b, c = bits.pop(), bits.pop(), bits.pop()
+                s = bdd.apply_xor(bdd.apply_xor(a, b), c)
+                carry = bdd.apply_or(
+                    bdd.apply_and(a, b),
+                    bdd.apply_and(c, bdd.apply_or(a, b)))
+            else:
+                a, b = bits.pop(), bits.pop()
+                s = bdd.apply_xor(a, b)
+                carry = bdd.apply_and(a, b)
+            bits.append(s)
+            if w + 1 < 2 * n:
+                columns[w + 1].append(carry)
+        result.append(bits[0] if bits else BDD.FALSE)
+
+    outputs = [ISF.complete(r) for r in result]
+    output_names = [f"r{w}" for w in range(2 * n)]
+    return MultiFunction(bdd, variables, outputs,
+                         input_names=names, output_names=output_names)
+
+
+def multiplier_function(n: int) -> MultiFunction:
+    """The ``n x n`` multiplier ``a * b`` (operand inputs, ``2n`` outputs)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    bdd = BDD(0)
+    a_vars = [bdd.add_var(f"a{i}") for i in range(n)]
+    b_vars = [bdd.add_var(f"b{i}") for i in range(n)]
+    columns: List[List[int]] = [[] for _ in range(2 * n)]
+    for i in range(n):
+        for j in range(n):
+            columns[i + j].append(
+                bdd.apply_and(bdd.var(a_vars[i]), bdd.var(b_vars[j])))
+    result: List[int] = []
+    for w in range(2 * n):
+        bits = columns[w]
+        while len(bits) > 1:
+            if len(bits) >= 3:
+                a, b, c = bits.pop(), bits.pop(), bits.pop()
+                s = bdd.apply_xor(bdd.apply_xor(a, b), c)
+                carry = bdd.apply_or(
+                    bdd.apply_and(a, b),
+                    bdd.apply_and(c, bdd.apply_or(a, b)))
+            else:
+                a, b = bits.pop(), bits.pop()
+                s = bdd.apply_xor(a, b)
+                carry = bdd.apply_and(a, b)
+            bits.append(s)
+            if w + 1 < 2 * n:
+                columns[w + 1].append(carry)
+        result.append(bits[0] if bits else BDD.FALSE)
+    outputs = [ISF.complete(r) for r in result]
+    return MultiFunction(
+        bdd, a_vars + b_vars, outputs,
+        input_names=[f"a{i}" for i in range(n)] + [f"b{i}" for i in range(n)],
+        output_names=[f"r{w}" for w in range(2 * n)])
+
+
+def wallace_tree_multiplier(n: int,
+                            from_partial_products: bool = False
+                            ) -> GateNetwork:
+    """Wallace-tree multiplier as a two-input gate network.
+
+    With ``from_partial_products=True`` the inputs are the ``n^2`` bits
+    ``p_i_j`` (matching :func:`partial_multiplier_function`); otherwise
+    the operands ``a``/``b`` are inputs and the AND matrix is built
+    (``n^2`` extra gates).  Reduction uses carry-save full/half adders;
+    the final two rows are summed with a ripple stage.
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    net = GateNetwork()
+    columns: List[List[Signal]] = [[] for _ in range(2 * n)]
+    if from_partial_products:
+        for i in range(n):
+            for j in range(n):
+                columns[i + j].append((net.add_input(f"p{i}_{j}"), False))
+    else:
+        a = [(net.add_input(f"a{i}"), False) for i in range(n)]
+        b = [(net.add_input(f"b{i}"), False) for i in range(n)]
+        for i in range(n):
+            for j in range(n):
+                columns[i + j].append(net.add_gate("and", a[i], b[j]))
+
+    # Wallace reduction to height <= 2.
+    while any(len(col) > 2 for col in columns):
+        next_columns: List[List[Signal]] = [[] for _ in range(2 * n)]
+        for w, col in enumerate(columns):
+            idx = 0
+            while len(col) - idx >= 3:
+                s, c = _full_adder(net, col[idx], col[idx + 1],
+                                   col[idx + 2])
+                idx += 3
+                next_columns[w].append(s)
+                if w + 1 < 2 * n:
+                    next_columns[w + 1].append(c)
+            if len(col) - idx == 2:
+                s, c = _half_adder(net, col[idx], col[idx + 1])
+                idx += 2
+                next_columns[w].append(s)
+                if w + 1 < 2 * n:
+                    next_columns[w + 1].append(c)
+            next_columns[w].extend(col[idx:])
+        columns = next_columns
+
+    # Final fast carry-propagate addition of the two remaining rows
+    # (conditional-sum stage — this is what keeps Wallace depth
+    # logarithmic, matching the paper's ``5 log n - 5`` accounting).
+    from repro.arith.adders import conditional_sum_add
+    zero: Signal = ("const0", False)
+    xs = [columns[w][0] if len(columns[w]) > 0 else zero
+          for w in range(2 * n)]
+    ys = [columns[w][1] if len(columns[w]) > 1 else zero
+          for w in range(2 * n)]
+    sums = conditional_sum_add(net, xs, ys)
+    for w in range(2 * n):
+        net.set_output(f"r{w}", sums[w])
+    return net

@@ -1,0 +1,63 @@
+"""Export helpers for BDDs: Graphviz dot and simple expression strings."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.bdd.manager import BDD
+
+
+def to_dot(bdd: BDD, roots: Dict[str, int]) -> str:
+    """Graphviz description of the graphs rooted at ``roots``.
+
+    ``roots`` maps labels to node ids; solid edges are high (then) edges,
+    dashed edges are low (else) edges.
+    """
+    lines = ["digraph BDD {", '  rankdir=TB;']
+    seen = set()
+    stack = list(roots.values())
+    for label, node in roots.items():
+        lines.append(f'  "r_{label}" [shape=plaintext, label="{label}"];')
+        lines.append(f'  "r_{label}" -> "n{node}";')
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node <= 1:
+            lines.append(f'  "n{node}" [shape=box, label="{node}"];')
+            continue
+        lines.append(
+            f'  "n{node}" [shape=circle, '
+            f'label="{bdd.var_name(bdd.var_of(node))}"];')
+        lines.append(f'  "n{node}" -> "n{bdd.low(node)}" [style=dashed];')
+        lines.append(f'  "n{node}" -> "n{bdd.high(node)}";')
+        stack.append(bdd.low(node))
+        stack.append(bdd.high(node))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_expr(bdd: BDD, f: int, variables: Sequence[int] = None) -> str:
+    """Sum-of-products expression from the BDD's one-paths.
+
+    Small functions only — the number of one-paths can be exponential.
+    """
+    if f == BDD.FALSE:
+        return "0"
+    if f == BDD.TRUE:
+        return "1"
+    terms = []
+
+    def walk(node: int, literals: list) -> None:
+        if node == BDD.FALSE:
+            return
+        if node == BDD.TRUE:
+            terms.append(" & ".join(literals) if literals else "1")
+            return
+        name = bdd.var_name(bdd.var_of(node))
+        walk(bdd.low(node), literals + [f"~{name}"])
+        walk(bdd.high(node), literals + [name])
+
+    walk(f, [])
+    return " | ".join(terms)

@@ -1,0 +1,95 @@
+"""BDD and MultiFunction serialisation.
+
+Functions are dumped as a compact JSON-able node list (children-first,
+so loading is a single forward pass) together with the variable names.
+Useful for caching expensive builds and for shipping test fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF, MultiFunction
+
+
+def dump_functions(bdd: BDD, roots: Sequence[int]) -> dict:
+    """Serialise the graphs of ``roots`` into a JSON-able dict."""
+    order: List[int] = []
+    seen = set()
+    expanded = set()
+    for root in roots:
+        stack = [(root, False)]
+        while stack:
+            node, done = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            if done:
+                seen.add(node)
+                order.append(node)
+            elif node not in expanded:
+                expanded.add(node)
+                stack.append((node, True))
+                stack.append((bdd.low(node), False))
+                stack.append((bdd.high(node), False))
+    index: Dict[int, int] = {BDD.FALSE: 0, BDD.TRUE: 1}
+    nodes: List[Tuple[int, int, int]] = []
+    for node in order:
+        index[node] = len(nodes) + 2
+        nodes.append((bdd.var_of(node), index[bdd.low(node)],
+                      index[bdd.high(node)]))
+    return {
+        "num_vars": bdd.num_vars,
+        "var_names": [bdd.var_name(v) for v in range(bdd.num_vars)],
+        "order": bdd.order(),
+        "nodes": nodes,
+        "roots": [index[r] if r > 1 else r for r in roots],
+    }
+
+
+def load_functions(data: dict, bdd: BDD = None) -> Tuple[BDD, List[int]]:
+    """Rebuild functions from :func:`dump_functions` output.
+
+    A fresh manager is created (with the dumped order) unless one is
+    given — a given manager must already contain at least the dumped
+    variables.
+    """
+    if bdd is None:
+        bdd = BDD(0)
+        for name in data["var_names"]:
+            bdd.add_var(name)
+        bdd.set_order(list(data["order"]))
+    elif bdd.num_vars < data["num_vars"]:
+        raise ValueError("target manager is missing variables")
+    ids: List[int] = [BDD.FALSE, BDD.TRUE]
+    for var, low_idx, high_idx in data["nodes"]:
+        low = ids[low_idx]
+        high = ids[high_idx]
+        ids.append(bdd.ite(bdd.var(var), high, low))
+    roots = [ids[r] for r in data["roots"]]
+    return bdd, roots
+
+
+def dump_multifunction(func: MultiFunction) -> str:
+    """JSON text for a :class:`MultiFunction` (both interval ends)."""
+    roots: List[int] = []
+    for isf in func.outputs:
+        roots.append(isf.lo)
+        roots.append(isf.hi)
+    payload = dump_functions(func.bdd, roots)
+    payload["inputs"] = list(func.inputs)
+    payload["input_names"] = list(func.input_names)
+    payload["output_names"] = list(func.output_names)
+    return json.dumps(payload)
+
+
+def load_multifunction(text: str) -> MultiFunction:
+    """Inverse of :func:`dump_multifunction` (fresh manager)."""
+    data = json.loads(text)
+    bdd, roots = load_functions(data)
+    outputs = [ISF.create(bdd, roots[2 * i], roots[2 * i + 1])
+               for i in range(len(roots) // 2)]
+    return MultiFunction(bdd, data["inputs"], outputs,
+                         input_names=data["input_names"],
+                         output_names=data["output_names"])

@@ -1,0 +1,15 @@
+"""Benchmark circuits for the Table 1 / Table 2 experiments.
+
+See DESIGN.md section 5: circuits whose function is mathematically
+defined are implemented exactly (:mod:`repro.bench.functions`); the
+netlist-only MCNC/ISCAS circuits are replaced by seeded synthetic
+stand-ins with the original (inputs, outputs) signatures
+(:mod:`repro.bench.synthetic`).  :mod:`repro.bench.registry` exposes the
+by-name lookup used by the harnesses and the CLI, and
+:mod:`repro.bench.paper_tables` records the numbers published in the
+paper for reference columns.
+"""
+
+from repro.bench.registry import benchmark, benchmark_names, BENCHMARKS
+
+__all__ = ["benchmark", "benchmark_names", "BENCHMARKS"]

@@ -1,0 +1,112 @@
+"""Named benchmark registry for the Table 1 / Table 2 harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.boolfunc.spec import MultiFunction
+from repro.bench import functions as exact
+from repro.bench.synthetic import synthetic_circuit
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark circuit: name, signature, provenance, builder."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    #: "exact", "reconstruction" (right function family, minterms may
+    #: differ) or "synthetic" (signature-only stand-in).
+    provenance: str
+    builder: Callable[[], MultiFunction]
+    #: Rough cost class used to pick defaults for the harnesses.
+    heavy: bool = False
+
+
+def _synth(name: str, i: int, o: int) -> Callable[[], MultiFunction]:
+    return lambda: synthetic_circuit(name, i, o)
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {}
+
+
+def _register(spec: BenchmarkSpec) -> None:
+    BENCHMARKS[spec.name] = spec
+
+
+_register(BenchmarkSpec("5xp1", 7, 10, "reconstruction", exact.five_xp1))
+_register(BenchmarkSpec("9sym", 9, 1, "exact", exact.sym9))
+_register(BenchmarkSpec("alu2", 10, 6, "reconstruction", exact.alu2))
+_register(BenchmarkSpec("apex7", 49, 37, "synthetic",
+                        _synth("apex7", 49, 37), heavy=True))
+_register(BenchmarkSpec("b9", 41, 21, "synthetic",
+                        _synth("b9", 41, 21), heavy=True))
+_register(BenchmarkSpec("C499", 41, 32, "reconstruction", exact.c499,
+                        heavy=True))
+_register(BenchmarkSpec("C880", 60, 26, "synthetic",
+                        _synth("C880", 60, 26), heavy=True))
+_register(BenchmarkSpec("clip", 9, 5, "reconstruction", exact.clip))
+_register(BenchmarkSpec("count", 35, 16, "reconstruction", exact.count,
+                        heavy=True))
+_register(BenchmarkSpec("duke2", 22, 29, "synthetic",
+                        _synth("duke2", 22, 29), heavy=True))
+_register(BenchmarkSpec("e64", 65, 65, "synthetic",
+                        _synth("e64", 65, 65), heavy=True))
+_register(BenchmarkSpec("f51m", 8, 8, "reconstruction", exact.f51m))
+_register(BenchmarkSpec("misex1", 8, 7, "synthetic",
+                        _synth("misex1", 8, 7)))
+_register(BenchmarkSpec("misex2", 25, 18, "synthetic",
+                        _synth("misex2", 25, 18), heavy=True))
+_register(BenchmarkSpec("rd53", 5, 3, "exact", exact.rd53))
+_register(BenchmarkSpec("rd73", 7, 3, "exact", exact.rd73))
+_register(BenchmarkSpec("rd84", 8, 4, "exact", exact.rd84))
+_register(BenchmarkSpec("rot", 135, 107, "synthetic",
+                        _synth("rot", 135, 107), heavy=True))
+_register(BenchmarkSpec("sao2", 10, 4, "synthetic",
+                        _synth("sao2", 10, 4)))
+_register(BenchmarkSpec("vg2", 25, 8, "synthetic",
+                        _synth("vg2", 25, 8), heavy=True))
+_register(BenchmarkSpec("z4ml", 7, 4, "exact", exact.z4ml))
+
+# Extras beyond the paper's table (exact classics + one reconstruction),
+# useful for wider testing; not part of TABLE_ORDER.
+_register(BenchmarkSpec("xor5", 5, 1, "exact", exact.xor5))
+_register(BenchmarkSpec("majority", 5, 1, "exact", exact.majority))
+_register(BenchmarkSpec("sym10", 10, 1, "exact", exact.sym10))
+_register(BenchmarkSpec("t481", 16, 1, "reconstruction",
+                        exact.t481_like))
+
+
+#: The exact row order of the paper's Table 1 / Table 2.
+TABLE_ORDER: List[str] = [
+    "5xp1", "9sym", "alu2", "apex7", "b9", "C499", "C880", "clip",
+    "count", "duke2", "e64", "f51m", "misex1", "misex2", "rd73", "rd84",
+    "rot", "sao2", "vg2", "z4ml",
+]
+
+
+def benchmark(name: str) -> MultiFunction:
+    """Build the named benchmark circuit."""
+    if name not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; try one of {benchmark_names()}")
+    spec = BENCHMARKS[name]
+    func = spec.builder()
+    if func.num_inputs != spec.num_inputs:
+        raise AssertionError(f"{name}: input arity drifted")
+    if func.num_outputs != spec.num_outputs:
+        raise AssertionError(f"{name}: output arity drifted")
+    return func
+
+
+def benchmark_names(include_heavy: bool = True) -> List[str]:
+    """Registered names in table order (light ones first if filtered)."""
+    names = [n for n in TABLE_ORDER if n in BENCHMARKS]
+    if not include_heavy:
+        names = [n for n in names if not BENCHMARKS[n].heavy]
+    extras = sorted(set(BENCHMARKS) - set(names)
+                    - {n for n in TABLE_ORDER})
+    return names + [n for n in extras
+                    if include_heavy or not BENCHMARKS[n].heavy]

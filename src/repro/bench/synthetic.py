@@ -1,0 +1,182 @@
+"""Seeded synthetic stand-ins for netlist-only benchmark circuits.
+
+The MCNC/ISCAS circuits ``apex7``, ``b9``, ``C880``, ``duke2``, ``e64``,
+``misex1``, ``misex2``, ``rot``, ``sao2`` and ``vg2`` exist only as
+netlist/PLA files we do not have offline.  Per the substitution rule
+(DESIGN.md §5) each is replaced by a deterministic synthetic circuit
+with the original (inputs, outputs) signature and a realistic logic mix:
+
+* outputs are grouped into *blocks*; each block computes a small
+  arithmetic/control function (adder slice, comparator, parity chain,
+  mux cascade, majority, AND-OR cone) over a window of inputs;
+* windows overlap, so outputs share support (exercising the common
+  decomposition-function machinery) and blocks chain a few shared
+  intermediate signals (exercising recursion depth);
+* everything is completely specified — like the originals, don't cares
+  only arise *inside* the recursion, which is exactly the regime Table 1
+  studies.
+
+The generator is seeded per circuit name, so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF, MultiFunction
+
+#: Block kinds and the number of outputs each naturally produces.
+_BLOCK_KINDS = ("adder", "comparator", "parity", "mux", "majority",
+                "andor", "onehot")
+
+
+def _block_adder(bdd: BDD, xs: List[int], rng) -> List[int]:
+    half = max(1, len(xs) // 2)
+    a, b = xs[:half], xs[half:2 * half]
+    carry = BDD.FALSE
+    outs = []
+    for av, bv in zip(a, b):
+        x, y = bdd.var(av), bdd.var(bv)
+        outs.append(bdd.apply_xor(bdd.apply_xor(x, y), carry))
+        carry = bdd.apply_or(bdd.apply_and(x, y),
+                             bdd.apply_and(carry, bdd.apply_or(x, y)))
+    outs.append(carry)
+    return outs
+
+
+def _block_comparator(bdd: BDD, xs: List[int], rng) -> List[int]:
+    half = max(1, len(xs) // 2)
+    a, b = xs[:half], xs[half:2 * half]
+    gt = BDD.FALSE
+    eq = BDD.TRUE
+    for av, bv in zip(reversed(a), reversed(b)):
+        x, y = bdd.var(av), bdd.var(bv)
+        gt = bdd.apply_or(gt, bdd.conjoin(
+            [eq, x, bdd.apply_not(y)]))
+        eq = bdd.apply_and(eq, bdd.apply_xnor(x, y))
+    return [gt, eq]
+
+
+def _block_parity(bdd: BDD, xs: List[int], rng) -> List[int]:
+    f = BDD.FALSE
+    for v in xs:
+        f = bdd.apply_xor(f, bdd.var(v))
+    return [f]
+
+
+def _block_mux(bdd: BDD, xs: List[int], rng) -> List[int]:
+    if len(xs) < 3:
+        return _block_parity(bdd, xs, rng)
+    sel = bdd.var(xs[0])
+    half = (len(xs) - 1) // 2
+    outs = []
+    for i in range(half):
+        outs.append(bdd.ite(sel, bdd.var(xs[1 + i]),
+                            bdd.var(xs[1 + half + i])))
+    return outs or _block_parity(bdd, xs, rng)
+
+
+def _block_majority(bdd: BDD, xs: List[int], rng) -> List[int]:
+    k = len(xs)
+    threshold = (k + 1) // 2
+    table = [1 if bin(i).count("1") >= threshold else 0
+             for i in range(1 << k)]
+    return [bdd.from_truth_table(table, xs)]
+
+
+def _block_andor(bdd: BDD, xs: List[int], rng) -> List[int]:
+    terms = []
+    for _ in range(max(2, len(xs) // 2)):
+        size = rng.randint(2, min(4, len(xs)))
+        chosen = rng.sample(xs, size)
+        lits = [bdd.var(v) if rng.random() < 0.6 else bdd.nvar(v)
+                for v in chosen]
+        terms.append(bdd.conjoin(lits))
+    return [bdd.disjoin(terms)]
+
+
+def _block_onehot(bdd: BDD, xs: List[int], rng) -> List[int]:
+    k = len(xs)
+    table = [1 if bin(i).count("1") == 1 else 0 for i in range(1 << k)]
+    return [bdd.from_truth_table(table, xs)]
+
+
+_BLOCKS: dict = {
+    "adder": _block_adder,
+    "comparator": _block_comparator,
+    "parity": _block_parity,
+    "mux": _block_mux,
+    "majority": _block_majority,
+    "andor": _block_andor,
+    "onehot": _block_onehot,
+}
+
+
+def synthetic_circuit(name: str, num_inputs: int,
+                      num_outputs: int,
+                      max_block_inputs: int = 7,
+                      stages: int = 2) -> MultiFunction:
+    """A deterministic synthetic circuit with the given signature.
+
+    Built in stages like a real multi-level netlist: stage-1 blocks
+    compute intermediate signals over input windows; later stages mix
+    raw inputs with intermediates, so output cones widen to 12-20
+    variables and the decomposition recursion runs several levels deep
+    (the regime where don't cares arise).  All outputs are completely
+    specified, like the originals.
+    """
+    rng = random.Random(f"repro-{name}")
+    bdd = BDD(0)
+    variables = [bdd.add_var(f"x{i}") for i in range(num_inputs)]
+
+    def make_blocks(pool: List[int], count: int,
+                    as_bdds: List[int],
+                    prefer_from: int = 0) -> List[int]:
+        produced: List[int] = []
+        cursor = 0
+        while len(produced) < count:
+            width = rng.randint(4, min(max_block_inputs, len(pool)))
+            if rng.random() < 0.3:
+                chosen = rng.sample(range(len(pool)), width)
+            else:
+                start = cursor % max(1, len(pool) - width + 1)
+                chosen = list(range(start, start + width))
+                cursor += max(1, width - 2)
+            if prefer_from and rng.random() < 0.6:
+                # Pull in one or two composed intermediates so the output
+                # cone widens (realistic multi-level structure).
+                tail = range(prefer_from, len(pool))
+                picks = rng.sample(list(tail), min(2, len(tail)))
+                chosen = sorted(set(chosen[:width - len(picks)] + picks))
+            kind = rng.choice(_BLOCK_KINDS)
+            # Blocks are defined over fresh temporary variables, then the
+            # actual signals (raw inputs or intermediates) are substituted
+            # in — that is how composition widens the cones.
+            window_vars = [pool[i] for i in chosen]
+            window_sigs = [as_bdds[i] for i in chosen]
+            block_outs = _BLOCKS[kind](bdd, window_vars, rng)
+            substitution = dict(zip(window_vars, window_sigs))
+            for f in block_outs:
+                produced.append(bdd.vector_compose(f, substitution))
+        return produced[:count]
+
+    # Stage 1: intermediates over raw inputs.
+    pool_vars = list(variables)
+    pool_sigs = [bdd.var(v) for v in variables]
+    for stage in range(1, stages):
+        n_intermediate = max(2, num_inputs // 4)
+        intermediates = make_blocks(pool_vars, n_intermediate, pool_sigs)
+        # Mix intermediates into the pool (replacing a slice so the pool
+        # does not grow unboundedly); keep most raw inputs available.
+        pool_sigs = pool_sigs[:num_inputs] + intermediates
+        pool_vars = list(variables) + [
+            bdd.add_var(f"_t{stage}_{i}") for i in range(n_intermediate)]
+
+    prefer = num_inputs if len(pool_vars) > num_inputs else 0
+    outputs = make_blocks(pool_vars, num_outputs, pool_sigs,
+                          prefer_from=prefer)
+    return MultiFunction(
+        bdd, variables, [ISF.complete(f) for f in outputs],
+        output_names=[f"y{i}" for i in range(num_outputs)])

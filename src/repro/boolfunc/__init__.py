@@ -1,0 +1,27 @@
+"""Boolean function representations.
+
+* :class:`~repro.boolfunc.spec.ISF` — incompletely specified single-output
+  function as an interval ``[lo, hi]`` of BDDs (``lo`` = onset,
+  ``hi`` = onset + don't-care set).
+* :class:`~repro.boolfunc.spec.MultiFunction` — a multi-output function
+  (each output an :class:`ISF`) over a shared input variable list.
+* :mod:`repro.boolfunc.cube` / :mod:`repro.boolfunc.pla` /
+  :mod:`repro.boolfunc.blif` — cube lists and espresso-PLA / BLIF parsing
+  and writing.
+"""
+
+from repro.boolfunc.spec import ISF, MultiFunction
+from repro.boolfunc.cube import Cube, CubeList
+from repro.boolfunc.pla import parse_pla, write_pla
+from repro.boolfunc.blif import parse_blif, write_blif
+
+__all__ = [
+    "ISF",
+    "MultiFunction",
+    "Cube",
+    "CubeList",
+    "parse_pla",
+    "write_pla",
+    "parse_blif",
+    "write_blif",
+]

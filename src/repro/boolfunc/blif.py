@@ -1,0 +1,150 @@
+"""BLIF (Berkeley Logic Interchange Format) reading and writing.
+
+Combinational subset: ``.model``, ``.inputs``, ``.outputs``, ``.names``
+(with single-output SOP cover lines), ``.end``.  Parsing flattens the
+network into per-output BDDs, which is what the decomposition flow
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF, MultiFunction
+
+
+class BlifError(ValueError):
+    """Malformed BLIF text."""
+
+
+def _tokenise(text: str) -> List[List[str]]:
+    """Logical lines (backslash continuations folded, comments stripped)."""
+    lines: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        pending += line
+        if pending.strip():
+            lines.append(pending.strip())
+        pending = ""
+    if pending.strip():
+        lines.append(pending.strip())
+    return [line.split() for line in lines]
+
+
+def parse_blif(text: str, bdd: Optional[BDD] = None) -> MultiFunction:
+    """Parse combinational BLIF into a :class:`MultiFunction`."""
+    if bdd is None:
+        bdd = BDD(0)
+    inputs: List[str] = []
+    outputs: List[str] = []
+    # name -> (input signal names, cover rows [(in_pattern, out_value)])
+    tables: Dict[str, Tuple[List[str], List[Tuple[str, str]]]] = {}
+    current: Optional[str] = None
+
+    for tokens in _tokenise(text):
+        head = tokens[0]
+        if head == ".model":
+            continue
+        if head == ".inputs":
+            inputs.extend(tokens[1:])
+            current = None
+        elif head == ".outputs":
+            outputs.extend(tokens[1:])
+            current = None
+        elif head == ".names":
+            signals = tokens[1:]
+            if not signals:
+                raise BlifError(".names needs at least an output")
+            current = signals[-1]
+            tables[current] = (signals[:-1], [])
+        elif head in (".end", ".exdc"):
+            current = None
+        elif head.startswith("."):
+            if head in (".latch", ".subckt", ".gate"):
+                raise BlifError(f"unsupported BLIF construct {head}")
+            current = None
+        else:
+            if current is None:
+                raise BlifError(f"cover line outside .names: {tokens}")
+            fanins, rows = tables[current]
+            if len(fanins) == 0:
+                if len(tokens) != 1 or tokens[0] not in "01":
+                    raise BlifError(f"bad constant row: {tokens}")
+                rows.append(("", tokens[0]))
+            else:
+                if len(tokens) != 2:
+                    raise BlifError(f"bad cover row: {tokens}")
+                pattern, value = tokens
+                if len(pattern) != len(fanins):
+                    raise BlifError(f"cover arity mismatch: {tokens}")
+                rows.append((pattern, value))
+
+    variables = {name: bdd.add_var(name) for name in inputs}
+    node_bdd: Dict[str, int] = {name: bdd.var(var)
+                                for name, var in variables.items()}
+
+    def build(name: str, trail: tuple) -> int:
+        if name in node_bdd:
+            return node_bdd[name]
+        if name not in tables:
+            raise BlifError(f"undefined signal {name!r}")
+        if name in trail:
+            raise BlifError(f"combinational cycle through {name!r}")
+        fanins, rows = tables[name]
+        fanin_bdds = [build(f, trail + (name,)) for f in fanins]
+        # The cover lists either onset rows (value 1) or offset rows
+        # (value 0); mixing is not allowed by BLIF.
+        values = {value for _, value in rows}
+        if values - {"0", "1"}:
+            raise BlifError(f"bad cover value in {name!r}")
+        if len(values) > 1:
+            raise BlifError(f"mixed cover polarities in {name!r}")
+        cover = BDD.FALSE
+        for pattern, _ in rows:
+            term = BDD.TRUE
+            for ch, fb in zip(pattern, fanin_bdds):
+                if ch == "1":
+                    term = bdd.apply_and(term, fb)
+                elif ch == "0":
+                    term = bdd.apply_and(term, bdd.apply_not(fb))
+                elif ch != "-":
+                    raise BlifError(f"bad input literal {ch!r} in {name!r}")
+            cover = bdd.apply_or(cover, term)
+        if not rows:
+            result = BDD.FALSE
+        elif values == {"0"}:
+            result = bdd.apply_not(cover)
+        else:
+            result = cover
+        node_bdd[name] = result
+        return result
+
+    out_isfs = [ISF.complete(build(name, ())) for name in outputs]
+    input_vars = [variables[name] for name in inputs]
+    return MultiFunction(bdd, input_vars, out_isfs,
+                         input_names=inputs, output_names=outputs)
+
+
+def write_blif(func: MultiFunction, model: str = "repro") -> str:
+    """Write a :class:`MultiFunction` as flat single-level BLIF.
+
+    Don't cares are completed to 0 (BLIF has no native DC plane).
+    """
+    lines = [f".model {model}",
+             ".inputs " + " ".join(func.input_names),
+             ".outputs " + " ".join(func.output_names)]
+    n = func.num_inputs
+    for j, name in enumerate(func.output_names):
+        lines.append(".names " + " ".join(func.input_names) + f" {name}")
+        for k in range(1 << n):
+            bits = [(k >> (n - 1 - i)) & 1 for i in range(n)]
+            assignment = dict(zip(func.inputs, bits))
+            if func.bdd.eval(func.outputs[j].lo, assignment):
+                lines.append("".join(str(b) for b in bits) + " 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,111 @@
+"""Cube and cube-list representations (the PLA view of a function)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.bdd.manager import BDD
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term over positional inputs.
+
+    ``inputs`` uses one character per variable: ``'0'``, ``'1'`` or
+    ``'-'`` (don't care / missing literal).  ``outputs`` uses one
+    character per output: ``'1'`` (cube belongs to onset), ``'0'`` or
+    ``'~'`` (no statement), ``'d'`` / ``'-'`` (don't care), ``'r'``
+    (offset, for ``.type fr`` PLAs).
+    """
+
+    inputs: str
+    outputs: str
+
+    def __post_init__(self):
+        for ch in self.inputs:
+            if ch not in "01-":
+                raise ValueError(f"bad input literal {ch!r}")
+        for ch in self.outputs:
+            if ch not in "01-d~r":
+                raise ValueError(f"bad output literal {ch!r}")
+
+    def to_bdd(self, bdd: BDD, variables: Sequence[int]) -> int:
+        """BDD of the product term over the given variables."""
+        if len(variables) != len(self.inputs):
+            raise ValueError("variable count mismatch")
+        literals = {}
+        for var, ch in zip(variables, self.inputs):
+            if ch == "1":
+                literals[var] = 1
+            elif ch == "0":
+                literals[var] = 0
+        return bdd.cube(literals)
+
+    def contains(self, bits: Sequence[int]) -> bool:
+        """Does the cube cover this input assignment?"""
+        return all(ch == "-" or int(ch) == b
+                   for ch, b in zip(self.inputs, bits))
+
+
+class CubeList:
+    """An ordered list of cubes with shared arity — one PLA matrix."""
+
+    def __init__(self, num_inputs: int, num_outputs: int,
+                 cubes: Iterable[Cube] = ()) -> None:
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.cubes: List[Cube] = []
+        for cube in cubes:
+            self.append(cube)
+
+    def append(self, cube: Cube) -> None:
+        """Add a cube (arity-checked)."""
+        if len(cube.inputs) != self.num_inputs:
+            raise ValueError("cube input arity mismatch")
+        if len(cube.outputs) != self.num_outputs:
+            raise ValueError("cube output arity mismatch")
+        self.cubes.append(cube)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self):
+        return iter(self.cubes)
+
+    def to_sets(self, bdd: BDD, variables: Sequence[int],
+                pla_type: str = "fd") -> List[Tuple[int, int]]:
+        """Per-output (onset, dcset) BDD pairs.
+
+        ``pla_type`` follows espresso: ``fd`` (default) — ``1`` adds to
+        the onset, ``d``/``-`` to the dc-set, everything else is offset;
+        ``fr`` — ``1`` adds to the onset, ``r``/``0`` to the offset,
+        and the rest of the space is the dc-set; ``f`` — ``1`` is onset,
+        everything uncovered is offset.
+        """
+        if pla_type not in ("fd", "fr", "f"):
+            raise ValueError(f"unsupported PLA type {pla_type!r}")
+        onsets = [BDD.FALSE] * self.num_outputs
+        dcsets = [BDD.FALSE] * self.num_outputs
+        offsets = [BDD.FALSE] * self.num_outputs
+        for cube in self.cubes:
+            cube_bdd = None
+            for j, ch in enumerate(cube.outputs):
+                if ch in "0~":
+                    continue
+                if cube_bdd is None:
+                    cube_bdd = cube.to_bdd(bdd, variables)
+                if ch == "1":
+                    onsets[j] = bdd.apply_or(onsets[j], cube_bdd)
+                elif ch in "d-":
+                    dcsets[j] = bdd.apply_or(dcsets[j], cube_bdd)
+                elif ch == "r":
+                    offsets[j] = bdd.apply_or(offsets[j], cube_bdd)
+        result = []
+        for j in range(self.num_outputs):
+            if pla_type == "fr":
+                dc = bdd.apply_not(bdd.apply_or(onsets[j], offsets[j]))
+            else:
+                dc = bdd.apply_diff(dcsets[j], onsets[j])
+            result.append((onsets[j], dc))
+        return result

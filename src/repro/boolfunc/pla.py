@@ -1,0 +1,128 @@
+"""Espresso-format PLA reading and writing.
+
+Supports the directives used by the MCNC two-level benchmarks:
+``.i``, ``.o``, ``.p``, ``.ilb``, ``.ob``, ``.type``, ``.e``/``.end``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.cube import Cube, CubeList
+from repro.boolfunc.spec import ISF, MultiFunction
+
+
+class PlaError(ValueError):
+    """Malformed PLA text."""
+
+
+def parse_pla_cubes(text: str) -> Tuple[CubeList, dict]:
+    """Parse PLA text into a :class:`CubeList` plus metadata.
+
+    Metadata keys: ``type`` (fd/fr/f), ``input_names``, ``output_names``.
+    """
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    pla_type = "fd"
+    input_names = None
+    output_names = None
+    cubes = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                num_inputs = int(parts[1])
+            elif directive == ".o":
+                num_outputs = int(parts[1])
+            elif directive == ".p":
+                pass  # informational cube count
+            elif directive == ".ilb":
+                input_names = parts[1:]
+            elif directive == ".ob":
+                output_names = parts[1:]
+            elif directive == ".type":
+                pla_type = parts[1]
+            elif directive in (".e", ".end"):
+                break
+            else:
+                pass  # ignore unknown directives, as espresso does
+            continue
+        parts = line.split()
+        if len(parts) == 1 and num_inputs is not None:
+            # Tolerate files without whitespace between fields.
+            field = parts[0]
+            parts = [field[:num_inputs], field[num_inputs:]]
+        if len(parts) != 2:
+            raise PlaError(f"bad cube line: {raw!r}")
+        in_part, out_part = parts
+        if num_inputs is None or num_outputs is None:
+            raise PlaError("cube before .i/.o declaration")
+        if len(in_part) != num_inputs or len(out_part) != num_outputs:
+            raise PlaError(f"cube arity mismatch: {raw!r}")
+        cubes.append(Cube(in_part, out_part))
+    if num_inputs is None or num_outputs is None:
+        raise PlaError("missing .i/.o declaration")
+    cube_list = CubeList(num_inputs, num_outputs, cubes)
+    meta = {
+        "type": pla_type,
+        "input_names": input_names,
+        "output_names": output_names,
+    }
+    return cube_list, meta
+
+
+def parse_pla(text: str, bdd: Optional[BDD] = None) -> MultiFunction:
+    """Parse PLA text into a :class:`MultiFunction`.
+
+    A fresh manager is created unless ``bdd`` is given (in which case the
+    inputs are appended as new variables).
+    """
+    cube_list, meta = parse_pla_cubes(text)
+    if bdd is None:
+        bdd = BDD(0)
+    names = meta["input_names"] or [f"x{i}" for i in range(cube_list.num_inputs)]
+    variables = [bdd.add_var(name) for name in names]
+    pairs = cube_list.to_sets(bdd, variables, meta["type"])
+    outputs = [ISF.from_onset_dcset(bdd, onset, dc) for onset, dc in pairs]
+    output_names = (meta["output_names"]
+                    or [f"f{j}" for j in range(cube_list.num_outputs)])
+    return MultiFunction(bdd, variables, outputs,
+                         input_names=names, output_names=output_names)
+
+
+def write_pla(func: MultiFunction) -> str:
+    """Write a :class:`MultiFunction` as a (minterm-level) fd-type PLA.
+
+    Every care minterm of the union of supports is enumerated, so this is
+    intended for small functions (tests, golden files).
+    """
+    n = func.num_inputs
+    if n > 16:
+        raise ValueError(
+            "write_pla enumerates minterms; refusing n > 16 inputs")
+    lines = [f".i {n}", f".o {func.num_outputs}"]
+    lines.append(".ilb " + " ".join(func.input_names))
+    lines.append(".ob " + " ".join(func.output_names))
+    lines.append(".type fd")
+    body = []
+    for k in range(1 << n):
+        bits = [(k >> (n - 1 - i)) & 1 for i in range(n)]
+        assignment = dict(zip(func.inputs, bits))
+        values = func.eval(assignment)
+        out_chars = []
+        for value in values:
+            if value is None:
+                out_chars.append("-")
+            else:
+                out_chars.append(str(value))
+        if any(ch != "0" for ch in out_chars):
+            body.append("".join(str(b) for b in bits) + " " + "".join(out_chars))
+    lines.append(f".p {len(body)}")
+    lines.extend(body)
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

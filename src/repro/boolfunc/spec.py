@@ -1,0 +1,277 @@
+"""Incompletely specified functions and multi-output bundles.
+
+An incompletely specified function (ISF) is represented as an *interval*
+``[lo, hi]`` of completely specified functions: ``lo`` is the onset and
+``hi = onset OR dc-set``; any completely specified ``f`` with
+``lo <= f <= hi`` is an *extension*.  This is the representation used
+throughout the paper's don't-care machinery: assigning don't cares means
+narrowing the interval, and two ISFs are *compatible* (admit a common
+extension) iff their intervals intersect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bdd.manager import BDD
+
+
+@dataclass(frozen=True)
+class ISF:
+    """An incompletely specified function as an interval ``[lo, hi]``.
+
+    ``lo`` and ``hi`` are BDD node ids in the owning manager with
+    ``lo <= hi`` (checked at construction via :meth:`create`).
+    The care set is ``lo OR NOT hi``; the don't-care set is
+    ``hi AND NOT lo``.
+    """
+
+    lo: int
+    hi: int
+
+    @staticmethod
+    def create(bdd: BDD, lo: int, hi: int) -> "ISF":
+        """Construct with the interval invariant checked."""
+        if not bdd.leq(lo, hi):
+            raise ValueError("ISF requires lo <= hi")
+        return ISF(lo, hi)
+
+    @staticmethod
+    def complete(f: int) -> "ISF":
+        """The completely specified function ``f`` as a degenerate interval."""
+        return ISF(f, f)
+
+    @staticmethod
+    def from_onset_dcset(bdd: BDD, onset: int, dcset: int) -> "ISF":
+        """Build from onset and don't-care set (must be disjoint)."""
+        if bdd.apply_and(onset, dcset) != BDD.FALSE:
+            raise ValueError("onset and dc-set must be disjoint")
+        return ISF(onset, bdd.apply_or(onset, dcset))
+
+    # -- predicates ----------------------------------------------------
+
+    def is_complete(self) -> bool:
+        """No don't cares left?"""
+        return self.lo == self.hi
+
+    def dc_set(self, bdd: BDD) -> int:
+        """BDD of the don't-care set."""
+        return bdd.apply_diff(self.hi, self.lo)
+
+    def care_set(self, bdd: BDD) -> int:
+        """BDD of the care set."""
+        return bdd.apply_not(self.dc_set(bdd))
+
+    def admits(self, bdd: BDD, f: int) -> bool:
+        """Is the completely specified ``f`` an extension of this ISF?"""
+        return bdd.leq(self.lo, f) and bdd.leq(f, self.hi)
+
+    def refines(self, bdd: BDD, other: "ISF") -> bool:
+        """Is this interval contained in ``other`` (every extension of
+        self extends other)?"""
+        return bdd.leq(other.lo, self.lo) and bdd.leq(self.hi, other.hi)
+
+    # -- combination ---------------------------------------------------
+
+    def intersect(self, bdd: BDD, other: "ISF") -> Optional["ISF"]:
+        """Interval intersection, or None if the ISFs are incompatible."""
+        lo = bdd.apply_or(self.lo, other.lo)
+        hi = bdd.apply_and(self.hi, other.hi)
+        if not bdd.leq(lo, hi):
+            return None
+        return ISF(lo, hi)
+
+    def compatible(self, bdd: BDD, other: "ISF") -> bool:
+        """Do the intervals intersect (common extension exists)?"""
+        return (bdd.leq(self.lo, other.hi)
+                and bdd.leq(other.lo, self.hi))
+
+    # -- cofactors and transforms ---------------------------------------
+
+    def restrict(self, bdd: BDD, var: int, value: int) -> "ISF":
+        """Cofactor both interval ends."""
+        return ISF(bdd.restrict(self.lo, var, value),
+                   bdd.restrict(self.hi, var, value))
+
+    def cofactor(self, bdd: BDD, assignment: Dict[int, int]) -> "ISF":
+        """Cofactor w.r.t. a partial assignment."""
+        return ISF(bdd.cofactor(self.lo, assignment),
+                   bdd.cofactor(self.hi, assignment))
+
+    def rename(self, bdd: BDD, mapping: Dict[int, int]) -> "ISF":
+        """Rename variables in both interval ends."""
+        return ISF(bdd.rename(self.lo, mapping),
+                   bdd.rename(self.hi, mapping))
+
+    def negate(self, bdd: BDD) -> "ISF":
+        """The interval of the negations."""
+        return ISF(bdd.apply_not(self.hi), bdd.apply_not(self.lo))
+
+    # -- extensions -----------------------------------------------------
+
+    def extension_lo(self) -> int:
+        """The extension assigning all don't cares to 0."""
+        return self.lo
+
+    def extension_hi(self) -> int:
+        """The extension assigning all don't cares to 1."""
+        return self.hi
+
+    def support(self, bdd: BDD) -> set:
+        """Union of the supports of both interval ends.
+
+        This over-approximates the *necessary* support: a variable outside
+        this set is certainly irrelevant for every extension.
+        """
+        return bdd.support(self.lo) | bdd.support(self.hi)
+
+    def reduce_support(self, bdd: BDD) -> "ISF":
+        """Drop variables some extension does not need (greedy).
+
+        A variable ``v`` can be eliminated iff the two cofactor intervals
+        intersect (``lo|v=0 <= hi|v=1`` and ``lo|v=1 <= hi|v=0``); the
+        result replaces both cofactors by the intersection — a pure
+        don't-care assignment.  Variables are tried greedily, so the
+        result is an extension-interval independent of a *maximal* (not
+        necessarily maximum) set of variables.
+        """
+        isf = self
+        changed = True
+        while changed:
+            changed = False
+            for var in sorted(isf.support(bdd)):
+                lo0 = bdd.restrict(isf.lo, var, 0)
+                lo1 = bdd.restrict(isf.lo, var, 1)
+                hi0 = bdd.restrict(isf.hi, var, 0)
+                hi1 = bdd.restrict(isf.hi, var, 1)
+                if bdd.leq(lo0, hi1) and bdd.leq(lo1, hi0):
+                    isf = ISF(bdd.apply_or(lo0, lo1),
+                              bdd.apply_and(hi0, hi1))
+                    changed = True
+        return isf
+
+
+class MultiFunction:
+    """A multi-output (incompletely specified) Boolean function.
+
+    Wraps a BDD manager, an ordered input-variable list and one
+    :class:`ISF` per output.  This is the unit the decomposition driver
+    operates on.
+    """
+
+    def __init__(self, bdd: BDD, inputs: Sequence[int],
+                 outputs: Sequence[ISF],
+                 input_names: Optional[Sequence[str]] = None,
+                 output_names: Optional[Sequence[str]] = None) -> None:
+        self.bdd = bdd
+        self.inputs: List[int] = list(inputs)
+        self.outputs: List[ISF] = list(outputs)
+        self.input_names = (list(input_names) if input_names
+                            else [bdd.var_name(v) for v in self.inputs])
+        self.output_names = (list(output_names) if output_names
+                             else [f"f{i}" for i in range(len(self.outputs))])
+        if len(self.input_names) != len(self.inputs):
+            raise ValueError("input name count mismatch")
+        if len(self.output_names) != len(self.outputs):
+            raise ValueError("output name count mismatch")
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_truth_tables(cls, bdd: BDD, inputs: Sequence[int],
+                          tables: Sequence[Sequence[int]],
+                          dc_tables: Optional[Sequence[Sequence[int]]] = None,
+                          **names) -> "MultiFunction":
+        """Build from one truth table per output (optionally DC masks)."""
+        outputs = []
+        for i, table in enumerate(tables):
+            onset = bdd.from_truth_table(table, inputs)
+            if dc_tables is not None:
+                dcset = bdd.from_truth_table(dc_tables[i], inputs)
+                # Where DC mask is set, the onset value is irrelevant.
+                onset = bdd.apply_diff(onset, dcset)
+                outputs.append(ISF.from_onset_dcset(bdd, onset, dcset))
+            else:
+                outputs.append(ISF.complete(onset))
+        return cls(bdd, inputs, outputs, **names)
+
+    @classmethod
+    def from_callable(cls, bdd: BDD, inputs: Sequence[int],
+                      num_outputs: int,
+                      fn: Callable[..., Sequence[int]],
+                      **names) -> "MultiFunction":
+        """Build from a Python callable returning a bit vector per input
+        assignment (inputs passed MSB-first as separate arguments)."""
+        n = len(inputs)
+        if n > 20:
+            raise ValueError(
+                "from_callable tabulates 2**n rows; refusing n > 20 "
+                "(build the function symbolically instead)")
+        tables: List[List[int]] = [[] for _ in range(num_outputs)]
+        for k in range(1 << n):
+            bits = [(k >> (n - 1 - i)) & 1 for i in range(n)]
+            out = fn(*bits)
+            if len(out) != num_outputs:
+                raise ValueError("callable returned wrong output arity")
+            for i, b in enumerate(out):
+                tables[i].append(1 if b else 0)
+        return cls.from_truth_tables(bdd, inputs, tables, **names)
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input variables."""
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of outputs."""
+        return len(self.outputs)
+
+    def is_complete(self) -> bool:
+        """Are all outputs completely specified?"""
+        return all(o.is_complete() for o in self.outputs)
+
+    def support(self) -> set:
+        """Union of the supports of all outputs."""
+        result = set()
+        for out in self.outputs:
+            result |= out.support(self.bdd)
+        return result
+
+    def eval(self, assignment: Dict[int, int]) -> List[Optional[int]]:
+        """Evaluate all outputs; a don't-care point evaluates to None."""
+        values: List[Optional[int]] = []
+        for out in self.outputs:
+            lo = self.bdd.eval(out.lo, assignment)
+            hi = self.bdd.eval(out.hi, assignment)
+            if lo:
+                values.append(1)
+            elif not hi:
+                values.append(0)
+            else:
+                values.append(None)
+        return values
+
+    def completed_lo(self) -> "MultiFunction":
+        """The completion assigning every don't care to 0 (the baseline
+        ``mulopII`` behaviour in Table 1)."""
+        return MultiFunction(
+            self.bdd, self.inputs,
+            [ISF.complete(o.lo) for o in self.outputs],
+            input_names=self.input_names, output_names=self.output_names)
+
+    def restrict_outputs(self, indices: Sequence[int]) -> "MultiFunction":
+        """A sub-bundle with only the selected outputs."""
+        return MultiFunction(
+            self.bdd, self.inputs,
+            [self.outputs[i] for i in indices],
+            input_names=self.input_names,
+            output_names=[self.output_names[i] for i in indices])
+
+    def __repr__(self) -> str:
+        kind = "complete" if self.is_complete() else "incomplete"
+        return (f"<MultiFunction {self.num_inputs} in / "
+                f"{self.num_outputs} out, {kind}>")

@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+::
+
+    python -m repro map rd84                  # XC3000 flow on a benchmark
+    python -m repro map --no-dc rd84          # the mulopII baseline
+    python -m repro map --pla my.pla          # map a PLA file
+    python -m repro gates adder8              # two-input-gate synthesis
+    python -m repro list                      # registered benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.bench.registry import BENCHMARKS, benchmark, benchmark_names
+from repro.boolfunc.blif import parse_blif
+from repro.boolfunc.pla import parse_pla
+from repro.boolfunc.spec import MultiFunction
+from repro.core.api import map_to_xc3000, synthesize_two_input_gates
+
+
+def _load_function(args) -> MultiFunction:
+    if args.pla:
+        with open(args.pla) as handle:
+            return parse_pla(handle.read())
+    if args.blif:
+        with open(args.blif) as handle:
+            return parse_blif(handle.read())
+    name = args.name
+    if name is None:
+        raise SystemExit("give a benchmark name, --pla or --blif")
+    if name.startswith("adder"):
+        from repro.arith.adders import adder_function
+        return adder_function(int(name[len("adder"):]))
+    if name.startswith("pm"):
+        from repro.arith.multipliers import partial_multiplier_function
+        return partial_multiplier_function(int(name[len("pm"):]))
+    return benchmark(name)
+
+
+def _cmd_list(args) -> int:
+    print(f"{'name':10s} {'in':>4s} {'out':>4s}  provenance")
+    for name in benchmark_names():
+        spec = BENCHMARKS[name]
+        print(f"{name:10s} {spec.num_inputs:4d} {spec.num_outputs:4d}  "
+              f"{spec.provenance}{'  (heavy)' if spec.heavy else ''}")
+    print("\nplus generators: adderN (e.g. adder8), pmN (e.g. pm4)")
+    return 0
+
+
+def _cmd_map(args) -> int:
+    func = _load_function(args)
+    result = map_to_xc3000(func, use_dontcares=not args.no_dc)
+    mode = "mulopII" if args.no_dc else "mulop-dc"
+    print(f"{mode}: {result.summary()}")
+    if args.trace:
+        print(result.stats.report())
+    if args.blif_out:
+        with open(args.blif_out, "w") as handle:
+            handle.write(result.network.to_blif())
+        print(f"wrote {args.blif_out}")
+    return 0
+
+
+def _cmd_gates(args) -> int:
+    func = _load_function(args)
+    net = synthesize_two_input_gates(func, use_dontcares=not args.no_dc)
+    print(f"{net.gate_count} two-input gates, depth {net.depth()}, "
+          f"{net.inverter_count} inverters")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    func = _load_function(args)
+    baseline = map_to_xc3000(func, use_dontcares=False)
+    with_dc = map_to_xc3000(func, use_dontcares=True)
+    delta = baseline.clb_count - with_dc.clb_count
+    print(f"{'driver':10s} {'LUTs':>6s} {'CLBs':>6s} {'depth':>6s}")
+    print(f"{'mulopII':10s} {baseline.lut_count:6d} "
+          f"{baseline.clb_count:6d} {baseline.depth:6d}")
+    print(f"{'mulop-dc':10s} {with_dc.lut_count:6d} "
+          f"{with_dc.clb_count:6d} {with_dc.depth:6d}")
+    print(f"don't-care exploitation saves {delta} CLB(s)")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.verify.equiv import check_extension
+    func = _load_function(args)
+    result = map_to_xc3000(func, use_dontcares=not args.no_dc)
+    verdict = check_extension(func, result.network)
+    mode = "mulopII" if args.no_dc else "mulop-dc"
+    print(f"{mode}: {result.summary()}")
+    if verdict:
+        print("formal verification: EQUIVALENT")
+        return 0
+    print(f"formal verification: MISMATCH on output "
+          f"{verdict.failing_output} at {verdict.counterexample}")
+    return 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-output functional decomposition with don't "
+                    "cares (Scholl, DATE 1998)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered benchmark circuits")
+
+    for cmd, help_text in (("map", "XC3000 LUT/CLB mapping"),
+                           ("gates", "two-input-gate synthesis"),
+                           ("verify", "map + formal equivalence check"),
+                           ("compare",
+                            "mulopII vs mulop-dc (one Table 1 row)")):
+        p = sub.add_parser(cmd, help=help_text)
+        p.add_argument("name", nargs="?",
+                       help="benchmark name or generator (adderN, pmN)")
+        p.add_argument("--pla", help="map a PLA file instead")
+        p.add_argument("--blif", help="map a BLIF file instead")
+        p.add_argument("--no-dc", action="store_true",
+                       help="disable don't-care exploitation (mulopII)")
+        if cmd == "map":
+            p.add_argument("--blif-out",
+                           help="write the mapped network as BLIF")
+            p.add_argument("--trace", action="store_true",
+                           help="print the per-step decomposition trace")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "map":
+        return _cmd_map(args)
+    if args.command == "gates":
+        return _cmd_gates(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The public facade of the reproduction library."""
+
+from repro.core.api import (
+    FpgaMappingResult,
+    decompose_to_luts,
+    map_to_xc3000,
+    synthesize_two_input_gates,
+)
+
+__all__ = [
+    "FpgaMappingResult",
+    "decompose_to_luts",
+    "map_to_xc3000",
+    "synthesize_two_input_gates",
+]

@@ -1,0 +1,208 @@
+"""Bound-set selection.
+
+The paper seeds the search with symmetric sifting — symmetric variables
+end up adjacent — and then examines candidate bound sets obtained by
+exchanging groups of symmetric variables.  We reproduce that strategy
+order-free: variables are laid out group-contiguously (largest common
+symmetry group first), candidates are sliding windows of size ``p`` over
+that layout plus group-aligned combinations, and each candidate is scored
+by the quantities the paper minimises:
+
+1. the total number of decomposition functions ``sum_i r_i`` (after
+   sharing it can only shrink, so this is the primary cost);
+2. the joint lower bound ``ceil(log2(ncc_joint))`` (sharing potential);
+3. the joint ``ncc`` itself as a tie breaker.
+
+Only *support-reducing* candidates (``r_total < p``) make the recursion
+shrink; the driver falls back to a Shannon step when none exists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.decomp.compat import classes_for, min_r
+
+
+def candidate_bound_sets(variables: Sequence[int], p: int,
+                         groups: Optional[Sequence[Sequence[int]]] = None,
+                         max_candidates: int = 24) -> List[Tuple[int, ...]]:
+    """Candidate bound sets of size ``p`` (deduplicated, ordered).
+
+    With symmetry groups given, the layout is group-contiguous and whole
+    groups are preferred window anchors; without groups, plain sliding
+    windows over the variable list are used.
+    """
+    variables = list(variables)
+    if p >= len(variables):
+        raise ValueError("bound set must be a strict subset of the support")
+    layout: List[int] = []
+    if groups:
+        order = sorted((g for g in groups if g), key=len, reverse=True)
+        for g in order:
+            layout.extend(v for v in g if v in set(variables))
+        layout.extend(v for v in variables if v not in set(layout))
+    else:
+        layout = variables
+
+    seen = set()
+    candidates: List[Tuple[int, ...]] = []
+
+    def add(cand: Sequence[int]) -> None:
+        key = tuple(sorted(cand))
+        if len(key) == p and key not in seen:
+            seen.add(key)
+            candidates.append(key)
+
+    # Sliding windows over the layout.
+    for start in range(len(layout) - p + 1):
+        add(layout[start:start + p])
+        if len(candidates) >= max_candidates:
+            return candidates
+    # Group-aligned combinations: fill a window with whole groups first.
+    if groups:
+        order = sorted((list(g) for g in groups if g), key=len, reverse=True)
+        for i, g in enumerate(order):
+            cand: List[int] = []
+            for h in order[i:] + order[:i]:
+                for v in h:
+                    if len(cand) < p and v in set(layout):
+                        cand.append(v)
+            if len(cand) == p:
+                add(cand)
+            if len(candidates) >= max_candidates:
+                return candidates
+    # A few stride-2 windows for diversity.
+    for start in range(0, len(layout) - 2 * p + 2, 2):
+        add(layout[start:start + 2 * p:2])
+        if len(candidates) >= max_candidates:
+            break
+    return candidates
+
+
+def score_bound_set(bdd: BDD, outputs: Sequence[ISF],
+                    bound: Sequence[int]) -> Tuple[int, int, int]:
+    """Score tuple (lower is better): ``(sum_i r_i, joint min_r, joint ncc)``."""
+    joint = classes_for(bdd, outputs, bound)
+    total_r = 0
+    for isf in outputs:
+        total_r += classes_for(bdd, [isf], bound).min_r
+    return (total_r, joint.min_r, joint.ncc)
+
+
+def reduction_score(bdd: BDD, outputs: Sequence[ISF],
+                    bound: Sequence[int]) -> Tuple[int, int, int]:
+    """Ranking score (lower is better).
+
+    The first component is the *negated total support reduction*
+    ``-sum_i max(0, |S_i intersect B| - r_i)`` — the number of inputs the
+    step removes across all outputs under the paper's per-output
+    ``r_i = ceil(log2 ncc_i)`` rule; ties break on the joint lower bound
+    (more sharing potential) and the joint ``ncc``.
+    """
+    from repro.decomp.compat import compute_classes, vertex_cofactors
+    vectors = vertex_cofactors(bdd, outputs, bound)
+    bound_set = set(bound)
+    reduction = 0
+    for k, isf in enumerate(outputs):
+        inter = len(isf.support(bdd) & bound_set)
+        if inter == 0:
+            continue
+        column = [[vec[k]] for vec in vectors]
+        r_i = compute_classes(bdd, column, bound).min_r
+        reduction += max(0, inter - r_i)
+    joint = compute_classes(bdd, vectors, bound)
+    return (-reduction, joint.min_r, joint.ncc)
+
+
+def greedy_bound_set(bdd: BDD, outputs: Sequence[ISF],
+                     variables: Sequence[int], p: int,
+                     pool_cap: int = 26) -> Optional[Tuple[int, ...]]:
+    """Grow a bound set greedily by joint ``ncc``.
+
+    Starting from the empty set, each round adds the variable that keeps
+    the joint class count smallest.  This discovers *algebraic* structure
+    plain windows miss — e.g. for parity-dominated circuits (C499-style)
+    it collects variables whose contribution patterns are linearly
+    dependent, where ``ncc`` stays at ``2^rank`` instead of ``2^p``.
+    """
+    variables = list(variables)
+    if p >= len(variables):
+        return None
+    if len(variables) > pool_cap:
+        # Deterministic thinning: keep an evenly spaced subsample.
+        step = len(variables) / pool_cap
+        variables = [variables[int(i * step)] for i in range(pool_cap)]
+    # Wide bundles: grow against a sample of the outputs (structure like
+    # linear dependence shows up in any few outputs; the full bundle is
+    # only consulted by the caller's scoring).
+    if len(outputs) > 8:
+        outputs = list(outputs)[:8]
+    current: List[int] = []
+    for _ in range(p):
+        best_var = None
+        best_key = None
+        for var in variables:
+            if var in current:
+                continue
+            cand = current + [var]
+            joint = classes_for(bdd, outputs, cand)
+            key = (joint.ncc, var)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_var = var
+        if best_var is None:
+            return None
+        current.append(best_var)
+    return tuple(sorted(current))
+
+
+def rank_bound_sets(bdd: BDD, outputs: Sequence[ISF],
+                    variables: Sequence[int], p: int,
+                    groups: Optional[Sequence[Sequence[int]]] = None,
+                    max_candidates: int = 24
+                    ) -> List[Tuple[Tuple[int, ...], Tuple[int, int, int]]]:
+    """Candidates with positive total support reduction, best first.
+
+    Window/group candidates are augmented with one greedily grown
+    candidate (see :func:`greedy_bound_set`).  The driver still verifies
+    the actual per-output reductions after the don't-care steps and moves
+    down the list when a candidate falls short.
+    """
+    candidates = candidate_bound_sets(variables, p, groups, max_candidates)
+    greedy = greedy_bound_set(bdd, outputs, variables, p)
+    if greedy is not None and greedy not in candidates:
+        candidates.insert(0, greedy)
+    ranked = []
+    for cand in candidates:
+        score = reduction_score(bdd, outputs, cand)
+        if score[0] >= 0:
+            continue  # removes nothing
+        ranked.append((cand, score))
+    ranked.sort(key=lambda item: item[1])
+    return ranked
+
+
+def select_bound_set(bdd: BDD, outputs: Sequence[ISF],
+                     variables: Sequence[int], p: int,
+                     groups: Optional[Sequence[Sequence[int]]] = None,
+                     max_candidates: int = 24
+                     ) -> Tuple[Optional[Tuple[int, ...]],
+                                Optional[Tuple[int, int, int]]]:
+    """Pick the best *certainly* support-reducing bound set of size ``p``.
+
+    Returns ``(bound, score)``; ``bound`` is None when no candidate has
+    ``sum_i r_i < p`` — callers wanting to gamble on sharing should use
+    :func:`rank_bound_sets` instead.
+    """
+    best: Optional[Tuple[int, ...]] = None
+    best_score: Optional[Tuple[int, int, int]] = None
+    for cand in candidate_bound_sets(variables, p, groups, max_candidates):
+        score = score_bound_set(bdd, outputs, cand)
+        if score[0] >= p:
+            continue  # not support-reducing
+        if best_score is None or score < best_score:
+            best, best_score = cand, score
+    return best, best_score

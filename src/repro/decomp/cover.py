@@ -1,0 +1,132 @@
+"""Exact minimum clique cover for compatibility graphs.
+
+The paper reduces both the step-2 lower-bound minimisation and the
+Chang/Marek-Sadowska class merging to the minimum clique cover problem.
+:mod:`repro.decomp.compat` ships the fast onset-seeded greedy cover the
+engine uses by default; this module provides an *exact* branch-and-bound
+cover for small instances (the bound-set vertex counts of ``p <= 5``
+give at most 32 vertices, which is usually tractable), so the heuristic
+can be audited and optionally replaced.
+
+A clique here is validity-checked by the *running interval
+intersection*: pairwise compatibility is not sufficient for ISFs, the
+common extension must exist for the whole clique.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.decomp.compat import (
+    Classes,
+    _intersect_vectors,
+    compute_classes,
+    vertex_cofactors,
+)
+
+
+def _dedupe(cofactors: Sequence[Sequence[ISF]]):
+    rep_of: dict = {}
+    unique: List[Tuple[ISF, ...]] = []
+    members: List[List[int]] = []
+    for v, vec in enumerate(cofactors):
+        key = tuple(vec)
+        if key in rep_of:
+            members[rep_of[key]].append(v)
+        else:
+            rep_of[key] = len(unique)
+            unique.append(key)
+            members.append([v])
+    return unique, members
+
+
+def exact_cover(bdd: BDD, cofactors: Sequence[Sequence[ISF]],
+                bound: Sequence[int],
+                node_limit: int = 200000) -> Optional[Classes]:
+    """Minimum clique cover by branch and bound; None if the search
+    exceeds ``node_limit`` B&B nodes (caller should fall back to the
+    greedy cover).
+
+    Vertices are assigned in order; each is placed into every existing
+    clique whose running intersection admits it, or opens a new clique.
+    The greedy cover provides the initial upper bound.
+    """
+    unique, members = _dedupe(cofactors)
+    n = len(unique)
+    greedy = compute_classes(bdd, cofactors, bound)
+    best_count = greedy.ncc
+    best_assign: Optional[List[int]] = None
+
+    budget = [node_limit]
+    assign = [-1] * n
+    cliques: List[List[ISF]] = []  # running intersections
+
+    def branch(v: int) -> None:
+        nonlocal best_count, best_assign
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        if len(cliques) >= best_count:
+            return  # cannot improve
+        if v == n:
+            best_count = len(cliques)
+            best_assign = list(assign)
+            return
+        vec = list(unique[v])
+        for c in range(len(cliques)):
+            merged = _intersect_vectors(bdd, cliques[c], vec)
+            if merged is None:
+                continue
+            saved = cliques[c]
+            cliques[c] = merged
+            assign[v] = c
+            branch(v + 1)
+            cliques[c] = saved
+        # Open a new clique.
+        cliques.append(vec)
+        assign[v] = len(cliques) - 1
+        branch(v + 1)
+        cliques.pop()
+        assign[v] = -1
+
+    branch(0)
+    if budget[0] <= 0 and best_assign is None:
+        return None
+    if best_assign is None:
+        return greedy  # greedy was already optimal
+
+    # Materialise the Classes structure from the best assignment.
+    num_vertices = len(cofactors)
+    num_cliques = max(best_assign) + 1
+    classes: List[List[int]] = [[] for _ in range(num_cliques)]
+    intersections: List[Optional[List[ISF]]] = [None] * num_cliques
+    for i, c in enumerate(best_assign):
+        classes[c].extend(members[i])
+        vec = list(unique[i])
+        if intersections[c] is None:
+            intersections[c] = vec
+        else:
+            intersections[c] = _intersect_vectors(bdd, intersections[c],
+                                                  vec)
+    pairs = sorted(zip(classes, intersections),
+                   key=lambda pair: min(pair[0]))
+    classes = [sorted(m) for m, _ in pairs]
+    merged = [inter for _, inter in pairs]
+    class_of = [0] * num_vertices
+    for c, vertices in enumerate(classes):
+        for v in vertices:
+            class_of[v] = c
+    return Classes(tuple(bound), classes, class_of, merged)
+
+
+def classes_for_exact(bdd: BDD, outputs: Sequence[ISF],
+                      bound: Sequence[int]) -> Classes:
+    """Like :func:`repro.decomp.compat.classes_for` but exact when the
+    branch and bound finishes within its node budget."""
+    cofactors = vertex_cofactors(bdd, outputs, bound)
+    result = exact_cover(bdd, cofactors, bound)
+    if result is None:
+        return compute_classes(bdd, cofactors, bound)
+    return result

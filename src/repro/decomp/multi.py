@@ -1,0 +1,149 @@
+"""Common decomposition functions for multi-output decomposition.
+
+Following Scholl/Molitor (ASP-DAC'97), the search for shared
+decomposition functions is restricted to *strict* functions — functions
+constant on each compatible class of the output that uses them.  Under
+the paper's side condition ``r_i = ceil(log2(ncc_i))`` we minimise the
+size of the union of all outputs' decomposition-function sets with a
+greedy reuse heuristic:
+
+1. outputs are processed in order of decreasing ``ncc`` (the hardest
+   output seeds the pool);
+2. for the current output, already-selected alphas are reused whenever
+   they are strict for it *and* keep the encoding feasible (after
+   accepting an alpha with ``m`` bits still to assign, no group of
+   not-yet-distinguished classes may exceed ``2**m``);
+3. missing distinguishing power is supplied by fresh alphas built from
+   the within-group class indices; fresh alphas are normalised and
+   deduplicated against the pool.
+
+The result is one :class:`~repro.decomp.encoding.OutputEncoding` per
+output over a shared alpha list whose length ``r`` satisfies
+``max_i r_i <= r <= sum_i r_i`` — with equality at the lower end exactly
+when the outputs can share everything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bdd.manager import BDD
+from repro.decomp.compat import Classes, min_r
+from repro.decomp.encoding import AlphaFunction, OutputEncoding, encode_output
+
+
+def _refine_groups(groups: List[List[int]],
+                   class_values: Sequence[int]) -> List[List[int]]:
+    """Split each group of class ids by the alpha's class values."""
+    refined: List[List[int]] = []
+    for group in groups:
+        zeros = [c for c in group if class_values[c] == 0]
+        ones = [c for c in group if class_values[c] == 1]
+        if zeros:
+            refined.append(zeros)
+        if ones:
+            refined.append(ones)
+    return refined
+
+
+def _encode_within_groups(num_vertices: int, classes: Classes,
+                          groups: List[List[int]],
+                          bits: int) -> List[AlphaFunction]:
+    """Fresh alphas giving classes distinct within-group codes.
+
+    Every group has at most ``2**bits`` members, so assigning each class
+    its index within its group (in ``bits`` bits) completes the encoding.
+    """
+    index_of_class: Dict[int, int] = {}
+    for group in groups:
+        for idx, c in enumerate(group):
+            index_of_class[c] = idx
+    alphas = []
+    for j in range(bits):
+        values = [0] * num_vertices
+        for c, members in enumerate(classes.classes):
+            bit = (index_of_class[c] >> (bits - 1 - j)) & 1
+            for v in members:
+                values[v] = bit
+        alphas.append(AlphaFunction.normalised(values))
+    return alphas
+
+
+def select_common_alphas(bdd: BDD, per_output: Sequence[Classes]
+                         ) -> Tuple[List[AlphaFunction],
+                                    List[OutputEncoding]]:
+    """Choose a shared alpha pool and per-output encodings.
+
+    ``per_output[i]`` holds the (final, post-DC-assignment) compatible
+    classes of output ``i``.  Returns the pool and one encoding per
+    output, in the original output order.
+    """
+    if not per_output:
+        return [], []
+    num_vertices = len(per_output[0].class_of)
+    pool: List[AlphaFunction] = []
+    encodings: List[OutputEncoding] = [None] * len(per_output)  # type: ignore
+
+    order = sorted(range(len(per_output)),
+                   key=lambda i: (-per_output[i].ncc, i))
+    for i in order:
+        classes = per_output[i]
+        r_i = min_r(classes.ncc)
+        chosen: List[int] = []
+        groups: List[List[int]] = [list(range(classes.ncc))]
+        # Reuse pass over the existing pool (earliest first — those are
+        # the most shared).
+        for idx, alpha in enumerate(pool):
+            if len(chosen) == r_i:
+                break
+            if max(len(g) for g in groups) == 1:
+                break
+            if not alpha.is_strict_for(classes):
+                continue
+            refined = _refine_groups(groups, alpha.class_values(classes))
+            remaining = r_i - len(chosen) - 1
+            if max(len(g) for g in refined) > (1 << remaining):
+                continue
+            if len(refined) == len(groups):
+                continue  # no distinguishing power gained
+            chosen.append(idx)
+            groups = refined
+        # Fresh alphas for what is still ambiguous.  Only as many bits as
+        # the largest ambiguous group actually needs (always <= r_i -
+        # len(chosen) thanks to the feasibility invariant above).
+        max_group = max(len(g) for g in groups)
+        if max_group > 1:
+            bits = min_r(max_group)
+            fresh = _encode_within_groups(num_vertices, classes, groups,
+                                          bits)
+            for alpha in fresh:
+                try:
+                    existing = pool.index(alpha)
+                except ValueError:
+                    pool.append(alpha)
+                    existing = len(pool) - 1
+                if existing not in chosen:
+                    chosen.append(existing)
+        try:
+            encodings[i] = encode_output(classes, pool, chosen)
+        except ValueError:
+            # Extremely defensive fallback: a dedup collision made the
+            # encoding non-injective.  Use a private plain binary encoding
+            # of the class index for this output (no sharing).
+            bits = min_r(classes.ncc)
+            private = _encode_within_groups(
+                num_vertices, classes, [list(range(classes.ncc))], bits)
+            chosen = []
+            for alpha in private:
+                pool.append(alpha)
+                chosen.append(len(pool) - 1)
+            encodings[i] = encode_output(classes, pool, chosen)
+    return pool, encodings
+
+
+def total_alpha_count(encodings: Sequence[OutputEncoding]) -> int:
+    """Size of the union of all outputs' decomposition-function sets."""
+    used = set()
+    for enc in encodings:
+        used.update(enc.alpha_indices)
+    return len(used)

@@ -1,0 +1,612 @@
+"""The recursive multi-output decomposition drivers.
+
+:class:`DecompositionEngine` implements both algorithms compared in the
+paper's Table 1:
+
+* ``mulopII`` — no don't-care exploitation: at every recursion level each
+  output is completed by assigning all don't cares to 0 (the paper's
+  footnote), then decomposed with common decomposition functions;
+* ``mulop-dc`` — the paper's contribution: the three-step don't-care
+  assignment (symmetry, sharing, single-output) runs before the classes
+  are encoded.
+
+A decomposition step w.r.t. a bound set ``B`` (``|B| = p <= n_LUT``)
+replaces each decomposable output by its composition function over the
+shared decomposition functions ``alpha`` (realised as ``p``-input LUTs)
+and the free variables.  Following the paper, every output uses the
+*minimum* number of decomposition functions
+``r_i = ceil(log2 ncc_i)``; an output joins the step only when that
+strictly shrinks its support (``r_i < |S_i intersect B|``) — other
+outputs ride along unchanged and are reconsidered at the next level.
+The union of all alphas is minimised by the common-function selection.
+When no candidate bound set helps any output, a Shannon step (3-input
+MUX) guarantees termination.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF, MultiFunction
+from repro.decomp.bound_set import rank_bound_sets
+from repro.decomp.compat import classes_for
+from repro.decomp.dontcare import (
+    assign_step1_symmetry,
+    assign_step2_sharing,
+    assign_step3_single,
+)
+from repro.decomp.encoding import build_composition_for_output
+from repro.decomp.multi import select_common_alphas
+from repro.mapping.lutnet import CONST0, CONST1, LutNetwork
+from repro.symmetry.isf_symmetry import strongly_symmetric
+
+
+@dataclass
+class StepRecord:
+    """One accepted decomposition step, for tracing/reporting."""
+
+    depth: int
+    bound: Tuple[int, ...]
+    num_outputs: int
+    included: int
+    alphas_used: int
+    sum_r: int
+    joint_min_r: int
+
+
+@dataclass
+class DecompositionStats:
+    """Counters collected across one driver run."""
+
+    decomposition_steps: int = 0
+    shannon_steps: int = 0
+    alphas_created: int = 0
+    alphas_shared: int = 0          # sum over steps of (sum r_i - r_union)
+    joint_lower_bounds: List[int] = field(default_factory=list)
+    max_recursion_depth: int = 0
+    #: True when the wall-clock budget expired and part of the network
+    #: came from the fast BDD/MUX fallback.
+    budget_exhausted: bool = False
+    #: Per-step trace (bound set, sharing, ...), in acceptance order.
+    steps: List[StepRecord] = field(default_factory=list)
+
+    def report(self) -> str:
+        """Multi-line human-readable trace of the run."""
+        lines = [
+            f"decomposition steps : {self.decomposition_steps}",
+            f"Shannon fallbacks   : {self.shannon_steps}",
+            f"alphas created      : {self.alphas_created}"
+            f" (sharing saved {self.alphas_shared})",
+            f"max recursion depth : {self.max_recursion_depth}",
+        ]
+        if self.budget_exhausted:
+            lines.append("budget exhausted    : yes (MUX fallback used)")
+        for i, s in enumerate(self.steps):
+            lines.append(
+                f"  step {i:3d} depth={s.depth} bound={s.bound} "
+                f"outputs={s.included}/{s.num_outputs} "
+                f"alphas={s.alphas_used} (sum r_i={s.sum_r}, "
+                f"joint bound={s.joint_min_r})")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Step:
+    """An accepted decomposition step."""
+
+    bound: Tuple[int, ...]
+    pool: list
+    encodings: list
+    included: Set[int]
+    joint_min_r: int
+    gain: int = 0
+
+
+class DecompositionEngine:
+    """Configurable recursive decomposer.
+
+    Parameters
+    ----------
+    n_lut:
+        LUT input count of the target architecture (5 for XC3000).
+    use_dontcares:
+        ``False`` reproduces ``mulopII`` (don't cares -> 0 each level);
+        ``True`` enables the three-step assignment (``mulop-dc``).
+    use_symmetry_step / use_sharing_step / use_single_step:
+        Individual toggles for the three steps (for the ablation bench).
+    max_candidates / try_candidates:
+        Width of the bound-set search and how many ranked candidates may
+        be fully evaluated per step.
+    balanced:
+        Use balanced bound sets (``p ~ |support| / 2``, capped at
+        ``balanced_max_p``) in the style of the communication-based
+        multilevel synthesis the paper builds on [11, 21]; decomposition
+        functions wider than ``n_lut`` are decomposed recursively as a
+        multi-output bundle.  This is the mode behind the paper's
+        two-input-gate results (Figures 2 and 3).
+    time_budget:
+        Optional wall-clock budget in seconds.  When exceeded, the
+        remaining work is finished with a fast BDD/MUX mapping instead
+        of the full search (quality degrades gracefully, runtime stays
+        bounded — an engineering concession of the pure-Python
+        reproduction; the 1997 C implementation needed no such budget).
+    node_budget:
+        Optional cap on the BDD manager's node count with the same
+        fallback — bounds memory the way ``time_budget`` bounds time.
+    """
+
+    def __init__(self, n_lut: int = 5, use_dontcares: bool = True,
+                 use_symmetry_step: bool = True,
+                 use_sharing_step: bool = True,
+                 use_single_step: bool = True,
+                 max_candidates: int = 24,
+                 try_candidates: int = 6,
+                 balanced: bool = False,
+                 balanced_max_p: int = 8,
+                 time_budget: Optional[float] = None,
+                 node_budget: Optional[int] = None) -> None:
+        if n_lut < 2:
+            raise ValueError("n_lut must be at least 2")
+        self.n_lut = n_lut
+        self.use_dontcares = use_dontcares
+        self.use_symmetry_step = use_symmetry_step and use_dontcares
+        self.use_sharing_step = use_sharing_step and use_dontcares
+        self.use_single_step = use_single_step and use_dontcares
+        self.max_candidates = max_candidates
+        self.try_candidates = try_candidates
+        self.balanced = balanced
+        self.balanced_max_p = balanced_max_p
+        self.time_budget = time_budget
+        self.node_budget = node_budget
+        self.stats = DecompositionStats()
+        self._last_rank_empty = False
+        self._deadline: Optional[float] = None
+        self._mux_memo: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, func: MultiFunction) -> LutNetwork:
+        """Decompose ``func`` into a LUT network with ``n_lut``-input LUTs."""
+        self.stats = DecompositionStats()
+        self._mux_memo = {}
+        self._deadline = (time.monotonic() + self.time_budget
+                          if self.time_budget is not None else None)
+        net = LutNetwork()
+        signal_of: Dict[int, str] = {}
+        for var, name in zip(func.inputs, func.input_names):
+            net.add_input(name)
+            signal_of[var] = name
+        named = list(zip(func.output_names, func.outputs))
+        signals = self._decompose(func.bdd, named, net, signal_of, depth=0)
+        for name, _ in named:
+            net.set_output(name, signals[name])
+        return net
+
+    # ------------------------------------------------------------------
+
+    def _choose_extension(self, bdd: BDD, isf: ISF) -> int:
+        """Completion heuristic for a leaf LUT: the smaller interval end."""
+        if isf.is_complete():
+            return isf.lo
+        if bdd.node_count(isf.hi) < bdd.node_count(isf.lo):
+            return isf.hi
+        return isf.lo
+
+    def _emit_leaf(self, bdd: BDD, isf: ISF, net: LutNetwork,
+                   signal_of: Dict[int, str]) -> str:
+        """Realise a function whose support fits one LUT."""
+        f = self._choose_extension(bdd, isf)
+        support = sorted(bdd.support(f))
+        if not support:
+            return CONST1 if f == BDD.TRUE else CONST0
+        table = bdd.to_truth_table(f, support)
+        return net.add_lut([signal_of[v] for v in support], table)
+
+    def _decompose(self, bdd: BDD, named: List[Tuple[str, ISF]],
+                   net: LutNetwork, signal_of: Dict[int, str],
+                   depth: int, search_cooldown: int = 0) -> Dict[str, str]:
+        """Main worker: iterates decomposition levels on one bundle.
+
+        ``search_cooldown`` skips the (expensive) bound-set search for
+        that many levels — used right after a Shannon step whose level
+        found no candidates at all, since removing one variable rarely
+        creates new ones.
+        """
+        signals: Dict[str, str] = {}
+        pending = list(named)
+        while pending:
+            self.stats.max_recursion_depth = max(
+                self.stats.max_recursion_depth, depth)
+            # The computed table is pure memoisation — cap its memory.
+            if len(bdd._cache) > 2_000_000:
+                bdd.clear_cache()
+            still: List[Tuple[str, ISF]] = []
+            for name, isf in pending:
+                if self.use_dontcares and not isf.is_complete():
+                    # Don't-care based support minimisation: an ISF often
+                    # admits an extension independent of some variables.
+                    # Crucial for composition functions, whose unused-code
+                    # upper bound otherwise inflates the measured support.
+                    isf = isf.reduce_support(bdd)
+                if len(isf.support(bdd)) <= self.n_lut:
+                    signals[name] = self._emit_leaf(bdd, isf, net,
+                                                    signal_of)
+                else:
+                    still.append((name, isf))
+            pending = still
+            if not pending:
+                break
+
+            # Split support-disjoint outputs: a shared bound set cannot
+            # help them and the split keeps search spaces small.
+            components = self._components(bdd, pending)
+            if len(components) > 1:
+                for component in components:
+                    signals.update(self._decompose(
+                        bdd, component, net, signal_of, depth + 1))
+                return signals
+
+            over_time = (self._deadline is not None
+                         and time.monotonic() > self._deadline)
+            over_nodes = (self.node_budget is not None
+                          and len(bdd) > self.node_budget)
+            if over_time or over_nodes:
+                self.stats.budget_exhausted = True
+                for name, isf in pending:
+                    f = self._choose_extension(bdd, isf)
+                    signals[name] = self._mux_map(bdd, f, net, signal_of)
+                return signals
+
+            outputs = [isf for _, isf in pending]
+            if not self.use_dontcares:
+                outputs = [ISF.complete(o.lo) for o in outputs]
+
+            if search_cooldown > 0:
+                signals.update(self._shannon_step(
+                    bdd, pending, outputs, net, signal_of, depth,
+                    cooldown=search_cooldown - 1))
+                return signals
+
+            support = set()
+            for isf in outputs:
+                support |= isf.support(bdd)
+            support = sorted(support)
+
+            # Step 1 (or plain detection in no-DC mode) + symmetry groups.
+            # The symmetry-maximising assignment is speculative: it only
+            # replaces the raw outputs when the resulting decomposition
+            # step is at least as good (on irregular logic the committed
+            # don't cares can cost more than the symmetry buys).
+            outputs_sym = None
+            groups_sym = None
+            groups = self._common_groups(bdd, outputs, support)
+            if self.use_symmetry_step:
+                outputs_sym, groups_sym = assign_step1_symmetry(
+                    bdd, outputs, support)
+                if all(len(g) <= 1 for g in groups_sym):
+                    outputs_sym = None  # nothing was symmetrised
+
+            if self.balanced:
+                p = min(max(2, len(support) // 2), self.balanced_max_p,
+                        len(support) - 1)
+            else:
+                p = min(self.n_lut, len(support) - 1)
+            step = None
+            if p >= 2:
+                step = self._find_step(bdd, outputs, support, p, groups)
+                if outputs_sym is not None:
+                    step_sym = self._find_step(bdd, outputs_sym, support,
+                                               p, groups_sym)
+                    # Adopt the symmetrised outputs only when the step is
+                    # strictly better AND its bound set actually swallows
+                    # a whole symmetry group — the paper's precondition
+                    # for the assignment to survive the later steps.
+                    if step_sym is not None and (
+                            step is None
+                            or step_sym.gain > step.gain):
+                        bound_set = set(step_sym.bound)
+                        aligned = any(
+                            len(g) >= 2 and set(g) <= bound_set
+                            for g in groups_sym)
+                        if aligned or step is None:
+                            step = step_sym
+                            outputs = outputs_sym
+            if step is None and self.balanced:
+                p2 = min(self.n_lut, len(support) - 1)
+                if p2 >= 2 and p2 != p:
+                    step = self._find_step(bdd, outputs, support, p2,
+                                           groups)
+            if step is None:
+                # When the ranking produced no candidate at all, removing
+                # a single variable is unlikely to create one — give the
+                # Shannon children a two-level search cooldown.
+                cooldown = 2 if self._last_rank_empty else 0
+                signals.update(self._shannon_step(
+                    bdd, pending, outputs, net, signal_of, depth,
+                    cooldown=cooldown))
+                return signals
+
+            self.stats.decomposition_steps += 1
+            self.stats.joint_lower_bounds.append(step.joint_min_r)
+            used = sorted({i for k in step.included
+                           for i in step.encodings[k].alpha_indices})
+            sum_r = sum(step.encodings[k].r for k in step.included)
+            self.stats.alphas_created += len(used)
+            self.stats.alphas_shared += sum_r - len(used)
+            self.stats.steps.append(StepRecord(
+                depth=depth, bound=step.bound,
+                num_outputs=len(pending), included=len(step.included),
+                alphas_used=len(used), sum_r=sum_r,
+                joint_min_r=step.joint_min_r))
+
+            alpha_vars = self._realise_alphas(bdd, step, used, net,
+                                              signal_of, depth)
+
+            next_pending: List[Tuple[str, ISF]] = []
+            for idx, (name, original) in enumerate(pending):
+                if idx in step.included:
+                    g_isf = build_composition_for_output(
+                        bdd, step.encodings[idx], output_index=0,
+                        alpha_vars=alpha_vars)
+                    next_pending.append((name, g_isf))
+                else:
+                    next_pending.append((name, original))
+            pending = next_pending
+            depth += 1
+        return signals
+
+    def _realise_alphas(self, bdd: BDD, step: _Step, used: Sequence[int],
+                        net: LutNetwork, signal_of: Dict[int, str],
+                        depth: int) -> Dict[int, int]:
+        """LUTs (or a recursive bundle) for the used alphas; returns the
+        alpha-index -> fresh-BDD-variable map."""
+        bound_signals = [signal_of[v] for v in step.bound]
+        if len(step.bound) <= self.n_lut:
+            alpha_signals = {
+                i: net.add_lut(bound_signals,
+                               list(step.pool[i].values), name_hint="a")
+                for i in used}
+        else:
+            alpha_named = []
+            for i in used:
+                alpha_bdd = bdd.from_truth_table(
+                    list(step.pool[i].values), list(step.bound))
+                alpha_named.append(
+                    (f"_a{depth}_{self.stats.decomposition_steps}_{i}",
+                     ISF.complete(alpha_bdd)))
+            sub_signals = self._decompose(bdd, alpha_named, net,
+                                          signal_of, depth + 1)
+            alpha_signals = {i: sub_signals[name]
+                             for (name, _), i in zip(alpha_named, used)}
+        alpha_vars: Dict[int, int] = {}
+        for i in used:
+            var = bdd.add_var(f"_alpha{len(signal_of)}_{depth}_{i}")
+            alpha_vars[i] = var
+            signal_of[var] = alpha_signals[i]
+        return alpha_vars
+
+    # ------------------------------------------------------------------
+
+    def _components(self, bdd: BDD,
+                    pending: List[Tuple[str, ISF]]
+                    ) -> List[List[Tuple[str, ISF]]]:
+        """Group outputs into support-connected components."""
+        supports = [isf.support(bdd) for _, isf in pending]
+        parent = list(range(len(pending)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        var_owner: Dict[int, int] = {}
+        for i, support in enumerate(supports):
+            for var in support:
+                if var in var_owner:
+                    ra, rb = find(var_owner[var]), find(i)
+                    if ra != rb:
+                        parent[rb] = ra
+                else:
+                    var_owner[var] = i
+        groups: Dict[int, List[Tuple[str, ISF]]] = {}
+        for i, item in enumerate(pending):
+            groups.setdefault(find(i), []).append(item)
+        return list(groups.values())
+
+    def _common_groups(self, bdd: BDD, outputs: Sequence[ISF],
+                       support: Sequence[int],
+                       max_checks: int = 1500) -> List[List[int]]:
+        """Strong symmetry groups common to all outputs (no assignment).
+
+        Budgeted: each pair check costs one cofactor comparison per
+        output, so wide bundles stop early (remaining variables become
+        singleton groups — a heuristic degradation only).
+        """
+        merged: List[List[int]] = []
+        checks = 0
+        for var in support:
+            placed = False
+            if checks < max_checks:
+                for group in merged:
+                    rep = group[0]
+                    checks += 1
+                    if checks >= max_checks:
+                        break
+                    if all(strongly_symmetric(bdd, isf, rep, var)
+                           for isf in outputs):
+                        group.append(var)
+                        placed = True
+                        break
+            if not placed:
+                merged.append([var])
+        return merged
+
+    def _find_step(self, bdd: BDD, outputs: List[ISF],
+                   support: Sequence[int], p: int,
+                   groups: Sequence[Sequence[int]]) -> Optional[_Step]:
+        """Evaluate ranked bound-set candidates with the full don't-care
+        pipeline; return the step with the largest actual support
+        reduction (None when nothing shrinks any output)."""
+        # Wide bundles get a narrower (cheaper) search.
+        weight = len(support) * max(1, len(outputs))
+        max_candidates = self.max_candidates
+        try_candidates = self.try_candidates
+        if weight > 400:
+            max_candidates = min(max_candidates, 12)
+            try_candidates = min(try_candidates, 3)
+        if weight > 1200:
+            max_candidates = min(max_candidates, 8)
+            try_candidates = min(try_candidates, 2)
+        # Rank AND choose candidates on the 0-completed view in BOTH
+        # modes so the search trajectories of mulopII and mulop-dc stay
+        # aligned; the don't-care machinery then refines the chosen
+        # bound.  With the onset-seeded class covers, the DC evaluation
+        # of the same bound is never worse than the completed one, so
+        # alignment makes mulop-dc dominate step-wise.
+        ranking_view = [ISF.complete(o.lo) if not o.is_complete() else o
+                        for o in outputs]
+        ranked = rank_bound_sets(bdd, ranking_view, support, p, groups,
+                                 max_candidates)
+        self._last_rank_empty = not ranked
+        best: Optional[_Step] = None
+        best_gain = 0
+        for bound, _ in ranked[:try_candidates]:
+            step = self._evaluate_candidate(bdd, ranking_view, bound)
+            if step is not None and (best is None
+                                     or step.gain > best_gain):
+                best = step
+                best_gain = step.gain
+        if best is None:
+            return None
+        if any(not o.is_complete() for o in outputs):
+            # Refine the chosen bound with the true (incompletely
+            # specified) outputs: per-output r can only shrink thanks to
+            # the onset-seeded covers, so the refinement is adopted
+            # whenever it exists.
+            refined = self._evaluate_candidate(bdd, outputs, best.bound)
+            if refined is not None:
+                return refined
+        return best
+
+    def _evaluate_candidate(self, bdd: BDD, outputs: Sequence[ISF],
+                            bound: Sequence[int]) -> Optional[_Step]:
+        """Full pipeline (DC steps 2/3 + common alphas) for one bound."""
+        work = list(outputs)
+        joint_min_r = None
+        if self.use_sharing_step:
+            work, joint = assign_step2_sharing(bdd, work, bound)
+            joint_min_r = joint.min_r
+        if self.use_single_step:
+            work, per_output = assign_step3_single(bdd, work, bound)
+        else:
+            per_output = [classes_for(bdd, [isf], bound)
+                          for isf in work]
+        if joint_min_r is None:
+            joint_min_r = classes_for(bdd, work, bound).min_r
+        pool, encodings = select_common_alphas(bdd, per_output)
+        bound_set = set(bound)
+        included: Set[int] = set()
+        gain = 0
+        for i, (isf, enc) in enumerate(zip(outputs, encodings)):
+            inter = len(isf.support(bdd) & bound_set)
+            if inter and enc.r < inter:
+                included.add(i)
+                gain += inter - enc.r
+        if not included:
+            return None
+        # Charge the (shared) alpha cost against the gain so a step
+        # helping one output with one brand-new alpha does not beat a
+        # step helping many outputs with shared alphas.
+        used = {i for k in included for i in encodings[k].alpha_indices}
+        gain -= len(used) // 2
+        return _Step(tuple(bound), pool, encodings, included,
+                     joint_min_r, gain)
+
+    # ------------------------------------------------------------------
+
+    def _mux_map(self, bdd: BDD, f: int, net: LutNetwork,
+                 signal_of: Dict[int, str]) -> str:
+        """Fast fallback mapping after the time budget: walk the BDD,
+        emit 5-feasible sub-functions as leaf LUTs and MUXes above
+        (memoised per node, so sharing follows the BDD structure)."""
+        if f == BDD.FALSE:
+            return CONST0
+        if f == BDD.TRUE:
+            return CONST1
+        cached = self._mux_memo.get(f)
+        if cached is not None:
+            return cached
+        support = sorted(bdd.support(f))
+        if len(support) <= self.n_lut:
+            table = bdd.to_truth_table(f, support)
+            signal = net.add_lut([signal_of[v] for v in support], table)
+        else:
+            var = bdd.var_of(f)
+            lo = self._mux_map(bdd, bdd.low(f), net, signal_of)
+            hi = self._mux_map(bdd, bdd.high(f), net, signal_of)
+            signal = self._mux(net, signal_of[var], hi, lo)
+        self._mux_memo[f] = signal
+        return signal
+
+    def _mux(self, net: LutNetwork, sel: str, hi: str, lo: str) -> str:
+        """A 2:1 MUX: one 3-input LUT, or three 2-input LUTs for n_lut=2."""
+        if self.n_lut >= 3:
+            # Inputs (sel, hi, lo): sel ? hi : lo.
+            table = [0, 1, 0, 1, 0, 0, 1, 1]
+            return net.add_lut([sel, hi, lo], table, name_hint="mux")
+        t1 = net.add_lut([sel, hi], [0, 0, 0, 1], name_hint="and")
+        t2 = net.add_lut([sel, lo], [0, 1, 0, 0], name_hint="andn")
+        return net.add_lut([t1, t2], [0, 1, 1, 1], name_hint="or")
+
+    def _shannon_step(self, bdd: BDD, pending: List[Tuple[str, ISF]],
+                      outputs: List[ISF], net: LutNetwork,
+                      signal_of: Dict[int, str],
+                      depth: int, cooldown: int = 0) -> Dict[str, str]:
+        """Fallback: cofactor every output w.r.t. the most shared variable
+        and recombine with MUXes.  Always support-reducing."""
+        self.stats.shannon_steps += 1
+        counts: Dict[int, int] = {}
+        for isf in outputs:
+            for var in isf.support(bdd):
+                counts[var] = counts.get(var, 0) + 1
+        split = max(sorted(counts), key=lambda v: counts[v])
+
+        lo_named: List[Tuple[str, ISF]] = []
+        hi_named: List[Tuple[str, ISF]] = []
+        passthrough: List[Tuple[str, ISF]] = []
+        for (name, _), isf in zip(pending, outputs):
+            if split in isf.support(bdd):
+                lo_named.append((name, isf.restrict(bdd, split, 0)))
+                hi_named.append((name, isf.restrict(bdd, split, 1)))
+            else:
+                passthrough.append((name, isf))
+
+        signals: Dict[str, str] = {}
+        lo_signals = self._decompose(
+            bdd, lo_named + passthrough, net, signal_of, depth + 1,
+            search_cooldown=cooldown)
+        hi_signals = self._decompose(bdd, hi_named, net, signal_of,
+                                     depth + 1, search_cooldown=cooldown)
+        for name, _ in passthrough:
+            signals[name] = lo_signals[name]
+        for name, _ in lo_named:
+            signals[name] = self._mux(net, signal_of[split],
+                                      hi_signals[name], lo_signals[name])
+        return signals
+
+
+def decompose(func: MultiFunction, n_lut: int = 5,
+              use_dontcares: bool = True,
+              **engine_kwargs) -> LutNetwork:
+    """One-call decomposition of a :class:`MultiFunction` to LUTs.
+
+    ``use_dontcares=False`` gives the ``mulopII`` baseline; the default
+    is the paper's ``mulop-dc``.
+    """
+    engine = DecompositionEngine(n_lut=n_lut, use_dontcares=use_dontcares,
+                                 **engine_kwargs)
+    return engine.run(func)

@@ -1,0 +1,107 @@
+"""Single-output decomposition — the textbook one-step API.
+
+Thin convenience layer over the class/encoding machinery for users who
+want one Ashenhurst/Curtis/Roth-Karp step on one function rather than
+the full recursive multi-output flow:
+
+>>> from repro.bdd.manager import BDD
+>>> from repro.decomp.single import decompose_single
+>>> bdd = BDD(5)
+>>> maj = bdd.from_truth_table(
+...     [1 if bin(k).count('1') >= 2 else 0 for k in range(8)], [0, 1, 2])
+>>> f = bdd.apply_xor(maj, bdd.apply_and(bdd.var(3), bdd.var(4)))
+>>> step = decompose_single(bdd, f, [0, 1, 2])
+>>> step.r
+1
+>>> step.verify(f)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.decomp.compat import Classes, classes_for
+from repro.decomp.encoding import (
+    AlphaFunction,
+    build_composition_for_output,
+)
+from repro.decomp.multi import select_common_alphas
+
+
+@dataclass
+class SingleDecomposition:
+    """Result of one decomposition step of a single-output function.
+
+    ``alphas[i]`` is a BDD over the bound variables; ``g`` is an ISF
+    over the fresh alpha variables (``alpha_vars``) and the free
+    variables, with unused codes as don't cares.
+    """
+
+    bdd: BDD
+    bound: Tuple[int, ...]
+    classes: Classes
+    alphas: List[int]
+    alpha_functions: List[AlphaFunction]
+    alpha_vars: List[int]
+    g: ISF
+
+    @property
+    def ncc(self) -> int:
+        """Number of compatible classes."""
+        return self.classes.ncc
+
+    @property
+    def r(self) -> int:
+        """Number of decomposition functions."""
+        return len(self.alphas)
+
+    def is_nontrivial(self) -> bool:
+        """Does the step reduce communication (``r < p``)?"""
+        return self.r < len(self.bound)
+
+    def recompose(self, g_extension: Optional[int] = None) -> int:
+        """Substitute the alphas back into (an extension of) ``g``.
+
+        Returns a completely specified function equal to an extension of
+        the original ``f``; with the default ``g_extension`` the lower
+        interval end of ``g`` is used.
+        """
+        g = g_extension if g_extension is not None else self.g.lo
+        substitution = {var: alpha
+                        for var, alpha in zip(self.alpha_vars,
+                                              self.alphas)}
+        return self.bdd.vector_compose(g, substitution)
+
+    def verify(self, f: int) -> bool:
+        """Check ``f == g(alpha(xB), xF)`` (exact, canonical)."""
+        return self.recompose() == f
+
+
+def decompose_single(bdd: BDD, f: int,
+                     bound: Sequence[int]) -> SingleDecomposition:
+    """One decomposition step of a completely specified function.
+
+    Raises ``ValueError`` when the bound set is not a strict subset of
+    the support (no free variables would remain).
+    """
+    support = bdd.support(f)
+    if not set(bound) & support:
+        raise ValueError("bound set does not intersect the support")
+    if not support - set(bound):
+        raise ValueError("bound set must leave free variables")
+    isf = ISF.complete(f)
+    classes = classes_for(bdd, [isf], bound)
+    pool, encodings = select_common_alphas(bdd, [classes])
+    enc = encodings[0]
+    alpha_functions = [pool[i] for i in enc.alpha_indices]
+    alpha_vars = [bdd.add_var() for _ in enc.alpha_indices]
+    alpha_bdds = [a.to_bdd(bdd, list(bound)) for a in alpha_functions]
+    g = build_composition_for_output(
+        bdd, enc, output_index=0,
+        alpha_vars=dict(zip(enc.alpha_indices, alpha_vars)))
+    return SingleDecomposition(bdd, tuple(bound), classes, alpha_bdds,
+                               alpha_functions, alpha_vars, g)

@@ -1,0 +1,190 @@
+"""Baseline technology mappers for the Table 2 comparison.
+
+The paper compares ``mulop-dcII`` against FGMap, mis-pga(new) and IMODEC
+— closed or long-gone tools.  We substitute two honest, self-contained
+baselines (documented in DESIGN.md):
+
+* :func:`mux_tree_map` — a BDD-driven Shannon/MUX mapper: the function's
+  BDD is walked top-down; sub-functions whose support fits one LUT become
+  leaf LUTs, everything above is 2:1 MUX LUTs.  Node-level memoisation
+  gives DAG sharing.  This approximates the early BDD-based LUT mappers.
+* :func:`structural_cut_map` — a structural mapper in the mis-pga
+  tradition: the function is first expanded into a two-input-gate network
+  (one MUX per BDD node), then covered with k-feasible cuts by a greedy
+  level-oriented pass.
+
+Additionally the paper's published CLB counts for the three external
+tools are shipped as reference constants in
+:mod:`repro.bench.paper_tables` so the Table 2 harness can print the
+original columns next to ours.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import MultiFunction
+from repro.mapping.lutnet import CONST0, CONST1, LutNetwork
+
+
+def mux_tree_map(func: MultiFunction, n_lut: int = 5) -> LutNetwork:
+    """Shannon/MUX-tree mapping of each output's BDD.
+
+    Don't cares are completed to 0 (baselines have no DC machinery).
+    """
+    bdd = func.bdd
+    net = LutNetwork()
+    signal_of: Dict[int, str] = {}
+    for var, name in zip(func.inputs, func.input_names):
+        net.add_input(name)
+        signal_of[var] = name
+    memo: Dict[int, str] = {}
+
+    def map_node(f: int) -> str:
+        if f == BDD.FALSE:
+            return CONST0
+        if f == BDD.TRUE:
+            return CONST1
+        cached = memo.get(f)
+        if cached is not None:
+            return cached
+        support = sorted(bdd.support(f))
+        if len(support) <= n_lut:
+            table = bdd.to_truth_table(f, support)
+            signal = net.add_lut([signal_of[v] for v in support], table)
+        else:
+            var = bdd.var_of(f)
+            lo = map_node(bdd.low(f))
+            hi = map_node(bdd.high(f))
+            # Inputs (sel, hi, lo): sel ? hi : lo.
+            signal = net.add_lut([signal_of[var], hi, lo],
+                                 [0, 1, 0, 1, 0, 0, 1, 1],
+                                 name_hint="mux")
+        memo[f] = signal
+        return signal
+
+    for name, isf in zip(func.output_names, func.outputs):
+        net.set_output(name, map_node(isf.lo))
+    return net
+
+
+# ----------------------------------------------------------------------
+# Structural cut mapping
+# ----------------------------------------------------------------------
+
+_MUX_TABLE = [0, 1, 0, 1, 0, 0, 1, 1]  # (sel, hi, lo)
+
+
+def _gate_network_from_bdds(func: MultiFunction) -> Tuple[
+        List[Tuple[str, str, str, str]], Dict[str, str], List[str]]:
+    """Expand each output BDD into MUX3 'gates'.
+
+    Returns (gates, outputs, inputs): gates are
+    ``(name, sel_signal, hi_signal, lo_signal)`` in topological order.
+    """
+    bdd = func.bdd
+    gates: List[Tuple[str, str, str, str]] = []
+    memo: Dict[int, str] = {}
+
+    def walk(f: int) -> str:
+        if f == BDD.FALSE:
+            return CONST0
+        if f == BDD.TRUE:
+            return CONST1
+        cached = memo.get(f)
+        if cached is not None:
+            return cached
+        var = bdd.var_of(f)
+        lo = walk(bdd.low(f))
+        hi = walk(bdd.high(f))
+        name = f"m{len(gates)}"
+        sel = func.input_names[func.inputs.index(var)]
+        gates.append((name, sel, hi, lo))
+        memo[f] = name
+        return name
+
+    outputs = {name: walk(isf.lo)
+               for name, isf in zip(func.output_names, func.outputs)}
+    return gates, outputs, list(func.input_names)
+
+
+def structural_cut_map(func: MultiFunction, n_lut: int = 5) -> LutNetwork:
+    """Greedy k-feasible-cut covering of the BDD-MUX gate network."""
+    gates, outputs, inputs = _gate_network_from_bdds(func)
+    is_gate = {g[0] for g in gates}
+    fanins: Dict[str, List[str]] = {
+        name: [sel, hi, lo] for name, sel, hi, lo in gates}
+
+    # Greedy cut computation in topological order: a gate's cut is the
+    # union of its fanins' cuts if that stays k-feasible, otherwise the
+    # fanin signals themselves.
+    cut: Dict[str, Set[str]] = {}
+
+    def leaf_cut(signal: str) -> Set[str]:
+        if signal in is_gate:
+            return cut[signal]
+        return {signal} if signal not in (CONST0, CONST1) else set()
+
+    for name, sel, hi, lo in gates:
+        merged: Set[str] = set()
+        for s in (sel, hi, lo):
+            merged |= leaf_cut(s)
+        if len(merged) <= n_lut:
+            cut[name] = merged
+        else:
+            cut[name] = {s for s in (sel, hi, lo)
+                         if s not in (CONST0, CONST1)}
+
+    # Cover from the outputs.
+    net = LutNetwork()
+    for name in inputs:
+        net.add_input(name)
+    mapped: Dict[str, str] = {name: name for name in inputs}
+    mapped[CONST0] = CONST0
+    mapped[CONST1] = CONST1
+
+    def simulate_words(signal: str, words: Dict[str, int], width: int,
+                       memo: Dict[str, int]) -> int:
+        """Bit-parallel cone simulation: one pattern per bit."""
+        mask = (1 << width) - 1
+        if signal in words:
+            return words[signal]
+        if signal == CONST0:
+            return 0
+        if signal == CONST1:
+            return mask
+        if signal in memo:
+            return memo[signal]
+        sel, hi, lo = fanins[signal]
+        s = simulate_words(sel, words, width, memo)
+        h = simulate_words(hi, words, width, memo)
+        low = simulate_words(lo, words, width, memo)
+        value = (s & h) | (~s & low & mask)
+        memo[signal] = value
+        return value
+
+    def map_root(signal: str) -> str:
+        if signal in mapped:
+            return mapped[signal]
+        leaves = sorted(cut[signal])
+        leaf_signals = [map_root(s) for s in leaves]
+        k = len(leaves)
+        width = 1 << k
+        # Leaf j's word enumerates its value across all 2^k patterns.
+        words = {}
+        for j, leaf in enumerate(leaves):
+            word = 0
+            for idx in range(width):
+                if (idx >> (k - 1 - j)) & 1:
+                    word |= 1 << idx
+            words[leaf] = word
+        out = simulate_words(signal, words, width, {})
+        table = [(out >> idx) & 1 for idx in range(width)]
+        result = net.add_lut(leaf_signals, table)
+        mapped[signal] = result
+        return result
+
+    for out, signal in outputs.items():
+        net.set_output(out, map_root(signal))
+    return net

@@ -1,0 +1,181 @@
+"""XC3000 CLB packing.
+
+A Xilinx XC3000 CLB realises either one function of up to five inputs or
+two functions of up to four inputs each whose combined support has at
+most five distinct signals.  Following the paper (which adopts the
+formulation of Murgai et al., DAC'90), merging LUT pairs into CLBs is a
+maximum-cardinality matching problem on the *mergeability graph*: LUT
+nodes are vertices; an edge joins two LUTs that fit one CLB together.
+
+``CLB count = #LUTs - #matched pairs``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.mapping.lutnet import LutNetwork
+
+
+def mergeable(support_a: Set[str], support_b: Set[str],
+              max_single: int = 4, max_union: int = 5) -> bool:
+    """Can two LUTs with these supports share one XC3000 CLB?"""
+    return (len(support_a) <= max_single
+            and len(support_b) <= max_single
+            and len(support_a | support_b) <= max_union)
+
+
+def merge_luts_xc3000(net: LutNetwork) -> List[Tuple[str, ...]]:
+    """Pack the network's LUTs into XC3000 CLBs.
+
+    Returns the CLB list: each entry is a 1- or 2-tuple of LUT node
+    names.  LUTs with more than five inputs are rejected (the network
+    must already be 5-feasible).
+    """
+    nodes = net.node_list()
+    for node in nodes:
+        if node.fanin_count > 5:
+            raise ValueError(
+                f"node {node.name} has {node.fanin_count} inputs; "
+                "decompose to n_lut=5 first")
+    supports: Dict[str, Set[str]] = {
+        node.name: set(node.fanins) for node in nodes}
+    graph = nx.Graph()
+    graph.add_nodes_from(supports)
+    names = [node.name for node in nodes]
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            if mergeable(supports[names[i]], supports[names[j]]):
+                graph.add_edge(names[i], names[j])
+    matching = nx.max_weight_matching(graph, maxcardinality=True)
+    matched: Set[str] = set()
+    clbs: List[Tuple[str, ...]] = []
+    for a, b in matching:
+        clbs.append((a, b))
+        matched.add(a)
+        matched.add(b)
+    for name in names:
+        if name not in matched:
+            clbs.append((name,))
+    return clbs
+
+
+def merge_luts_greedy(net: LutNetwork) -> List[Tuple[str, ...]]:
+    """First-fit greedy pairing (baseline for the matching formulation).
+
+    Walks the LUTs in topological order and pairs each unmatched LUT
+    with the first later mergeable one.  Never better than the
+    maximum-cardinality matching; the gap is what the paper's choice of
+    the matching formulation (after Murgai et al.) buys.
+    """
+    nodes = net.node_list()
+    for node in nodes:
+        if node.fanin_count > 5:
+            raise ValueError(
+                f"node {node.name} has {node.fanin_count} inputs; "
+                "decompose to n_lut=5 first")
+    supports: Dict[str, Set[str]] = {
+        node.name: set(node.fanins) for node in nodes}
+    names = [node.name for node in nodes]
+    used: Set[str] = set()
+    clbs: List[Tuple[str, ...]] = []
+    for i, a in enumerate(names):
+        if a in used:
+            continue
+        partner = None
+        for b in names[i + 1:]:
+            if b not in used and mergeable(supports[a], supports[b]):
+                partner = b
+                break
+        if partner is None:
+            clbs.append((a,))
+            used.add(a)
+        else:
+            clbs.append((a, partner))
+            used.add(a)
+            used.add(partner)
+    return clbs
+
+
+def merge_luts_indexed(net: LutNetwork) -> List[Tuple[str, ...]]:
+    """Scalable near-greedy merge for very large LUT networks.
+
+    The exact matching is cubic in the LUT count; above a few hundred
+    LUTs we fall back to this indexed greedy: LUTs with <= 2 inputs pair
+    freely (their union never exceeds 4), a leftover small LUT pairs
+    with any 3-input LUT (union <= 5), and 3-/4-input LUTs search for a
+    partner only among LUTs sharing a fanin (a necessary condition once
+    both have >= 3 inputs).
+    """
+    nodes = net.node_list()
+    supports: Dict[str, Set[str]] = {}
+    small: List[str] = []
+    big: List[str] = []
+    for node in nodes:
+        if node.fanin_count > 5:
+            raise ValueError(
+                f"node {node.name} has {node.fanin_count} inputs; "
+                "decompose to n_lut=5 first")
+        supports[node.name] = set(node.fanins)
+        (small if node.fanin_count <= 2 else big).append(node.name)
+
+    clbs: List[Tuple[str, ...]] = []
+    # Pair the small LUTs among themselves.
+    while len(small) >= 2:
+        clbs.append((small.pop(), small.pop()))
+    used: Set[str] = set()
+    # Index bigger LUTs by fanin for shared-signal partner search.
+    by_fanin: Dict[str, List[str]] = {}
+    for name in big:
+        if len(supports[name]) == 5:
+            continue  # 5-input LUTs always occupy a CLB alone
+        for s in supports[name]:
+            by_fanin.setdefault(s, []).append(name)
+    leftovers = list(small)  # at most one entry
+    for name in big:
+        if name in used:
+            continue
+        sup = supports[name]
+        if len(sup) == 5:
+            clbs.append((name,))
+            used.add(name)
+            continue
+        partner = None
+        probes = 0
+        for s in sup:
+            for cand in by_fanin.get(s, ()):
+                if cand == name or cand in used:
+                    continue
+                probes += 1
+                if mergeable(sup, supports[cand]):
+                    partner = cand
+                    break
+                if probes >= 60:
+                    break  # bounded search: keeps huge nets linear
+            if partner is not None or probes >= 60:
+                break
+        if partner is None and leftovers and len(sup) <= 3:
+            partner = leftovers.pop()
+        used.add(name)
+        if partner is None:
+            clbs.append((name,))
+        else:
+            used.add(partner)
+            clbs.append((name, partner))
+    clbs.extend((name,) for name in leftovers if name not in used)
+    return clbs
+
+
+#: Above this LUT count the exact matching is replaced by the indexed
+#: greedy merge (the matching is cubic).
+EXACT_MATCHING_LIMIT = 700
+
+
+def clb_count(net: LutNetwork) -> int:
+    """Number of XC3000 CLBs after LUT merging (exact maximum matching
+    up to :data:`EXACT_MATCHING_LIMIT` LUTs, indexed greedy beyond)."""
+    if net.lut_count > EXACT_MATCHING_LIMIT:
+        return len(merge_luts_indexed(net))
+    return len(merge_luts_xc3000(net))

@@ -1,0 +1,276 @@
+"""A lookup-table network — the output of the decomposition flow.
+
+Signals are strings.  The constants ``"const0"``/``"const1"`` are always
+available.  Nodes are LUTs: a fanin list plus a truth table in the usual
+MSB-first convention (``fanins[0]`` is the most significant index bit).
+
+Structural hashing is built in: :meth:`LutNetwork.add_lut` returns an
+existing signal when an identical (fanins, table) node already exists,
+and degenerate tables (constants, buffers, single-variable functions
+whose value ignores some fanins) are simplified before a node is
+created.  That mirrors what any real synthesis backend does and keeps
+LUT counts honest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+CONST0 = "const0"
+CONST1 = "const1"
+
+
+class LutNode:
+    """One LUT: output signal name, fanin signals, truth table."""
+
+    __slots__ = ("name", "fanins", "table")
+
+    def __init__(self, name: str, fanins: List[str], table: List[int]):
+        self.name = name
+        self.fanins = fanins
+        self.table = table
+
+    @property
+    def fanin_count(self) -> int:
+        """Number of fanin signals."""
+        return len(self.fanins)
+
+    def __repr__(self) -> str:
+        return f"<LutNode {self.name}({', '.join(self.fanins)})>"
+
+
+def _table_support(table: Sequence[int], k: int) -> List[int]:
+    """Indices of fanins the table actually depends on."""
+    support = []
+    for i in range(k):
+        stride = 1 << (k - 1 - i)
+        for base in range(1 << k):
+            if base & stride:
+                continue
+            if table[base] != table[base | stride]:
+                support.append(i)
+                break
+    return support
+
+
+def _project_table(table: Sequence[int], k: int,
+                   keep: Sequence[int]) -> List[int]:
+    """Truth table restricted to the kept fanin indices."""
+    m = len(keep)
+    out = []
+    for idx in range(1 << m):
+        full = 0
+        for j, i in enumerate(keep):
+            if (idx >> (m - 1 - j)) & 1:
+                full |= 1 << (k - 1 - i)
+        out.append(table[full])
+    return out
+
+
+class LutNetwork:
+    """A DAG of LUTs with named primary inputs and outputs."""
+
+    def __init__(self) -> None:
+        self.inputs: List[str] = []
+        self.nodes: Dict[str, LutNode] = {}
+        self.outputs: Dict[str, str] = {}  # output name -> signal
+        self._node_order: List[str] = []   # topological (creation) order
+        self._hash: Dict[Tuple[Tuple[str, ...], Tuple[int, ...]], str] = {}
+        self._counter = 0
+
+    # -- construction ----------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input signal."""
+        if name in self.inputs or name in self.nodes:
+            raise ValueError(f"signal {name!r} already exists")
+        self.inputs.append(name)
+        return name
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def add_lut(self, fanins: Sequence[str], table: Sequence[int],
+                name_hint: str = "n") -> str:
+        """Add a LUT, with simplification and structural hashing.
+
+        Returns the signal realising the function — possibly a constant,
+        an existing fanin (buffer), or a previously created node.
+        """
+        fanins = list(fanins)
+        table = [1 if t else 0 for t in table]
+        if len(table) != (1 << len(fanins)):
+            raise ValueError("table length must be 2**len(fanins)")
+        for s in fanins:
+            self._check_signal(s)
+        # Fold constant fanins into the table.
+        if CONST0 in fanins or CONST1 in fanins:
+            k = len(fanins)
+            keep = [i for i, s in enumerate(fanins)
+                    if s not in (CONST0, CONST1)]
+            fixed = {i: (1 if fanins[i] == CONST1 else 0)
+                     for i in range(k) if fanins[i] in (CONST0, CONST1)}
+            new_table = []
+            m = len(keep)
+            for idx in range(1 << m):
+                full = 0
+                for j, i in enumerate(keep):
+                    if (idx >> (m - 1 - j)) & 1:
+                        full |= 1 << (k - 1 - i)
+                for i, val in fixed.items():
+                    if val:
+                        full |= 1 << (k - 1 - i)
+                new_table.append(table[full])
+            fanins = [fanins[i] for i in keep]
+            table = new_table
+        # Merge duplicate fanins.
+        if len(set(fanins)) != len(fanins):
+            uniq: List[str] = []
+            for s in fanins:
+                if s not in uniq:
+                    uniq.append(s)
+            k = len(fanins)
+            m = len(uniq)
+            new_table = []
+            for idx in range(1 << m):
+                full = 0
+                for i in range(k):
+                    j = uniq.index(fanins[i])
+                    if (idx >> (m - 1 - j)) & 1:
+                        full |= 1 << (k - 1 - i)
+                new_table.append(table[full])
+            fanins = uniq
+            table = new_table
+        # Remove fanins the table ignores.
+        support = _table_support(table, len(fanins))
+        if len(support) != len(fanins):
+            table = _project_table(table, len(fanins), support)
+            fanins = [fanins[i] for i in support]
+        # Degenerate cases.
+        if not fanins:
+            return CONST1 if table[0] else CONST0
+        if len(fanins) == 1 and table == [0, 1]:
+            return fanins[0]  # buffer
+        key = (tuple(fanins), tuple(table))
+        existing = self._hash.get(key)
+        if existing is not None:
+            return existing
+        name = self._fresh_name(name_hint)
+        node = LutNode(name, list(fanins), list(table))
+        self.nodes[name] = node
+        self._node_order.append(name)
+        self._hash[key] = name
+        return name
+
+    def set_output(self, name: str, signal: str) -> None:
+        """Bind a primary output name to a signal."""
+        self._check_signal(signal)
+        self.outputs[name] = signal
+
+    def _check_signal(self, signal: str) -> None:
+        if signal in (CONST0, CONST1):
+            return
+        if signal not in self.nodes and signal not in self.inputs:
+            raise ValueError(f"unknown signal {signal!r}")
+
+    # -- analysis ----------------------------------------------------------
+
+    @property
+    def lut_count(self) -> int:
+        """Number of LUT nodes (inverters included, constants/buffers
+        never become nodes)."""
+        return len(self.nodes)
+
+    def max_fanin(self) -> int:
+        """Largest LUT fanin in the network (0 if empty)."""
+        return max((n.fanin_count for n in self.nodes.values()), default=0)
+
+    def node_list(self) -> List[LutNode]:
+        """Nodes in topological order."""
+        return [self.nodes[name] for name in self._node_order]
+
+    def evaluate(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Evaluate the network; returns values for all signals."""
+        values: Dict[str, int] = {CONST0: 0, CONST1: 1}
+        for name in self.inputs:
+            values[name] = int(assignment[name])
+        for name in self._node_order:
+            node = self.nodes[name]
+            idx = 0
+            for s in node.fanins:
+                idx = (idx << 1) | values[s]
+            values[name] = node.table[idx]
+        return values
+
+    def eval_outputs(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Primary output values under the assignment."""
+        values = self.evaluate(assignment)
+        return {out: values[sig] for out, sig in self.outputs.items()}
+
+    def depth(self) -> int:
+        """LUT levels on the longest input-to-output path."""
+        level: Dict[str, int] = {CONST0: 0, CONST1: 0}
+        for name in self.inputs:
+            level[name] = 0
+        for name in self._node_order:
+            node = self.nodes[name]
+            level[name] = 1 + max((level[s] for s in node.fanins), default=0)
+        return max((level[s] for s in self.outputs.values()), default=0)
+
+    def histogram(self) -> Dict[int, int]:
+        """LUT count per fanin size."""
+        hist: Dict[int, int] = {}
+        for node in self.nodes.values():
+            hist[node.fanin_count] = hist.get(node.fanin_count, 0) + 1
+        return hist
+
+    # -- export ----------------------------------------------------------
+
+    def to_blif(self, model: str = "mapped") -> str:
+        """BLIF text of the mapped network (one .names per LUT)."""
+        lines = [f".model {model}",
+                 ".inputs " + " ".join(self.inputs),
+                 ".outputs " + " ".join(self.outputs)]
+        for name in self._node_order:
+            node = self.nodes[name]
+            lines.append(".names " + " ".join(node.fanins) + f" {name}")
+            k = node.fanin_count
+            for idx, value in enumerate(node.table):
+                if value:
+                    bits = format(idx, f"0{k}b") if k else ""
+                    lines.append((bits + " 1") if k else "1")
+        for out, sig in self.outputs.items():
+            if sig == out:
+                continue
+            if sig == CONST0:
+                lines.append(f".names {out}")
+            elif sig == CONST1:
+                lines.append(f".names {out}\n1")
+            else:
+                lines.append(f".names {sig} {out}")
+                lines.append("1 1")
+        lines.append(".end")
+        return "\n".join(lines) + "\n"
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the LUT DAG (inputs as boxes, LUTs as
+        ellipses, outputs as plain labels)."""
+        lines = ["digraph LutNetwork {", "  rankdir=LR;"]
+        for name in self.inputs:
+            lines.append(f'  "{name}" [shape=box];')
+        for node in self.node_list():
+            lines.append(
+                f'  "{node.name}" [shape=ellipse, '
+                f'label="{node.name}\\n{node.fanin_count}-LUT"];')
+            for s in node.fanins:
+                lines.append(f'  "{s}" -> "{node.name}";')
+        for out, sig in self.outputs.items():
+            lines.append(f'  "out_{out}" [shape=plaintext, label="{out}"];')
+            lines.append(f'  "{sig}" -> "out_{out}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<LutNetwork {len(self.inputs)} in / {len(self.outputs)} "
+                f"out, {self.lut_count} LUTs, depth {self.depth()}>")

@@ -1,0 +1,78 @@
+"""XC4000 CLB packing — an architecture extension beyond the paper.
+
+A Xilinx XC4000 CLB holds two 4-input function generators (F and G) and
+a third 3-input generator (H) that combines F, G and one extra input.
+One CLB can therefore absorb:
+
+* an H-tree: a <=3-input node whose LUT fanins are two single-fanout
+  <=4-input LUTs (three network nodes in one CLB);
+* a pair of <=4-input LUTs (like the XC3000 FG mode, without the
+  5-distinct-input restriction — F and G have separate pins); or
+* a single LUT.
+
+``pack_xc4000`` works on a 4-feasible LUT network (run the engine with
+``n_lut=4``) and greedily extracts H-trees first, then pairs the
+leftovers by maximum-cardinality matching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.mapping.lutnet import LutNetwork
+
+
+def _fanout_counts(net: LutNetwork) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for node in net.node_list():
+        for s in node.fanins:
+            counts[s] = counts.get(s, 0) + 1
+    for sig in net.outputs.values():
+        counts[sig] = counts.get(sig, 0) + 1
+    return counts
+
+
+def pack_xc4000(net: LutNetwork) -> List[Tuple[str, ...]]:
+    """Pack a 4-feasible LUT network into XC4000 CLBs.
+
+    Returns the CLB list (tuples of 1-3 LUT names).
+    """
+    nodes = net.node_list()
+    for node in nodes:
+        if node.fanin_count > 4:
+            raise ValueError(
+                f"node {node.name} has {node.fanin_count} inputs; "
+                "decompose with n_lut=4 first")
+    by_name = {node.name: node for node in nodes}
+    fanout = _fanout_counts(net)
+
+    used: Set[str] = set()
+    clbs: List[Tuple[str, ...]] = []
+
+    # Phase 1: H-trees.  h has <=3 fanins, at least two of which are
+    # single-fanout LUT nodes (they become F and G).
+    for node in nodes:
+        if node.name in used or node.fanin_count > 3:
+            continue
+        lut_fanins = [s for s in node.fanins
+                      if s in by_name and s not in used
+                      and fanout.get(s, 0) == 1]
+        if len(lut_fanins) >= 2:
+            f, g = lut_fanins[0], lut_fanins[1]
+            clbs.append((f, g, node.name))
+            used.update((f, g, node.name))
+
+    # Phase 2: pair the remaining LUTs.  Any two <=4-input LUTs share a
+    # CLB on the XC4000 (F and G have independent pins), so pairing is
+    # trivial — no matching needed.
+    rest = [node.name for node in nodes if node.name not in used]
+    for i in range(0, len(rest) - 1, 2):
+        clbs.append((rest[i], rest[i + 1]))
+    if len(rest) % 2:
+        clbs.append((rest[-1],))
+    return clbs
+
+
+def clb_count_xc4000(net: LutNetwork) -> int:
+    """Number of XC4000 CLBs after packing."""
+    return len(pack_xc4000(net))

@@ -1,0 +1,24 @@
+"""Multi-level Boolean network IR.
+
+A netlist of SOP nodes in the BLIF tradition — the representation the
+MCNC benchmarks actually ship in.  The decomposition flow itself works
+on collapsed BDDs (:class:`~repro.boolfunc.spec.MultiFunction`); this
+package provides the front-end layer a release-quality tool needs:
+parsing into a structural network, cleanup passes (sweep, constant
+propagation), analysis (levels, fanout), simulation, and collapsing
+into the BDD world.
+"""
+
+from repro.network.netlist import Network, NetNode
+from repro.network.passes import constant_propagate, minimize_nodes, sweep
+from repro.network.bitsim import sample_check, simulate_words
+
+__all__ = [
+    "Network",
+    "NetNode",
+    "constant_propagate",
+    "minimize_nodes",
+    "sweep",
+    "sample_check",
+    "simulate_words",
+]

@@ -1,0 +1,323 @@
+"""The structural network: named SOP nodes over named signals.
+
+Each internal node carries a single-output cube cover (rows of
+``'01-'`` patterns with a fixed polarity, exactly BLIF ``.names``
+semantics).  The network is kept acyclic; evaluation, levelisation and
+collapsing traverse in topological order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF, MultiFunction
+
+
+class NetNode:
+    """One ``.names`` node: fanin signal names + SOP rows.
+
+    ``rows`` is a list of ``(pattern, value)`` with ``value`` the shared
+    cover polarity ('1' rows define the onset, '0' rows the offset).
+    """
+
+    __slots__ = ("name", "fanins", "rows")
+
+    def __init__(self, name: str, fanins: List[str],
+                 rows: List[Tuple[str, str]]):
+        values = {v for _, v in rows}
+        if len(values) > 1:
+            raise ValueError(f"mixed cover polarities in {name!r}")
+        for pattern, _ in rows:
+            if len(pattern) != len(fanins):
+                raise ValueError(f"cover arity mismatch in {name!r}")
+        self.name = name
+        self.fanins = list(fanins)
+        self.rows = list(rows)
+
+    @property
+    def polarity(self) -> str:
+        """'1' (onset cover), '0' (offset cover); '1' for empty covers."""
+        return self.rows[0][1] if self.rows else "1"
+
+    def eval(self, values: Dict[str, int]) -> int:
+        """Evaluate under fanin values."""
+        hit = False
+        for pattern, _ in self.rows:
+            ok = True
+            for ch, s in zip(pattern, self.fanins):
+                v = values[s]
+                if (ch == "1" and not v) or (ch == "0" and v):
+                    ok = False
+                    break
+            if ok:
+                hit = True
+                break
+        if self.polarity == "0":
+            return 0 if hit else 1
+        return 1 if hit else 0
+
+    def is_constant(self) -> Optional[int]:
+        """The constant this node computes, if it has no fanins."""
+        if self.fanins:
+            return None
+        if not self.rows:
+            return 0
+        return 1 if self.polarity == "1" else 0
+
+    def __repr__(self) -> str:
+        return f"<NetNode {self.name}({', '.join(self.fanins)})>"
+
+
+class Network:
+    """An acyclic network of SOP nodes."""
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.nodes: Dict[str, NetNode] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input."""
+        if name in self.inputs or name in self.nodes:
+            raise ValueError(f"signal {name!r} already exists")
+        self.inputs.append(name)
+        return name
+
+    def add_node(self, name: str, fanins: Sequence[str],
+                 rows: Sequence[Tuple[str, str]]) -> str:
+        """Add an SOP node (fanins may be declared later; validated by
+        :meth:`check`)."""
+        if name in self.nodes or name in self.inputs:
+            raise ValueError(f"signal {name!r} already exists")
+        self.nodes[name] = NetNode(name, list(fanins), list(rows))
+        return name
+
+    def set_output(self, name: str) -> None:
+        """Mark a signal as a primary output."""
+        if name not in self.outputs:
+            self.outputs.append(name)
+
+    @staticmethod
+    def from_blif(text: str) -> "Network":
+        """Parse combinational BLIF structurally (no flattening)."""
+        from repro.boolfunc.blif import BlifError, _tokenise
+        net = Network()
+        current: Optional[str] = None
+        for tokens in _tokenise(text):
+            head = tokens[0]
+            if head == ".model":
+                net.name = tokens[1] if len(tokens) > 1 else "net"
+            elif head == ".inputs":
+                for s in tokens[1:]:
+                    net.add_input(s)
+                current = None
+            elif head == ".outputs":
+                for s in tokens[1:]:
+                    net.set_output(s)
+                current = None
+            elif head == ".names":
+                signals = tokens[1:]
+                if not signals:
+                    raise BlifError(".names needs at least an output")
+                current = net.add_node(signals[-1], signals[:-1], [])
+            elif head in (".end", ".exdc"):
+                current = None
+            elif head.startswith("."):
+                if head in (".latch", ".subckt", ".gate"):
+                    raise BlifError(f"unsupported BLIF construct {head}")
+                current = None
+            else:
+                if current is None:
+                    raise BlifError(f"cover line outside .names: {tokens}")
+                node = net.nodes[current]
+                if not node.fanins:
+                    if len(tokens) != 1 or tokens[0] not in "01":
+                        raise BlifError(f"bad constant row: {tokens}")
+                    node.rows.append(("", tokens[0]))
+                else:
+                    if len(tokens) != 2:
+                        raise BlifError(f"bad cover row: {tokens}")
+                    pattern, value = tokens
+                    node.rows.append((pattern, value))
+                # Re-validate polarity/arity incrementally.
+                NetNode(node.name, node.fanins, node.rows)
+        net.check()
+        return net
+
+    # -- structure ---------------------------------------------------------
+
+    def check(self) -> None:
+        """Validate signal references and acyclicity."""
+        for node in self.nodes.values():
+            for s in node.fanins:
+                if s not in self.nodes and s not in self.inputs:
+                    raise ValueError(
+                        f"node {node.name!r} references unknown {s!r}")
+        for out in self.outputs:
+            if out not in self.nodes and out not in self.inputs:
+                raise ValueError(f"output {out!r} is undefined")
+        self.topological()  # raises on cycles
+
+    def topological(self) -> List[str]:
+        """Node names in topological order (inputs excluded)."""
+        state: Dict[str, int] = {}
+        order: List[str] = []
+
+        def visit(name: str) -> None:
+            stack = [(name, iter(self.nodes[name].fanins))]
+            state[name] = 1
+            while stack:
+                current, it = stack[-1]
+                advanced = False
+                for s in it:
+                    if s in self.inputs or state.get(s) == 2:
+                        continue
+                    if state.get(s) == 1:
+                        raise ValueError(
+                            f"combinational cycle through {s!r}")
+                    if s in self.nodes:
+                        state[s] = 1
+                        stack.append((s, iter(self.nodes[s].fanins)))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    state[current] = 2
+                    order.append(current)
+
+        for name in self.nodes:
+            if state.get(name) != 2:
+                visit(name)
+        return order
+
+    def fanout_counts(self) -> Dict[str, int]:
+        """How many nodes consume each signal (outputs add one)."""
+        counts: Dict[str, int] = {s: 0 for s in self.inputs}
+        counts.update({s: 0 for s in self.nodes})
+        for node in self.nodes.values():
+            for s in node.fanins:
+                counts[s] = counts.get(s, 0) + 1
+        for out in self.outputs:
+            counts[out] = counts.get(out, 0) + 1
+        return counts
+
+    def levels(self) -> Dict[str, int]:
+        """Logic level per signal (inputs at 0)."""
+        level: Dict[str, int] = {s: 0 for s in self.inputs}
+        for name in self.topological():
+            node = self.nodes[name]
+            level[name] = 1 + max((level[s] for s in node.fanins),
+                                  default=0)
+        return level
+
+    def depth(self) -> int:
+        """Levels on the longest input-to-output path."""
+        level = self.levels()
+        return max((level[o] for o in self.outputs), default=0)
+
+    # -- semantics ---------------------------------------------------------
+
+    def evaluate(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Simulate; returns values for every signal."""
+        values = {name: int(assignment[name]) for name in self.inputs}
+        for name in self.topological():
+            values[name] = self.nodes[name].eval(values)
+        return values
+
+    def eval_outputs(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Primary-output values only."""
+        values = self.evaluate(assignment)
+        return {o: values[o] for o in self.outputs}
+
+    def collapse(self, bdd: Optional[BDD] = None) -> MultiFunction:
+        """Flatten into per-output BDDs (a :class:`MultiFunction`)."""
+        if bdd is None:
+            bdd = BDD(0)
+        variables = {name: bdd.add_var(name) for name in self.inputs}
+        values: Dict[str, int] = {name: bdd.var(v)
+                                  for name, v in variables.items()}
+        for name in self.topological():
+            node = self.nodes[name]
+            cover = BDD.FALSE
+            for pattern, _ in node.rows:
+                term = BDD.TRUE
+                for ch, s in zip(pattern, node.fanins):
+                    if ch == "1":
+                        term = bdd.apply_and(term, values[s])
+                    elif ch == "0":
+                        term = bdd.apply_and(term,
+                                             bdd.apply_not(values[s]))
+                cover = bdd.apply_or(cover, term)
+            if not node.rows:
+                values[name] = BDD.FALSE
+            elif node.polarity == "0":
+                values[name] = bdd.apply_not(cover)
+            else:
+                values[name] = cover
+        outputs = [ISF.complete(values[o]) for o in self.outputs]
+        return MultiFunction(bdd,
+                             [variables[s] for s in self.inputs],
+                             outputs, input_names=list(self.inputs),
+                             output_names=list(self.outputs))
+
+    def to_blif(self) -> str:
+        """BLIF text of the structural network."""
+        lines = [f".model {self.name}",
+                 ".inputs " + " ".join(self.inputs),
+                 ".outputs " + " ".join(self.outputs)]
+        for name in self.topological():
+            node = self.nodes[name]
+            lines.append(".names " + " ".join(node.fanins + [name]))
+            for pattern, value in node.rows:
+                lines.append(f"{pattern} {value}".strip())
+        lines.append(".end")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def from_lut_network(lut_net) -> "Network":
+        """Structural view of a mapped LUT network (one SOP node per
+        LUT, onset rows from the truth table)."""
+        from repro.mapping.lutnet import CONST0, CONST1
+        net = Network("mapped")
+        for name in lut_net.inputs:
+            net.add_input(name)
+        # Constants become zero-fanin nodes on demand.
+        const_nodes = {}
+
+        def signal(s: str) -> str:
+            if s == CONST0:
+                if CONST0 not in const_nodes:
+                    const_nodes[CONST0] = net.add_node("_const0", [], [])
+                return "_const0"
+            if s == CONST1:
+                if CONST1 not in const_nodes:
+                    const_nodes[CONST1] = net.add_node("_const1", [],
+                                                       [("", "1")])
+                return "_const1"
+            return s
+
+        for node in lut_net.node_list():
+            rows = []
+            k = node.fanin_count
+            for idx, bit in enumerate(node.table):
+                if bit:
+                    rows.append((format(idx, f"0{k}b"), "1"))
+            net.add_node(node.name, [signal(s) for s in node.fanins],
+                         rows)
+        for out, sig in lut_net.outputs.items():
+            target = signal(sig)
+            if target != out:
+                # Buffer node so the output carries its own name.
+                net.add_node(out, [target], [("1", "1")])
+            net.set_output(out)
+        net.check()
+        return net
+
+    def __repr__(self) -> str:
+        return (f"<Network {self.name!r}: {len(self.inputs)} in / "
+                f"{len(self.outputs)} out, {len(self.nodes)} nodes, "
+                f"depth {self.depth()}>")

@@ -1,0 +1,111 @@
+"""Cleanup passes over the structural network."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.network.netlist import NetNode, Network
+
+
+def sweep(net: Network) -> int:
+    """Remove nodes not reachable from any primary output.
+
+    Returns the number of removed nodes.
+    """
+    live: Set[str] = set()
+    stack = [o for o in net.outputs if o in net.nodes]
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        for s in net.nodes[name].fanins:
+            if s in net.nodes:
+                stack.append(s)
+    dead = [name for name in net.nodes if name not in live]
+    for name in dead:
+        del net.nodes[name]
+    return len(dead)
+
+
+def _propagate_into(node: NetNode, signal: str, value: int) -> NetNode:
+    """Rewrite a node with one fanin fixed to a constant."""
+    idx = node.fanins.index(signal)
+    new_fanins = node.fanins[:idx] + node.fanins[idx + 1:]
+    new_rows: List[Tuple[str, str]] = []
+    for pattern, pol in node.rows:
+        ch = pattern[idx]
+        if ch != "-" and int(ch) != value:
+            continue  # row can never fire
+        new_rows.append((pattern[:idx] + pattern[idx + 1:], pol))
+    return NetNode(node.name, new_fanins, new_rows)
+
+
+def minimize_nodes(net: Network, max_fanins: int = 10) -> int:
+    """Espresso-minimise every node's SOP cover in place.
+
+    Returns the total number of cover rows removed.  Nodes with more
+    than ``max_fanins`` inputs are skipped (the minimiser is cube-based
+    and meant for node-sized covers).  Offset-polarity nodes are
+    minimised on their offset.
+    """
+    from repro.twolevel.cubes import PCover, PCube
+    from repro.twolevel.espresso import espresso
+
+    removed = 0
+    for name in list(net.nodes):
+        node = net.nodes[name]
+        k = len(node.fanins)
+        if not node.rows or k == 0 or k > max_fanins:
+            continue
+        cover = PCover(k, [PCube.from_string(p) for p, _ in node.rows])
+        minimised = espresso(cover)
+        if len(minimised) < len(cover):
+            removed += len(cover) - len(minimised)
+            polarity = node.polarity
+            net.nodes[name] = NetNode(
+                name, node.fanins,
+                [(str(c), polarity) for c in minimised.cubes])
+    return removed
+
+
+def constant_propagate(net: Network) -> int:
+    """Fold constant nodes into their fanouts; returns folds performed.
+
+    A constant node (no fanins, or a cover that degenerated to a
+    constant) is substituted into every consumer; consumers that become
+    constant themselves are processed transitively.  Constant primary
+    outputs keep a zero-fanin node so the interface is unchanged.
+    """
+    folds = 0
+    changed = True
+    while changed:
+        changed = False
+        constants: Dict[str, int] = {}
+        for name, node in net.nodes.items():
+            value = node.is_constant()
+            if value is None and not node.rows:
+                value = 0
+            if value is None and node.fanins:
+                # Cover that ignores its fanins entirely (all-dash rows
+                # in '1' polarity covering everything) is handled by
+                # evaluation; keep simple and skip.
+                pass
+            if value is not None:
+                constants[name] = value
+        for name, value in constants.items():
+            consumers = [n for n in net.nodes.values()
+                         if name in n.fanins]
+            if not consumers and name not in net.outputs:
+                del net.nodes[name]
+                folds += 1
+                changed = True
+                continue
+            for consumer in consumers:
+                net.nodes[consumer.name] = _propagate_into(
+                    consumer, name, value)
+                folds += 1
+                changed = True
+            if consumers and name not in net.outputs:
+                del net.nodes[name]
+    return folds

@@ -1,0 +1,26 @@
+"""Symmetries of incompletely specified functions and don't-care
+assignment for symmetry maximisation (step 1 of the paper's concept;
+Scholl/Melchior/Hotz/Molitor, ED&TC 1997).
+"""
+
+from repro.symmetry.isf_symmetry import (
+    SymmetryKind,
+    strongly_symmetric,
+    potentially_symmetric,
+    make_symmetric,
+)
+from repro.symmetry.groups import (
+    assign_for_symmetry,
+    assign_for_symmetry_multi,
+    isf_symmetry_groups,
+)
+
+__all__ = [
+    "SymmetryKind",
+    "strongly_symmetric",
+    "potentially_symmetric",
+    "make_symmetric",
+    "assign_for_symmetry",
+    "assign_for_symmetry_multi",
+    "isf_symmetry_groups",
+]

@@ -1,0 +1,111 @@
+"""Two-variable symmetries of incompletely specified functions.
+
+For a completely specified function, nonequivalence (classical) symmetry
+in ``(x_i, x_j)`` means ``f|01 == f|10``; equivalence symmetry means
+``f|00 == f|11`` (Edwards/Hurst).  For an ISF ``[lo, hi]`` the paper's
+step-1 don't-care assignment needs two notions:
+
+* **strong symmetry** — both interval ends satisfy the cofactor equation;
+  every subsequent *narrowing* of the interval that treats the two merged
+  cofactors identically keeps the symmetry;
+* **potential symmetry** — some extension of the ISF is symmetric, which
+  holds iff the two relevant cofactor intervals intersect
+  (``lo_a <= hi_b`` and ``lo_b <= hi_a``).
+
+:func:`make_symmetric` performs the assignment: both cofactors are
+replaced by their interval intersection, which is exactly the least
+committing assignment making the pair strongly symmetric.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+
+
+class SymmetryKind(enum.Enum):
+    """Which pair of cofactors is merged."""
+
+    #: Classical symmetry: exchange x_i and x_j (merge the 01/10 cofactors).
+    NONEQUIVALENCE = "T1"
+    #: Equivalence symmetry: exchange with double negation (merge 00/11).
+    EQUIVALENCE = "T2"
+
+
+def _merged_cofactors(kind: SymmetryKind) -> Tuple[Tuple[int, int],
+                                                   Tuple[int, int]]:
+    if kind is SymmetryKind.NONEQUIVALENCE:
+        return (0, 1), (1, 0)
+    return (0, 0), (1, 1)
+
+
+def _cof(bdd: BDD, f: int, var_i: int, var_j: int, vi: int, vj: int) -> int:
+    return bdd.restrict(bdd.restrict(f, var_i, vi), var_j, vj)
+
+
+def strongly_symmetric(bdd: BDD, isf: ISF, var_i: int, var_j: int,
+                       kind: SymmetryKind = SymmetryKind.NONEQUIVALENCE
+                       ) -> bool:
+    """Are both interval ends symmetric in the pair?"""
+    if var_i == var_j:
+        return True
+    (ai, aj), (bi, bj) = _merged_cofactors(kind)
+    return (_cof(bdd, isf.lo, var_i, var_j, ai, aj)
+            == _cof(bdd, isf.lo, var_i, var_j, bi, bj)
+            and _cof(bdd, isf.hi, var_i, var_j, ai, aj)
+            == _cof(bdd, isf.hi, var_i, var_j, bi, bj))
+
+
+def potentially_symmetric(bdd: BDD, isf: ISF, var_i: int, var_j: int,
+                          kind: SymmetryKind = SymmetryKind.NONEQUIVALENCE
+                          ) -> bool:
+    """Does some extension of the ISF have the symmetry?
+
+    Holds iff the two merged cofactor intervals intersect.
+    """
+    if var_i == var_j:
+        return True
+    (ai, aj), (bi, bj) = _merged_cofactors(kind)
+    lo_a = _cof(bdd, isf.lo, var_i, var_j, ai, aj)
+    hi_a = _cof(bdd, isf.hi, var_i, var_j, ai, aj)
+    lo_b = _cof(bdd, isf.lo, var_i, var_j, bi, bj)
+    hi_b = _cof(bdd, isf.hi, var_i, var_j, bi, bj)
+    return bdd.leq(lo_a, hi_b) and bdd.leq(lo_b, hi_a)
+
+
+def make_symmetric(bdd: BDD, isf: ISF, var_i: int, var_j: int,
+                   kind: SymmetryKind = SymmetryKind.NONEQUIVALENCE) -> ISF:
+    """Assign don't cares so the pair becomes strongly symmetric.
+
+    The two merged cofactors are replaced by their interval intersection;
+    the other two cofactors are untouched.  Raises ``ValueError`` if the
+    pair is not potentially symmetric.
+    """
+    if var_i == var_j:
+        return isf
+    if not potentially_symmetric(bdd, isf, var_i, var_j, kind):
+        raise ValueError("pair is not potentially symmetric")
+    (ai, aj), (bi, bj) = _merged_cofactors(kind)
+    lo_m = bdd.apply_or(_cof(bdd, isf.lo, var_i, var_j, ai, aj),
+                        _cof(bdd, isf.lo, var_i, var_j, bi, bj))
+    hi_m = bdd.apply_and(_cof(bdd, isf.hi, var_i, var_j, ai, aj),
+                         _cof(bdd, isf.hi, var_i, var_j, bi, bj))
+
+    def rebuild(end_old: int, merged: int) -> int:
+        # Reassemble the four cofactors of the end, with the two merged
+        # ones replaced by `merged`.
+        pieces = BDD.FALSE
+        for vi in (0, 1):
+            for vj in (0, 1):
+                if (vi, vj) in ((ai, aj), (bi, bj)):
+                    piece = merged
+                else:
+                    piece = _cof(bdd, end_old, var_i, var_j, vi, vj)
+                cube = bdd.cube({var_i: vi, var_j: vj})
+                pieces = bdd.apply_or(pieces, bdd.apply_and(cube, piece))
+        return pieces
+
+    return ISF.create(bdd, rebuild(isf.lo, lo_m), rebuild(isf.hi, hi_m))

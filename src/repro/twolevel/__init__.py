@@ -1,0 +1,40 @@
+"""Two-level (sum-of-products) logic minimisation.
+
+An espresso-style minimiser over positional-cube covers: EXPAND (make
+cubes prime against the onset+DC), single-cube containment, IRREDUNDANT
+(tautology-based cover checks) and REDUCE, iterated to a fixpoint.  The
+MCNC benchmarks the paper uses were espresso-minimised PLAs; this
+substrate lets the repository go from raw truth tables / cube lists to
+realistic minimised covers without external tools.
+"""
+
+from repro.twolevel.complement import complement, sharp
+from repro.twolevel.cubes import PCube, PCover
+from repro.twolevel.espresso import espresso, minimize_function
+from repro.twolevel.primes import (
+    all_primes,
+    essential_primes,
+    exact_minimize,
+)
+from repro.twolevel.multi_output import (
+    MOCover,
+    MOCube,
+    minimize_multi,
+    minimize_multifunction,
+)
+
+__all__ = [
+    "complement",
+    "sharp",
+    "all_primes",
+    "essential_primes",
+    "exact_minimize",
+    "PCube",
+    "PCover",
+    "espresso",
+    "minimize_function",
+    "MOCover",
+    "MOCube",
+    "minimize_multi",
+    "minimize_multifunction",
+]

@@ -1,0 +1,106 @@
+"""Cover complementation by unate recursion (espresso COMPLEMENT).
+
+The complement of a cover is computed with the same unate-recursive
+paradigm as the tautology check: pick the most binate variable, recurse
+on both cofactors, and reassemble
+
+    NOT f  =  x' * NOT(f|x=0)  +  x * NOT(f|x=1)
+
+with a merge step that lifts cubes not depending on the split variable.
+Terminal cases are handled by unate-cover rules.  The complement is the
+missing piece for offset-aware EXPAND strategies and for sharp
+operations on covers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.twolevel.cubes import PCover, PCube
+
+_ZERO = 0b01
+_ONE = 0b10
+_DASH = 0b11
+
+
+def _most_binate_var(cover: PCover) -> Optional[int]:
+    best_var = None
+    best_score = -1
+    for var in range(cover.n):
+        zeros = ones = 0
+        for cube in cover.cubes:
+            f = cube.field(var)
+            if f == _ZERO:
+                zeros += 1
+            elif f == _ONE:
+                ones += 1
+        if zeros or ones:
+            # Prefer truly binate variables; fall back to any bound one.
+            score = (min(zeros, ones) * 1000) + zeros + ones
+            if score > best_score:
+                best_score = score
+                best_var = var
+    return best_var
+
+
+def _single_cube_complement(cube: PCube) -> List[PCube]:
+    """De Morgan on one cube: one complement cube per literal."""
+    out = []
+    for var, value in cube.literals():
+        full = PCube.full(cube.n)
+        out.append(full.with_field(var, _ZERO if value else _ONE))
+    return out
+
+
+def complement(cover: PCover) -> PCover:
+    """The complement cover of a single-output cover."""
+    n = cover.n
+    # Terminal cases.
+    if not cover.cubes:
+        return PCover(n, [PCube.full(n)])
+    if any(c.bits == PCube.full(n).bits for c in cover.cubes):
+        return PCover(n, [])
+    if len(cover.cubes) == 1:
+        return PCover(n, _single_cube_complement(cover.cubes[0]))
+    if cover.is_tautology():
+        return PCover(n, [])
+
+    var = _most_binate_var(cover)
+    if var is None:
+        # No bound literal anywhere and not a tautology: impossible,
+        # because such a cover is either empty (handled) or universal.
+        return PCover(n, [])
+    lo_cofactor = cover.cofactor(PCube.full(n).with_field(var, _ZERO))
+    hi_cofactor = cover.cofactor(PCube.full(n).with_field(var, _ONE))
+    lo_comp = complement(lo_cofactor)
+    hi_comp = complement(hi_cofactor)
+
+    out: List[PCube] = []
+    lo_set = {c.bits for c in lo_comp.cubes}
+    for cube in lo_comp.cubes:
+        if cube.bits in {c.bits for c in hi_comp.cubes}:
+            out.append(cube)  # independent of the split variable
+        else:
+            out.append(cube.with_field(var, _ZERO))
+    for cube in hi_comp.cubes:
+        if cube.bits in lo_set:
+            continue  # already lifted
+        out.append(cube.with_field(var, _ONE))
+    return PCover(n, out)
+
+
+def sharp(cover: PCover, other: PCover) -> PCover:
+    """The sharp operation ``cover AND NOT other`` as a cover."""
+    comp = complement(other)
+    out: List[PCube] = []
+    for a in cover.cubes:
+        for b in comp.cubes:
+            c = a.intersect(b)
+            if c is not None:
+                out.append(c)
+    # Single-cube containment cleanup.
+    kept: List[PCube] = []
+    for cube in sorted(out, key=lambda c: -c.num_literals):
+        if not any(k.contains(cube) for k in kept):
+            kept.append(cube)
+    return PCover(cover.n, kept)

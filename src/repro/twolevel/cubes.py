@@ -1,0 +1,247 @@
+"""Positional-cube algebra.
+
+Each variable occupies two bits of an integer: ``01`` = literal ``0``
+(variable complemented), ``10`` = literal ``1``, ``11`` = don't care
+(missing literal).  ``00`` in any field marks the empty cube.  This is
+the classic espresso encoding: intersection is bitwise AND, containment
+is a masked comparison, and cofactoring/tautology use the
+unate-recursive paradigm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+_ZERO = 0b01
+_ONE = 0b10
+_DASH = 0b11
+
+
+class PCube:
+    """An immutable positional cube over ``n`` variables."""
+
+    __slots__ = ("bits", "n")
+
+    def __init__(self, bits: int, n: int):
+        self.bits = bits
+        self.n = n
+
+    # -- construction ----------------------------------------------------
+
+    @staticmethod
+    def full(n: int) -> "PCube":
+        """The universal cube (all don't cares)."""
+        bits = 0
+        for _ in range(n):
+            bits = (bits << 2) | _DASH
+        return PCube(bits, n)
+
+    @staticmethod
+    def from_string(text: str) -> "PCube":
+        """Parse ``'01-'``-style cube text (index 0 = variable 0)."""
+        n = len(text)
+        bits = 0
+        for ch in text:
+            bits <<= 2
+            if ch == "0":
+                bits |= _ZERO
+            elif ch == "1":
+                bits |= _ONE
+            elif ch == "-":
+                bits |= _DASH
+            else:
+                raise ValueError(f"bad cube literal {ch!r}")
+        return PCube(bits, n)
+
+    @staticmethod
+    def from_minterm(minterm: int, n: int) -> "PCube":
+        """The cube of one minterm (bit ``n-1-i`` of the index = var i)."""
+        bits = 0
+        for i in range(n):
+            bits <<= 2
+            bits |= _ONE if (minterm >> (n - 1 - i)) & 1 else _ZERO
+        return PCube(bits, n)
+
+    # -- field access ----------------------------------------------------
+
+    def field(self, var: int) -> int:
+        """The 2-bit field of variable ``var`` (0 = leftmost)."""
+        shift = 2 * (self.n - 1 - var)
+        return (self.bits >> shift) & 0b11
+
+    def with_field(self, var: int, value: int) -> "PCube":
+        """Copy with variable ``var``'s field replaced."""
+        shift = 2 * (self.n - 1 - var)
+        cleared = self.bits & ~(0b11 << shift)
+        return PCube(cleared | (value << shift), self.n)
+
+    def literals(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(var, value)`` for each bound literal (value 0/1)."""
+        for var in range(self.n):
+            f = self.field(var)
+            if f == _ZERO:
+                yield var, 0
+            elif f == _ONE:
+                yield var, 1
+
+    @property
+    def num_literals(self) -> int:
+        """Number of bound literals."""
+        return sum(1 for _ in self.literals())
+
+    # -- algebra -----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Does any field read 00 (contradictory literal)?"""
+        bits = self.bits
+        for _ in range(self.n):
+            if bits & 0b11 == 0:
+                return True
+            bits >>= 2
+        return False
+
+    def intersect(self, other: "PCube") -> Optional["PCube"]:
+        """Cube intersection, or None if empty."""
+        cube = PCube(self.bits & other.bits, self.n)
+        return None if cube.is_empty() else cube
+
+    def contains(self, other: "PCube") -> bool:
+        """Is ``other`` a sub-cube of this cube?"""
+        return (self.bits | other.bits) == self.bits
+
+    def covers_minterm(self, minterm: int) -> bool:
+        """Does the cube cover this minterm index (MSB-first)?"""
+        return self.contains(PCube.from_minterm(minterm, self.n))
+
+    def cofactor(self, other: "PCube") -> Optional["PCube"]:
+        """The cofactor of this cube against ``other`` (Shannon on
+        cubes): None when the cubes do not intersect; bound variables of
+        ``other`` become free in the result."""
+        if PCube(self.bits & other.bits, self.n).is_empty():
+            return None
+        result = self.bits
+        bits = other.bits
+        for i in range(self.n):
+            shift = 2 * (self.n - 1 - i)
+            if (bits >> shift) & 0b11 != _DASH:
+                result |= _DASH << shift
+        return PCube(result, self.n)
+
+    def supercube(self, other: "PCube") -> "PCube":
+        """Smallest cube containing both."""
+        return PCube(self.bits | other.bits, self.n)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, PCube) and self.bits == other.bits
+                and self.n == other.n)
+
+    def __hash__(self) -> int:
+        return hash((self.bits, self.n))
+
+    def __str__(self) -> str:
+        chars = []
+        for var in range(self.n):
+            f = self.field(var)
+            chars.append({_ZERO: "0", _ONE: "1", _DASH: "-"}.get(f, "?"))
+        return "".join(chars)
+
+    def __repr__(self) -> str:
+        return f"PCube({self})"
+
+
+class PCover:
+    """A list of positional cubes (a single-output SOP cover)."""
+
+    def __init__(self, n: int, cubes: Iterable[PCube] = ()):
+        self.n = n
+        self.cubes: List[PCube] = []
+        for cube in cubes:
+            if cube.n != n:
+                raise ValueError("cube arity mismatch")
+            self.cubes.append(cube)
+
+    @staticmethod
+    def from_strings(rows: Sequence[str]) -> "PCover":
+        """Build from ``'01-'``-style rows (all the same width)."""
+        if not rows:
+            raise ValueError("need at least one row to infer arity")
+        return PCover(len(rows[0]), [PCube.from_string(r) for r in rows])
+
+    @staticmethod
+    def from_minterms(minterms: Iterable[int], n: int) -> "PCover":
+        """One cube per minterm."""
+        return PCover(n, [PCube.from_minterm(m, n) for m in minterms])
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[PCube]:
+        return iter(self.cubes)
+
+    def covers_minterm(self, minterm: int) -> bool:
+        """Is the minterm in the union of the cubes?"""
+        return any(c.covers_minterm(minterm) for c in self.cubes)
+
+    def cofactor(self, cube: PCube) -> "PCover":
+        """Cover cofactored against a cube."""
+        out = []
+        for c in self.cubes:
+            cf = c.cofactor(cube)
+            if cf is not None:
+                out.append(cf)
+        return PCover(self.n, out)
+
+    def literal_count(self) -> int:
+        """Total bound literals across the cover."""
+        return sum(c.num_literals for c in self.cubes)
+
+    def is_tautology(self) -> bool:
+        """Does the cover equal the universal function?
+
+        Unate-recursive paradigm: unate reduction (a cover unate in all
+        variables is a tautology iff it contains the universal cube),
+        then Shannon split on a binate variable.
+        """
+        cubes = self.cubes
+        if not cubes:
+            return False
+        full = PCube.full(self.n)
+        # Quick win: an all-dash row is the universal cube.
+        if any(c.bits == full.bits for c in cubes):
+            return True
+        # Find the most binate variable; drop unate variables' columns.
+        best_var = None
+        best_score = -1
+        for var in range(self.n):
+            zeros = ones = 0
+            for c in cubes:
+                f = c.field(var)
+                if f == _ZERO:
+                    zeros += 1
+                elif f == _ONE:
+                    ones += 1
+            if zeros and ones:
+                score = min(zeros, ones)
+                if score > best_score:
+                    best_score = score
+                    best_var = var
+        if best_var is None:
+            # Unate in every variable: tautology iff some cube has no
+            # literals at all (the universal cube) — checked above — OR
+            # the cover still covers everything through a single unate
+            # column... which cannot happen; so check the one remaining
+            # corner: a variable column where every cube is dash was
+            # already neutral.  Remaining answer: no.
+            return False
+        lo = self.cofactor(PCube.full(self.n).with_field(best_var, _ZERO))
+        if not lo.is_tautology():
+            return False
+        hi = self.cofactor(PCube.full(self.n).with_field(best_var, _ONE))
+        return hi.is_tautology()
+
+    def covers_cube(self, cube: PCube) -> bool:
+        """Is ``cube`` contained in the union of the cover?"""
+        return self.cofactor(cube).is_tautology()
+
+    def __str__(self) -> str:
+        return "\n".join(str(c) for c in self.cubes)

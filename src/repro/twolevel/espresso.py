@@ -1,0 +1,153 @@
+"""An espresso-style minimisation loop: EXPAND / IRREDUNDANT / REDUCE.
+
+Heuristic two-level minimisation of a single-output cover ``F`` against
+a don't-care cover ``D``:
+
+* **EXPAND** — raise each cube's literals (make it prime) as long as the
+  expanded cube stays inside ``onset + DC`` (checked by the
+  unate-recursive tautology of the cofactored cover), then drop cubes
+  contained in another cube;
+* **IRREDUNDANT** — remove cubes covered by the rest of the cover plus
+  the don't cares;
+* **REDUCE** — shrink cubes to the smallest cube still covering their
+  essential part, opening room for the next EXPAND;
+* iterate until the (cube count, literal count) cost stops improving.
+
+This is a faithful-in-spirit compact reimplementation, not a port: the
+cube algebra and the tautology-based checks are the real thing, the
+weighting/ordering heuristics are simplified.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.boolfunc.spec import MultiFunction
+from repro.twolevel.cubes import PCover, PCube
+
+_ZERO = 0b01
+_ONE = 0b10
+_DASH = 0b11
+
+
+def _expand_cube(cube: PCube, care_cover: PCover) -> PCube:
+    """Raise literals of ``cube`` while it stays inside ``care_cover``
+    (= onset + DC).  Literals are tried in descending column frequency
+    so commonly-bound variables are freed last."""
+    current = cube
+    literals = list(current.literals())
+    # Order: free the literal whose removal gives the biggest cube first
+    # (all removals add the same volume, so order by variable index for
+    # determinism; a production espresso weighs against the offset).
+    for var, _value in literals:
+        candidate = current.with_field(var, _DASH)
+        if care_cover.covers_cube(candidate):
+            current = candidate
+    return current
+
+
+def _single_cube_containment(cover: PCover) -> PCover:
+    """Drop cubes contained in another cube of the cover."""
+    kept: List[PCube] = []
+    cubes = sorted(cover.cubes, key=lambda c: -c.num_literals)
+    for cube in cubes:
+        if any(other.contains(cube) for other in kept):
+            continue
+        kept.append(cube)
+    return PCover(cover.n, kept)
+
+
+def _irredundant(cover: PCover, dc: PCover) -> PCover:
+    """Remove cubes covered by the remaining cover plus the DC set."""
+    cubes = list(cover.cubes)
+    changed = True
+    while changed:
+        changed = False
+        for i, cube in enumerate(cubes):
+            rest = PCover(cover.n,
+                          [c for j, c in enumerate(cubes) if j != i]
+                          + list(dc.cubes))
+            if rest.covers_cube(cube):
+                del cubes[i]
+                changed = True
+                break
+    return PCover(cover.n, cubes)
+
+
+def _reduce_cube(cube: PCube, others: PCover, dc: PCover) -> PCube:
+    """Shrink ``cube`` by re-binding free variables while the rest of
+    the cover (plus DC) still covers what the shrink gives up."""
+    current = cube
+    for var in range(cube.n):
+        if current.field(var) != _DASH:
+            continue
+        for value in (_ZERO, _ONE):
+            candidate = current.with_field(var, value)
+            surrendered = current.with_field(
+                var, _ONE if value == _ZERO else _ZERO)
+            helper = PCover(cube.n, list(others.cubes) + list(dc.cubes))
+            if helper.covers_cube(surrendered):
+                current = candidate
+                break
+    return current
+
+
+def espresso(onset: PCover, dc: Optional[PCover] = None,
+             max_iterations: int = 8) -> PCover:
+    """Minimise ``onset`` against the optional don't-care cover.
+
+    Returns a cover equivalent to ``onset`` over the care set, with at
+    most as many cubes.
+    """
+    n = onset.n
+    if dc is None:
+        dc = PCover(n, [])
+    cover = _single_cube_containment(onset)
+    care = PCover(n, list(onset.cubes) + list(dc.cubes))
+
+    best_cover = cover
+    best_cost: Tuple[int, int] = (len(cover) + 1, 0)  # force 1st accept
+    for _ in range(max_iterations):
+        # EXPAND
+        expanded = PCover(n, [_expand_cube(c, care) for c in cover])
+        expanded = _single_cube_containment(expanded)
+        # IRREDUNDANT
+        irred = _irredundant(expanded, dc)
+        cost = (len(irred), irred.literal_count())
+        if cost >= best_cost:
+            break
+        best_cost = cost
+        best_cover = irred
+        cover = irred
+        # REDUCE (prepare the next round).  Cubes are processed in
+        # sequence against the ALREADY-REDUCED earlier cubes — two cubes
+        # must not both surrender a shared region.
+        current = list(cover.cubes)
+        for i in range(len(current)):
+            others = PCover(n, current[:i] + current[i + 1:])
+            current[i] = _reduce_cube(current[i], others, dc)
+        cover = PCover(n, current)
+    return _single_cube_containment(best_cover)
+
+
+def minimize_function(func: MultiFunction,
+                      output_index: int = 0) -> PCover:
+    """Espresso-minimise one output of a :class:`MultiFunction`.
+
+    Intended for small functions (the onset is enumerated as minterms).
+    """
+    n = func.num_inputs
+    onset_minterms = []
+    dc_minterms = []
+    for k in range(1 << n):
+        bits = [(k >> (n - 1 - i)) & 1 for i in range(n)]
+        value = func.eval(dict(zip(func.inputs, bits)))[output_index]
+        if value == 1:
+            onset_minterms.append(k)
+        elif value is None:
+            dc_minterms.append(k)
+    onset = PCover.from_minterms(onset_minterms, n)
+    dc = PCover.from_minterms(dc_minterms, n)
+    if not onset_minterms:
+        return PCover(n, [])
+    return espresso(onset, dc)

@@ -1,0 +1,182 @@
+"""Multi-output two-level minimisation.
+
+Real espresso treats an ``m``-output function as a single-output
+function over ``n + log2(m)``-ish extended cubes; the practically
+important effect is *cube sharing*: one product term feeding several
+outputs is counted (and realised in a PLA) once.  We implement the
+standard multi-output extension of the positional-cube framework: a cube
+carries an output *tag mask*; containment/tautology checks run per
+output against the union of cubes tagged for that output.
+
+The minimisation loop mirrors the single-output one:
+
+* EXPAND raises input literals (a cube must stay inside every tagged
+  output's onset+DC) and also tries to *raise output tags* (sharing);
+* IRREDUNDANT drops cubes (or single output tags) covered by the rest;
+* the loop stops when the (cube, literal) cost stabilises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.boolfunc.spec import MultiFunction
+from repro.twolevel.cubes import PCover, PCube
+
+_DASH = 0b11
+
+
+@dataclass(frozen=True)
+class MOCube:
+    """A multi-output cube: input part + output tag mask (bit j set =
+    the cube feeds output j)."""
+
+    cube: PCube
+    tags: int
+
+    def with_tags(self, tags: int) -> "MOCube":
+        return MOCube(self.cube, tags)
+
+
+class MOCover:
+    """A multi-output cover."""
+
+    def __init__(self, n: int, m: int,
+                 cubes: Sequence[MOCube] = ()) -> None:
+        self.n = n
+        self.m = m
+        self.cubes: List[MOCube] = list(cubes)
+
+    def output_cover(self, j: int) -> PCover:
+        """The single-output cover of output ``j``."""
+        return PCover(self.n, [mc.cube for mc in self.cubes
+                               if (mc.tags >> j) & 1])
+
+    def cube_count(self) -> int:
+        """Distinct product terms (the PLA row count)."""
+        return len(self.cubes)
+
+    def literal_count(self) -> int:
+        """Total input literals."""
+        return sum(mc.cube.num_literals for mc in self.cubes)
+
+    def covers_minterm(self, j: int, minterm: int) -> bool:
+        """Does output ``j`` cover the minterm?"""
+        return any((mc.tags >> j) & 1 and mc.cube.covers_minterm(minterm)
+                   for mc in self.cubes)
+
+    def to_pla(self) -> str:
+        """Espresso fd-type PLA text of the cover (one row per cube —
+        shared cubes stay shared, like a real PLA)."""
+        lines = [f".i {self.n}", f".o {self.m}", ".type fd",
+                 f".p {len(self.cubes)}"]
+        for mc in self.cubes:
+            out_plane = "".join(
+                "1" if (mc.tags >> j) & 1 else "0" for j in range(self.m))
+            lines.append(f"{mc.cube} {out_plane}")
+        lines.append(".e")
+        return "\n".join(lines) + "\n"
+
+
+def _care_covers(func_onsets: Sequence[PCover],
+                 func_dcs: Sequence[PCover]) -> List[PCover]:
+    return [PCover(on.n, list(on.cubes) + list(dc.cubes))
+            for on, dc in zip(func_onsets, func_dcs)]
+
+
+def minimize_multi(onsets: Sequence[PCover],
+                   dcs: Optional[Sequence[PCover]] = None,
+                   max_iterations: int = 6) -> MOCover:
+    """Minimise a multi-output cover with cube sharing.
+
+    ``onsets[j]``/``dcs[j]`` define output ``j``.  Returns an
+    :class:`MOCover` equivalent to the inputs over each care set.
+    """
+    m = len(onsets)
+    if m == 0:
+        raise ValueError("need at least one output")
+    n = onsets[0].n
+    if dcs is None:
+        dcs = [PCover(n, []) for _ in range(m)]
+    care = _care_covers(onsets, dcs)
+
+    # Initial cover: each output's cubes tagged individually, identical
+    # input parts merged by OR-ing tags.
+    by_cube: dict = {}
+    for j, cover in enumerate(onsets):
+        for cube in cover:
+            by_cube[cube] = by_cube.get(cube, 0) | (1 << j)
+    cubes = [MOCube(cube, tags) for cube, tags in by_cube.items()]
+    cover = MOCover(n, m, cubes)
+
+    best_cost = (cover.cube_count() + 1, 0)
+    for _ in range(max_iterations):
+        # EXPAND input parts: the raised cube must stay inside the
+        # onset+DC of every tagged output.
+        expanded: List[MOCube] = []
+        for mc in cover.cubes:
+            current = mc.cube
+            for var, _value in list(current.literals()):
+                candidate = current.with_field(var, _DASH)
+                if all(care[j].covers_cube(candidate)
+                       for j in range(m) if (mc.tags >> j) & 1):
+                    current = candidate
+            # Raise output tags where the cube fits anyway (sharing).
+            tags = mc.tags
+            for j in range(m):
+                if not (tags >> j) & 1 and care[j].covers_cube(current):
+                    tags |= 1 << j
+            expanded.append(MOCube(current, tags))
+        # Merge identical input parts.
+        by_cube = {}
+        for mc in expanded:
+            by_cube[mc.cube] = by_cube.get(mc.cube, 0) | mc.tags
+        cubes = [MOCube(c, t) for c, t in by_cube.items()]
+        # Multi-output containment: drop a cube if, for every tagged
+        # output, the rest of that output's cover (plus DC) covers it.
+        kept: List[MOCube] = []
+        work = sorted(cubes, key=lambda mc: -mc.cube.num_literals)
+        for idx, mc in enumerate(work):
+            others_by_output = []
+            redundant = True
+            for j in range(m):
+                if not (mc.tags >> j) & 1:
+                    continue
+                rest = PCover(n, [o.cube for k, o in enumerate(work)
+                                  if k != idx and (o.tags >> j) & 1
+                                  and (o in kept or k > idx)]
+                              + list(dcs[j].cubes))
+                if not rest.covers_cube(mc.cube):
+                    redundant = False
+                    break
+            if not redundant:
+                kept.append(mc)
+        cover = MOCover(n, m, kept)
+        cost = (cover.cube_count(), cover.literal_count())
+        if cost >= best_cost:
+            break
+        best_cost = cost
+    return cover
+
+
+def minimize_multifunction(func: MultiFunction) -> MOCover:
+    """Multi-output minimisation of a (small) :class:`MultiFunction`."""
+    n = func.num_inputs
+    onsets = []
+    dcs = []
+    for j in range(func.num_outputs):
+        onset_minterms = []
+        dc_minterms = []
+        for k in range(1 << n):
+            bits = [(k >> (n - 1 - i)) & 1 for i in range(n)]
+            value = func.eval(dict(zip(func.inputs, bits)))[j]
+            if value == 1:
+                onset_minterms.append(k)
+            elif value is None:
+                dc_minterms.append(k)
+        onsets.append(PCover.from_minterms(onset_minterms, n)
+                      if onset_minterms else PCover(n, []))
+        dcs.append(PCover.from_minterms(dc_minterms, n)
+                   if dc_minterms else PCover(n, []))
+    return minimize_multi(onsets, dcs)

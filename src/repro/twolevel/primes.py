@@ -1,0 +1,135 @@
+"""Prime implicants from BDDs and exact two-level minimisation.
+
+* :func:`all_primes` computes the complete prime set of a function by
+  the classic BDD recursion: a prime either omits the top variable
+  (then it is a prime of ``f0 AND f1``) or binds it (then it is a prime
+  of the corresponding cofactor that is *not* an implicant of
+  ``f0 AND f1``).
+* :func:`essential_primes` extracts the primes that are the unique
+  cover of some care minterm.
+* :func:`exact_minimize` solves the prime covering problem by branch
+  and bound — the Quine/McCluskey end-game — giving a provably
+  cube-minimal cover for small functions.  The test suite uses it to
+  audit the espresso heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import BDD
+from repro.twolevel.cubes import PCover, PCube
+
+_ZERO = 0b01
+_ONE = 0b10
+_DASH = 0b11
+
+
+def _cube_to_bdd(bdd: BDD, cube: PCube,
+                 variables: Sequence[int]) -> int:
+    literals = {}
+    for var, value in cube.literals():
+        literals[variables[var]] = value
+    return bdd.cube(literals)
+
+
+def all_primes(bdd: BDD, f: int,
+               variables: Sequence[int]) -> PCover:
+    """All prime implicants of ``f`` over the given variables."""
+    n = len(variables)
+    var_index = {v: i for i, v in enumerate(variables)}
+    memo: Dict[int, List[PCube]] = {}
+
+    def primes(node: int) -> List[PCube]:
+        if node == BDD.FALSE:
+            return []
+        if node == BDD.TRUE:
+            return [PCube.full(n)]
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        var = bdd.var_of(node)
+        idx = var_index[var]
+        f0 = bdd.low(node)
+        f1 = bdd.high(node)
+        f01 = bdd.apply_and(f0, f1)
+        base = primes(f01)
+        out = list(base)
+        for q in primes(f0):
+            if not bdd.leq(_cube_to_bdd(bdd, q, variables), f01):
+                out.append(q.with_field(idx, _ZERO))
+        for q in primes(f1):
+            if not bdd.leq(_cube_to_bdd(bdd, q, variables), f01):
+                out.append(q.with_field(idx, _ONE))
+        memo[node] = out
+        return out
+
+    support = bdd.support(f)
+    extra = support - set(variables)
+    if extra:
+        raise ValueError(f"function depends on extra variables {extra}")
+    return PCover(n, primes(f))
+
+
+def essential_primes(bdd: BDD, f: int, variables: Sequence[int],
+                     primes: Optional[PCover] = None) -> PCover:
+    """Primes that uniquely cover some onset minterm of ``f``."""
+    if primes is None:
+        primes = all_primes(bdd, f, variables)
+    prime_bdds = [_cube_to_bdd(bdd, p, variables) for p in primes]
+    essentials = []
+    for i, p in enumerate(primes):
+        others = BDD.FALSE
+        for j, pb in enumerate(prime_bdds):
+            if j != i:
+                others = bdd.apply_or(others, pb)
+        # Essential iff p covers onset points nothing else covers.
+        alone = bdd.apply_diff(
+            bdd.apply_and(prime_bdds[i], f), others)
+        if alone != BDD.FALSE:
+            essentials.append(p)
+    return PCover(primes.n, essentials)
+
+
+def exact_minimize(bdd: BDD, onset: int, dc: int,
+                   variables: Sequence[int],
+                   node_limit: int = 400000) -> Optional[PCover]:
+    """A cube-minimal prime cover of ``[onset, onset OR dc]``.
+
+    Branch and bound over the primes of ``onset OR dc``: repeatedly pick
+    an uncovered onset point, branch on the primes covering it.  Returns
+    None when the search exceeds ``node_limit`` B&B nodes.
+    """
+    upper = bdd.apply_or(onset, dc)
+    primes = all_primes(bdd, upper, variables)
+    prime_bdds = [_cube_to_bdd(bdd, p, variables) for p in primes]
+
+    best: List[Optional[List[int]]] = [None]
+    best_size = [len(primes.cubes) + 1]
+    budget = [node_limit]
+
+    def branch(chosen: List[int], covered: int) -> None:
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        if len(chosen) >= best_size[0]:
+            return
+        uncovered = bdd.apply_diff(onset, covered)
+        if uncovered == BDD.FALSE:
+            best[0] = list(chosen)
+            best_size[0] = len(chosen)
+            return
+        # Branch on a concrete uncovered onset point.
+        model = bdd.pick(uncovered)
+        point = bdd.cube({v: model.get(v, 0) for v in variables})
+        candidates = [i for i, pb in enumerate(prime_bdds)
+                      if bdd.leq(point, pb)]
+        for i in candidates:
+            chosen.append(i)
+            branch(chosen, bdd.apply_or(covered, prime_bdds[i]))
+            chosen.pop()
+
+    branch([], BDD.FALSE)
+    if best[0] is None:
+        return None
+    return PCover(primes.n, [primes.cubes[i] for i in best[0]])

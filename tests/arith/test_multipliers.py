@@ -1,0 +1,112 @@
+"""Tests for multiplier generators."""
+
+import random
+
+import pytest
+
+from repro.arith.multipliers import (
+    multiplier_function,
+    partial_multiplier_function,
+    wallace_tree_multiplier,
+)
+
+
+class TestPartialMultiplier:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_matches_sum_of_matrix(self, n):
+        mf = partial_multiplier_function(n)
+        rng = random.Random(239)
+        for _ in range(100):
+            matrix = [[rng.randint(0, 1) for _ in range(n)]
+                      for _ in range(n)]
+            bits = {}
+            idx = 0
+            for i in range(n):
+                for j in range(n):
+                    bits[mf.inputs[idx]] = matrix[i][j]
+                    idx += 1
+            expected = sum(matrix[i][j] << (i + j)
+                           for i in range(n) for j in range(n))
+            values = mf.eval(bits)
+            got = sum(values[w] << w for w in range(2 * n))
+            assert got == expected
+
+    def test_pm4_signature(self):
+        mf = partial_multiplier_function(4)
+        assert mf.num_inputs == 16
+        assert mf.num_outputs == 8
+
+    def test_consistent_with_multiplier(self):
+        # Feeding p_ij = a_i & b_j must reproduce a * b.
+        n = 3
+        pm = partial_multiplier_function(n)
+        for a in range(1 << n):
+            for b in range(1 << n):
+                bits = {}
+                idx = 0
+                for i in range(n):
+                    for j in range(n):
+                        bits[pm.inputs[idx]] = ((a >> i) & 1) & ((b >> j) & 1)
+                        idx += 1
+                values = pm.eval(bits)
+                got = sum(values[w] << w for w in range(2 * n))
+                assert got == a * b
+
+    def test_rejects_one(self):
+        with pytest.raises(ValueError):
+            partial_multiplier_function(1)
+
+
+class TestMultiplierFunction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exhaustive(self, n):
+        mf = multiplier_function(n)
+        for a in range(1 << n):
+            for b in range(1 << n):
+                bits = {}
+                for i in range(n):
+                    bits[mf.inputs[i]] = (a >> i) & 1
+                    bits[mf.inputs[n + i]] = (b >> i) & 1
+                values = mf.eval(bits)
+                got = sum(values[w] << w for w in range(2 * n))
+                assert got == a * b
+
+
+class TestWallace:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_correct(self, n):
+        net = wallace_tree_multiplier(n)
+        rng = random.Random(241)
+        for _ in range(150):
+            a = rng.randrange(1 << n)
+            b = rng.randrange(1 << n)
+            bits = {f"a{i}": (a >> i) & 1 for i in range(n)}
+            bits.update({f"b{i}": (b >> i) & 1 for i in range(n)})
+            out = net.eval_outputs(bits)
+            got = sum(out[f"r{w}"] << w for w in range(2 * n))
+            assert got == a * b
+
+    def test_from_partial_products(self):
+        n = 3
+        net = wallace_tree_multiplier(n, from_partial_products=True)
+        rng = random.Random(251)
+        for _ in range(100):
+            matrix = {(i, j): rng.randint(0, 1)
+                      for i in range(n) for j in range(n)}
+            bits = {f"p{i}_{j}": matrix[i, j]
+                    for i in range(n) for j in range(n)}
+            out = net.eval_outputs(bits)
+            got = sum(out[f"r{w}"] << w for w in range(2 * n))
+            expected = sum(v << (i + j) for (i, j), v in matrix.items())
+            assert got == expected
+
+    def test_gate_count_grows_quadratically(self):
+        # ~10 n^2 - 20 n per the paper's accounting; check rough shape.
+        g4 = wallace_tree_multiplier(4).gate_count
+        g8 = wallace_tree_multiplier(8).gate_count
+        assert 3.0 < g8 / g4 < 5.5  # quadratic-ish growth
+
+    def test_log_depth(self):
+        d4 = wallace_tree_multiplier(4).depth()
+        d8 = wallace_tree_multiplier(8).depth()
+        assert d8 < 2 * d4

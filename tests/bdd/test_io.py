@@ -1,0 +1,52 @@
+"""Tests for BDD export helpers."""
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.bdd import io
+
+
+@pytest.fixture
+def bdd():
+    return BDD(3)
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        dot = io.to_dot(bdd, {"f": f})
+        assert "digraph BDD" in dot
+        assert '"r_f"' in dot
+        assert "style=dashed" in dot
+        assert "x0" in dot and "x1" in dot
+
+    def test_terminal_only(self, bdd):
+        dot = io.to_dot(bdd, {"t": BDD.TRUE})
+        assert '"n1"' in dot
+
+
+class TestExpr:
+    def test_constants(self, bdd):
+        assert io.to_expr(bdd, BDD.FALSE) == "0"
+        assert io.to_expr(bdd, BDD.TRUE) == "1"
+
+    def test_simple_and(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert io.to_expr(bdd, f) == "x0 & x1"
+
+    def test_or_of_literals(self, bdd):
+        f = bdd.apply_or(bdd.var(0), bdd.var(1))
+        expr = io.to_expr(bdd, f)
+        # One-paths of the OR BDD: ~x0&x1 and x0.
+        assert "x0" in expr and "|" in expr
+
+    def test_expr_evaluates_back(self, bdd):
+        import itertools
+        f = bdd.apply_xor(bdd.var(0), bdd.apply_and(bdd.var(1), bdd.var(2)))
+        expr = io.to_expr(bdd, f)
+        for bits in itertools.product((0, 1), repeat=3):
+            env = {"x0": bits[0], "x1": bits[1], "x2": bits[2]}
+            # Translate to Python: ~a -> (1-a), & -> and, | -> or.
+            py = expr.replace("~", "1-").replace("&", "and").replace("|", "or")
+            value = bool(eval(py, {}, env))
+            assert value == bdd.eval(f, {0: bits[0], 1: bits[1], 2: bits[2]})

@@ -1,0 +1,336 @@
+"""Unit tests for the core BDD manager."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from tests.helpers import all_assignments, bdd_from_callable, functions_equal
+
+
+@pytest.fixture
+def bdd():
+    return BDD(4)
+
+
+class TestBasics:
+    def test_terminals(self, bdd):
+        assert BDD.FALSE == 0
+        assert BDD.TRUE == 1
+        assert bdd.eval(BDD.TRUE, {}) is True
+        assert bdd.eval(BDD.FALSE, {}) is False
+
+    def test_var_projection(self, bdd):
+        x0 = bdd.var(0)
+        assert bdd.eval(x0, {0: 1}) is True
+        assert bdd.eval(x0, {0: 0}) is False
+
+    def test_nvar(self, bdd):
+        nx = bdd.nvar(2)
+        assert bdd.eval(nx, {2: 0}) is True
+        assert bdd.eval(nx, {2: 1}) is False
+
+    def test_var_out_of_range(self, bdd):
+        with pytest.raises(ValueError):
+            bdd.var(99)
+
+    def test_add_var(self):
+        bdd = BDD(0)
+        v = bdd.add_var("a")
+        assert v == 0
+        assert bdd.var_name(v) == "a"
+        assert bdd.num_vars == 1
+
+    def test_default_names(self, bdd):
+        assert bdd.var_name(3) == "x3"
+
+    def test_canonicity_same_function_same_node(self, bdd):
+        x0, x1 = bdd.var(0), bdd.var(1)
+        f = bdd.apply_or(bdd.apply_and(x0, x1), bdd.apply_and(x1, x0))
+        g = bdd.apply_and(x1, x0)
+        assert f == g
+
+    def test_reduction_no_redundant_node(self, bdd):
+        x0 = bdd.var(0)
+        # ite(x0, f, f) == f
+        f = bdd.var(1)
+        assert bdd.ite(x0, f, f) == f
+
+
+class TestBooleanOps:
+    def test_and_truth(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert functions_equal(bdd, f, lambda a, b: a and b, [0, 1])
+
+    def test_or_truth(self, bdd):
+        f = bdd.apply_or(bdd.var(0), bdd.var(1))
+        assert functions_equal(bdd, f, lambda a, b: a or b, [0, 1])
+
+    def test_xor_truth(self, bdd):
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        assert functions_equal(bdd, f, lambda a, b: a ^ b, [0, 1])
+
+    def test_xnor_truth(self, bdd):
+        f = bdd.apply_xnor(bdd.var(0), bdd.var(1))
+        assert functions_equal(bdd, f, lambda a, b: 1 - (a ^ b), [0, 1])
+
+    def test_not_involution(self, bdd):
+        f = bdd.apply_xor(bdd.var(0), bdd.var(2))
+        assert bdd.apply_not(bdd.apply_not(f)) == f
+
+    def test_implies(self, bdd):
+        f = bdd.apply_implies(bdd.var(0), bdd.var(1))
+        assert functions_equal(bdd, f, lambda a, b: (not a) or b, [0, 1])
+
+    def test_diff(self, bdd):
+        f = bdd.apply_diff(bdd.var(0), bdd.var(1))
+        assert functions_equal(bdd, f, lambda a, b: a and not b, [0, 1])
+
+    def test_demorgan(self, bdd):
+        a, b = bdd.var(0), bdd.var(1)
+        lhs = bdd.apply_not(bdd.apply_and(a, b))
+        rhs = bdd.apply_or(bdd.apply_not(a), bdd.apply_not(b))
+        assert lhs == rhs
+
+    def test_conjoin_disjoin(self, bdd):
+        xs = [bdd.var(i) for i in range(4)]
+        f = bdd.conjoin(xs)
+        g = bdd.disjoin(xs)
+        assert bdd.eval(f, {0: 1, 1: 1, 2: 1, 3: 1})
+        assert not bdd.eval(f, {0: 1, 1: 1, 2: 0, 3: 1})
+        assert bdd.eval(g, {0: 0, 1: 0, 2: 1, 3: 0})
+        assert not bdd.eval(g, {0: 0, 1: 0, 2: 0, 3: 0})
+
+    def test_conjoin_empty(self, bdd):
+        assert bdd.conjoin([]) == BDD.TRUE
+        assert bdd.disjoin([]) == BDD.FALSE
+
+    def test_leq(self, bdd):
+        a, b = bdd.var(0), bdd.var(1)
+        f = bdd.apply_and(a, b)
+        g = bdd.apply_or(a, b)
+        assert bdd.leq(f, g)
+        assert not bdd.leq(g, f)
+        assert bdd.leq(f, f)
+
+
+class TestIte:
+    def test_ite_terminal_cases(self, bdd):
+        f = bdd.var(0)
+        g = bdd.var(1)
+        assert bdd.ite(BDD.TRUE, f, g) == f
+        assert bdd.ite(BDD.FALSE, f, g) == g
+        assert bdd.ite(f, g, g) == g
+        assert bdd.ite(f, BDD.TRUE, BDD.FALSE) == f
+
+    def test_ite_mux_semantics(self, bdd):
+        s, a, b = bdd.var(0), bdd.var(1), bdd.var(2)
+        f = bdd.ite(s, a, b)
+        assert functions_equal(bdd, f,
+                               lambda sv, av, bv: av if sv else bv,
+                               [0, 1, 2])
+
+
+class TestCofactorComposeQuantify:
+    def test_restrict(self, bdd):
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        f0 = bdd.restrict(f, 0, 0)
+        f1 = bdd.restrict(f, 0, 1)
+        assert f0 == bdd.var(1)
+        assert f1 == bdd.apply_not(bdd.var(1))
+
+    def test_restrict_independent_var(self, bdd):
+        f = bdd.var(1)
+        assert bdd.restrict(f, 0, 0) == f
+        assert bdd.restrict(f, 3, 1) == f
+
+    def test_cofactor_multi(self, bdd):
+        f = bdd.conjoin([bdd.var(i) for i in range(4)])
+        g = bdd.cofactor(f, {0: 1, 2: 1})
+        assert g == bdd.apply_and(bdd.var(1), bdd.var(3))
+
+    def test_shannon_expansion(self, bdd):
+        # f == ite(x, f|x=1, f|x=0) for random functions.
+        rng = random.Random(1)
+        for _ in range(10):
+            table = [rng.randint(0, 1) for _ in range(16)]
+            f = bdd.from_truth_table(table, [0, 1, 2, 3])
+            for var in range(4):
+                recon = bdd.ite(bdd.var(var),
+                                bdd.restrict(f, var, 1),
+                                bdd.restrict(f, var, 0))
+                assert recon == f
+
+    def test_compose(self, bdd):
+        # f(x0, x1) = x0 & x1; compose x0 := x2 | x3
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        g = bdd.apply_or(bdd.var(2), bdd.var(3))
+        h = bdd.compose(f, 0, g)
+        assert functions_equal(
+            bdd, h, lambda a, b, c, d: (c or d) and b, [0, 1, 2, 3])
+
+    def test_vector_compose_simultaneous(self, bdd):
+        # Swap x0 and x1 inside f = x0 & ~x1; sequential compose would be
+        # wrong, vector compose must be simultaneous.
+        f = bdd.apply_and(bdd.var(0), bdd.apply_not(bdd.var(1)))
+        swapped = bdd.vector_compose(f, {0: bdd.var(1), 1: bdd.var(0)})
+        assert functions_equal(bdd, swapped,
+                               lambda a, b: b and not a, [0, 1])
+
+    def test_rename(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        g = bdd.rename(f, {0: 2, 1: 3})
+        assert g == bdd.apply_and(bdd.var(2), bdd.var(3))
+
+    def test_exists(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert bdd.exists(f, [0]) == bdd.var(1)
+        assert bdd.exists(f, [0, 1]) == BDD.TRUE
+
+    def test_forall(self, bdd):
+        f = bdd.apply_or(bdd.var(0), bdd.var(1))
+        assert bdd.forall(f, [0]) == bdd.var(1)
+        assert bdd.forall(f, [0, 1]) == BDD.FALSE
+
+
+class TestInspection:
+    def test_support(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(3))
+        assert bdd.support(f) == {0, 3}
+        assert bdd.support(BDD.TRUE) == set()
+
+    def test_support_is_true_support(self, bdd):
+        # x1 XOR x1 contributes nothing.
+        f = bdd.apply_or(bdd.var(0),
+                         bdd.apply_xor(bdd.var(1), bdd.var(1)))
+        assert bdd.support(f) == {0}
+
+    def test_node_count(self, bdd):
+        x0 = bdd.var(0)
+        assert bdd.node_count(x0) == 3  # node + two terminals
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert bdd.node_count(f) == 4
+
+    def test_sat_count(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert bdd.sat_count(f, 4) == 4  # x2, x3 free
+        assert bdd.sat_count(BDD.TRUE, 4) == 16
+        assert bdd.sat_count(BDD.FALSE, 4) == 0
+        g = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        assert bdd.sat_count(g, 2) == 2
+
+    def test_sat_count_matches_bruteforce(self, bdd):
+        rng = random.Random(7)
+        for _ in range(10):
+            table = [rng.randint(0, 1) for _ in range(16)]
+            f = bdd.from_truth_table(table, [0, 1, 2, 3])
+            assert bdd.sat_count(f, 4) == sum(table)
+
+    def test_pick(self, bdd):
+        f = bdd.apply_and(bdd.var(1), bdd.apply_not(bdd.var(2)))
+        model = bdd.pick(f)
+        assert model is not None
+        full = {v: 0 for v in range(4)}
+        full.update(model)
+        assert bdd.eval(f, full)
+        assert bdd.pick(BDD.FALSE) is None
+
+    def test_cube(self, bdd):
+        c = bdd.cube({0: 1, 2: 0})
+        assert functions_equal(bdd, c,
+                               lambda a, b, c_: a and not c_, [0, 1, 2])
+
+
+class TestTruthTables:
+    def test_roundtrip(self, bdd):
+        rng = random.Random(3)
+        for _ in range(20):
+            table = [rng.randint(0, 1) for _ in range(8)]
+            f = bdd.from_truth_table(table, [0, 1, 2])
+            assert bdd.to_truth_table(f, [0, 1, 2]) == table
+
+    def test_roundtrip_scrambled_variable_order(self):
+        bdd = BDD(3)
+        bdd_ref = BDD(3)
+        rng = random.Random(5)
+        table = [rng.randint(0, 1) for _ in range(8)]
+        # Build under a non-identity order; semantics must be unchanged.
+        f_ref = bdd_ref.from_truth_table(table, [0, 1, 2])
+        bdd.set_order([2, 0, 1])
+        f = bdd.from_truth_table(table, [0, 1, 2])
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assignment = {0: a, 1: b, 2: c}
+                    assert (bdd.eval(f, assignment)
+                            == bdd_ref.eval(f_ref, assignment))
+
+    def test_bad_table_length(self, bdd):
+        with pytest.raises(ValueError):
+            bdd.from_truth_table([0, 1, 0], [0, 1])
+
+
+class TestOrdering:
+    def test_set_order_validation(self, bdd):
+        with pytest.raises(ValueError):
+            bdd.set_order([0, 1])
+        with pytest.raises(ValueError):
+            bdd.set_order([0, 1, 2, 2])
+
+    def test_order_roundtrip(self, bdd):
+        bdd.set_order([3, 1, 0, 2])
+        assert bdd.order() == [3, 1, 0, 2]
+        assert bdd.var_level(3) == 0
+        assert bdd.var_level(2) == 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255),
+       st.sampled_from(["and", "or", "xor"]))
+def test_apply_matches_bitwise(table_f, table_g, op):
+    """Property: BDD apply agrees with bitwise truth-table combination."""
+    bdd = BDD(3)
+    bits_f = [(table_f >> k) & 1 for k in range(8)]
+    bits_g = [(table_g >> k) & 1 for k in range(8)]
+    f = bdd.from_truth_table(bits_f, [0, 1, 2])
+    g = bdd.from_truth_table(bits_g, [0, 1, 2])
+    if op == "and":
+        h = bdd.apply_and(f, g)
+        bits_h = [a & b for a, b in zip(bits_f, bits_g)]
+    elif op == "or":
+        h = bdd.apply_or(f, g)
+        bits_h = [a | b for a, b in zip(bits_f, bits_g)]
+    else:
+        h = bdd.apply_xor(f, g)
+        bits_h = [a ^ b for a, b in zip(bits_f, bits_g)]
+    assert bdd.to_truth_table(h, [0, 1, 2]) == bits_h
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1),
+                min_size=16, max_size=16))
+def test_truth_table_roundtrip_property(table):
+    bdd = BDD(4)
+    f = bdd.from_truth_table(table, [0, 1, 2, 3])
+    assert bdd.to_truth_table(f, [0, 1, 2, 3]) == table
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1),
+                min_size=16, max_size=16),
+       st.integers(min_value=0, max_value=3))
+def test_restrict_property(table, var):
+    """Property: restrict agrees with slicing the truth table."""
+    bdd = BDD(4)
+    f = bdd.from_truth_table(table, [0, 1, 2, 3])
+    for val in (0, 1):
+        g = bdd.restrict(f, var, val)
+        expected = []
+        for k in range(16):
+            bit = (k >> (3 - var)) & 1
+            if bit == val:
+                expected.append(table[k])
+        remaining = [v for v in (0, 1, 2, 3) if v != var]
+        assert bdd.to_truth_table(g, remaining) == expected

@@ -1,0 +1,52 @@
+"""Additional manager coverage: caches, reprs, iterators."""
+
+import pytest
+
+from repro.bdd.manager import BDD
+
+
+class TestCachesAndRepr:
+    def test_clear_cache_preserves_semantics(self):
+        bdd = BDD(3)
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        bdd.clear_cache()
+        g = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        assert f == g  # unique table survives, canonicity intact
+
+    def test_repr(self):
+        bdd = BDD(2)
+        text = repr(bdd)
+        assert "vars=2" in text
+
+    def test_support_cache_consistency(self):
+        bdd = BDD(4)
+        f = bdd.apply_and(bdd.var(0), bdd.var(2))
+        s1 = bdd.support(f)
+        s2 = bdd.support(f)  # cached path
+        assert s1 == s2 == {0, 2}
+        s1.add(99)  # mutating the returned set must not poison the cache
+        assert bdd.support(f) == {0, 2}
+
+
+class TestCubesAndMinterms:
+    def test_empty_cube(self):
+        bdd = BDD(2)
+        assert bdd.cube({}) == BDD.TRUE
+
+    def test_iter_minterms(self):
+        bdd = BDD(3)
+        f = bdd.apply_and(bdd.var(0), bdd.apply_not(bdd.var(2)))
+        ms = list(bdd.iter_minterms(f, [0, 1, 2]))
+        assert set(ms) == {(1, 0, 0), (1, 1, 0)}
+
+    def test_iter_minterms_constant(self):
+        bdd = BDD(2)
+        assert len(list(bdd.iter_minterms(BDD.TRUE, [0, 1]))) == 4
+        assert list(bdd.iter_minterms(BDD.FALSE, [0, 1])) == []
+
+
+class TestVarOfErrors:
+    def test_terminal_var_raises(self):
+        bdd = BDD(1)
+        with pytest.raises(ValueError):
+            bdd.var_of(BDD.TRUE)

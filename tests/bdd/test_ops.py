@@ -1,0 +1,127 @@
+"""Tests for higher-level BDD operations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.bdd import ops
+from tests.helpers import functions_equal
+
+
+@pytest.fixture
+def bdd():
+    return BDD(5)
+
+
+class TestBoundCofactors:
+    def test_count(self, bdd):
+        f = bdd.conjoin([bdd.var(i) for i in range(5)])
+        cofs = ops.bound_cofactors(bdd, f, [0, 1, 2])
+        assert len(cofs) == 8
+
+    def test_values(self, bdd):
+        # f = x0 & x1 | x2; bound set {x0, x1}.
+        f = bdd.apply_or(bdd.apply_and(bdd.var(0), bdd.var(1)), bdd.var(2))
+        cofs = ops.bound_cofactors(bdd, f, [0, 1])
+        # vertices 00, 01, 10 -> x2 ; vertex 11 -> TRUE
+        assert cofs[0] == bdd.var(2)
+        assert cofs[1] == bdd.var(2)
+        assert cofs[2] == bdd.var(2)
+        assert cofs[3] == BDD.TRUE
+
+    def test_index_convention_msb_first(self, bdd):
+        # f = x0 (only MSB matters): vertices 10 and 11 are TRUE.
+        f = bdd.var(0)
+        cofs = ops.bound_cofactors(bdd, f, [0, 1])
+        assert cofs == [BDD.FALSE, BDD.FALSE, BDD.TRUE, BDD.TRUE]
+
+    def test_matches_explicit_cofactor(self, bdd):
+        rng = random.Random(11)
+        table = [rng.randint(0, 1) for _ in range(32)]
+        f = bdd.from_truth_table(table, [0, 1, 2, 3, 4])
+        bound = [1, 3]
+        cofs = ops.bound_cofactors(bdd, f, bound)
+        for k in range(4):
+            bits = ops.vertex_bits(k, 2)
+            expected = bdd.cofactor(f, dict(zip(bound, bits)))
+            assert cofs[k] == expected
+
+
+class TestVertexHelpers:
+    def test_vertex_bits(self):
+        assert ops.vertex_bits(0b101, 3) == (1, 0, 1)
+        assert ops.vertex_bits(0, 3) == (0, 0, 0)
+
+    def test_vertex_index_roundtrip(self):
+        for k in range(16):
+            assert ops.vertex_index(ops.vertex_bits(k, 4)) == k
+
+
+class TestBooleanDifference:
+    def test_xor_depends_everywhere(self, bdd):
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        assert ops.boolean_difference(bdd, f, 0) == BDD.TRUE
+
+    def test_independent_var(self, bdd):
+        f = bdd.var(0)
+        assert ops.boolean_difference(bdd, f, 1) == BDD.FALSE
+
+    def test_depends_on(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(2))
+        assert ops.depends_on(bdd, f, 0)
+        assert not ops.depends_on(bdd, f, 1)
+
+
+class TestSwapAndVertexSets:
+    def test_swap_vars(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.apply_not(bdd.var(1)))
+        g = ops.swap_vars(bdd, f, 0, 1)
+        assert functions_equal(bdd, g, lambda a, b: b and not a, [0, 1])
+
+    def test_swap_involution(self, bdd):
+        rng = random.Random(2)
+        table = [rng.randint(0, 1) for _ in range(16)]
+        f = bdd.from_truth_table(table, [0, 1, 2, 3])
+        assert ops.swap_vars(bdd, ops.swap_vars(bdd, f, 0, 2), 0, 2) == f
+
+    def test_from_vertex_set(self, bdd):
+        g = ops.from_vertex_set(bdd, [0b00, 0b11], [0, 1])
+        assert functions_equal(bdd, g,
+                               lambda a, b: a == b, [0, 1])
+
+    def test_build_from_vertex_function(self, bdd):
+        # XOR truth table over two bound vars.
+        g = ops.build_from_vertex_function(bdd, [0, 1, 1, 0], [0, 1])
+        assert g == bdd.apply_xor(bdd.var(0), bdd.var(1))
+
+
+class TestMintermCount:
+    def test_basic(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert ops.minterm_count(bdd, f, [0, 1]) == 1
+        assert ops.minterm_count(bdd, f, [0, 1, 2]) == 2
+
+    def test_rejects_wrong_support(self, bdd):
+        f = bdd.var(4)
+        with pytest.raises(ValueError):
+            ops.minterm_count(bdd, f, [0, 1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1),
+                min_size=16, max_size=16),
+       st.integers(min_value=1, max_value=3))
+def test_bound_cofactors_partition_property(table, p):
+    """Property: gluing the bound cofactors back together recovers f."""
+    bdd = BDD(4)
+    f = bdd.from_truth_table(table, [0, 1, 2, 3])
+    bound = list(range(p))
+    cofs = ops.bound_cofactors(bdd, f, bound)
+    glued = BDD.FALSE
+    for k, cof in enumerate(cofs):
+        bits = ops.vertex_bits(k, p)
+        cube = bdd.cube(dict(zip(bound, bits)))
+        glued = bdd.apply_or(glued, bdd.apply_and(cube, cof))
+    assert glued == f

@@ -1,0 +1,82 @@
+"""Property-based tests for quantifiers, composition and counting."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+
+
+def build(table):
+    bdd = BDD(4)
+    return bdd, bdd.from_truth_table(table, [0, 1, 2, 3])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=16,
+                max_size=16),
+       st.integers(min_value=0, max_value=3))
+def test_exists_forall_duality(table, var):
+    bdd, f = build(table)
+    lhs = bdd.exists(f, [var])
+    rhs = bdd.apply_not(bdd.forall(bdd.apply_not(f), [var]))
+    assert lhs == rhs
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=16,
+                max_size=16),
+       st.integers(min_value=0, max_value=3))
+def test_quantifier_sandwich(table, var):
+    """forall <= f <= exists (as functions)."""
+    bdd, f = build(table)
+    fa = bdd.forall(f, [var])
+    ex = bdd.exists(f, [var])
+    assert bdd.leq(fa, f)
+    assert bdd.leq(f, ex)
+    # And neither quantified result depends on the variable.
+    assert var not in bdd.support(fa)
+    assert var not in bdd.support(ex)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=16,
+                max_size=16),
+       st.integers(min_value=0, max_value=3))
+def test_satcount_shannon(table, var):
+    """|f| = |f|x=0| + |f|x=1| over the remaining variables."""
+    bdd, f = build(table)
+    total = bdd.sat_count(f, 4)
+    lo = bdd.sat_count(bdd.restrict(f, var, 0), 4)
+    hi = bdd.sat_count(bdd.restrict(f, var, 1), 4)
+    assert total == (lo + hi) // 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=16,
+                max_size=16),
+       st.lists(st.integers(min_value=0, max_value=1), min_size=16,
+                max_size=16),
+       st.integers(min_value=0, max_value=3))
+def test_compose_restrict_consistency(table_f, table_g, var):
+    """compose(f, x, g) restricted where g is constant equals plain
+    restriction."""
+    bdd = BDD(4)
+    f = bdd.from_truth_table(table_f, [0, 1, 2, 3])
+    g = bdd.from_truth_table(table_g, [0, 1, 2, 3])
+    composed = bdd.compose(f, var, g)
+    # Pointwise check (the definitive semantics).
+    for k in range(16):
+        bits = {v: (k >> (3 - v)) & 1 for v in range(4)}
+        gval = bdd.eval(g, bits)
+        fbits = dict(bits)
+        fbits[var] = 1 if gval else 0
+        assert bdd.eval(composed, bits) == bdd.eval(f, fbits)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=16,
+                max_size=16))
+def test_negation_satcount(table):
+    bdd, f = build(table)
+    assert bdd.sat_count(f, 4) + bdd.sat_count(bdd.apply_not(f), 4) == 16

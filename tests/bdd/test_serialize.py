@@ -1,0 +1,94 @@
+"""Tests for BDD / MultiFunction serialisation."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.bdd.serialize import (
+    dump_functions,
+    dump_multifunction,
+    load_functions,
+    load_multifunction,
+)
+from repro.boolfunc.spec import MultiFunction
+
+
+class TestDumpLoadFunctions:
+    def test_roundtrip_random(self):
+        rng = random.Random(809)
+        for _ in range(10):
+            bdd = BDD(5)
+            table = [rng.randint(0, 1) for _ in range(32)]
+            f = bdd.from_truth_table(table, [0, 1, 2, 3, 4])
+            data = dump_functions(bdd, [f])
+            bdd2, [g] = load_functions(data)
+            assert bdd2.to_truth_table(g, [0, 1, 2, 3, 4]) == table
+
+    def test_shared_structure_preserved(self):
+        bdd = BDD(4)
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        g = bdd.apply_and(f, bdd.var(2))
+        data = dump_functions(bdd, [f, g])
+        bdd2, [f2, g2] = load_functions(data)
+        # g2 still contains f2's structure: canonical AND recovers it.
+        assert bdd2.apply_and(f2, bdd2.var(2)) == g2
+
+    def test_constants(self):
+        bdd = BDD(2)
+        data = dump_functions(bdd, [BDD.TRUE, BDD.FALSE])
+        _, roots = load_functions(data)
+        assert roots == [BDD.TRUE, BDD.FALSE]
+
+    def test_load_into_existing_manager(self):
+        bdd = BDD(3)
+        f = bdd.apply_or(bdd.var(0), bdd.var(2))
+        data = dump_functions(bdd, [f])
+        _, [g] = load_functions(data, bdd)
+        assert g == f  # canonicity: same manager, same node
+
+    def test_load_missing_vars_rejected(self):
+        bdd = BDD(4)
+        f = bdd.var(3)
+        data = dump_functions(bdd, [f])
+        with pytest.raises(ValueError):
+            load_functions(data, BDD(2))
+
+    def test_order_preserved(self):
+        bdd = BDD(4)
+        bdd.set_order([3, 1, 0, 2])
+        f = bdd.apply_and(bdd.var(0), bdd.var(3))
+        data = dump_functions(bdd, [f])
+        bdd2, _ = load_functions(data)
+        assert bdd2.order() == [3, 1, 0, 2]
+
+
+class TestMultiFunctionRoundtrip:
+    def test_complete(self):
+        rng = random.Random(811)
+        bdd = BDD(4)
+        tables = [[rng.randint(0, 1) for _ in range(16)]
+                  for _ in range(2)]
+        func = MultiFunction.from_truth_tables(bdd, [0, 1, 2, 3], tables)
+        text = dump_multifunction(func)
+        loaded = load_multifunction(text)
+        assert loaded.input_names == func.input_names
+        assert loaded.output_names == func.output_names
+        for k in range(16):
+            bits = [(k >> (3 - i)) & 1 for i in range(4)]
+            assert loaded.eval(dict(zip(loaded.inputs, bits))) == \
+                func.eval(dict(zip(func.inputs, bits)))
+
+    def test_incomplete(self):
+        rng = random.Random(821)
+        bdd = BDD(4)
+        spec = [rng.choice([0, 1, None]) for _ in range(16)]
+        onset = [1 if v == 1 else 0 for v in spec]
+        dcset = [1 if v is None else 0 for v in spec]
+        func = MultiFunction.from_truth_tables(
+            bdd, [0, 1, 2, 3], [onset], dc_tables=[dcset])
+        loaded = load_multifunction(dump_multifunction(func))
+        for k in range(16):
+            bits = [(k >> (3 - i)) & 1 for i in range(4)]
+            assert loaded.eval(dict(zip(loaded.inputs, bits))) == \
+                func.eval(dict(zip(func.inputs, bits)))

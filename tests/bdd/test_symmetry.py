@@ -1,0 +1,108 @@
+"""Tests for symmetry detection on completely specified functions."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.bdd import symmetry
+
+
+@pytest.fixture
+def bdd():
+    return BDD(6)
+
+
+def weight_function(bdd, variables, accept):
+    """Symmetric function: true iff the input weight is in `accept`."""
+    table = []
+    n = len(variables)
+    for k in range(1 << n):
+        w = bin(k).count("1")
+        table.append(1 if w in accept else 0)
+    return bdd.from_truth_table(table, variables)
+
+
+class TestPairwiseSymmetry:
+    def test_and_is_symmetric(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert symmetry.symmetric_in(bdd, f, 0, 1)
+
+    def test_xor_is_symmetric(self, bdd):
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        assert symmetry.symmetric_in(bdd, f, 0, 1)
+
+    def test_implication_not_symmetric(self, bdd):
+        f = bdd.apply_implies(bdd.var(0), bdd.var(1))
+        assert not symmetry.symmetric_in(bdd, f, 0, 1)
+
+    def test_same_variable(self, bdd):
+        f = bdd.var(0)
+        assert symmetry.symmetric_in(bdd, f, 0, 0)
+
+    def test_symmetry_under_renaming_bruteforce(self, bdd):
+        from repro.bdd.ops import swap_vars
+        rng = random.Random(4)
+        for _ in range(15):
+            table = [rng.randint(0, 1) for _ in range(16)]
+            f = bdd.from_truth_table(table, [0, 1, 2, 3])
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    expected = swap_vars(bdd, f, i, j) == f
+                    assert symmetry.symmetric_in(bdd, f, i, j) == expected
+
+
+class TestEquivalenceSymmetry:
+    def test_xnor_under_negated_swap(self, bdd):
+        # f = x0 XOR x1 satisfies f|00 == f|11, so it is equivalence
+        # symmetric as well as nonequivalence symmetric.
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        assert symmetry.equivalence_symmetric_in(bdd, f, 0, 1)
+
+    def test_and_not_equivalence_symmetric(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert not symmetry.equivalence_symmetric_in(bdd, f, 0, 1)
+
+    def test_a_and_not_b(self, bdd):
+        # f = x0 & ~x1: f|00 = 0, f|11 = 0 -> equivalence symmetric.
+        f = bdd.apply_and(bdd.var(0), bdd.apply_not(bdd.var(1)))
+        assert symmetry.equivalence_symmetric_in(bdd, f, 0, 1)
+        assert not symmetry.symmetric_in(bdd, f, 0, 1)
+
+
+class TestGroups:
+    def test_totally_symmetric_single_group(self, bdd):
+        f = weight_function(bdd, [0, 1, 2, 3], {2, 3})
+        groups = symmetry.symmetry_groups(bdd, [f], [0, 1, 2, 3])
+        assert groups == [[0, 1, 2, 3]]
+        assert symmetry.is_totally_symmetric(bdd, f, [0, 1, 2, 3])
+
+    def test_two_groups(self, bdd):
+        # f = (x0 | x1) & (x2 ^ x3): groups {0,1} and {2,3}.
+        f = bdd.apply_and(
+            bdd.apply_or(bdd.var(0), bdd.var(1)),
+            bdd.apply_xor(bdd.var(2), bdd.var(3)))
+        groups = symmetry.symmetry_groups(bdd, [f], [0, 1, 2, 3])
+        as_sets = [set(g) for g in groups]
+        assert {0, 1} in as_sets
+        assert {2, 3} in as_sets
+
+    def test_multi_output_common_groups(self, bdd):
+        # f1 symmetric in (0,1); f2 only symmetric in (2,3):
+        # common groups must be singletons for 0 and 1.
+        f1 = bdd.apply_and(bdd.var(0), bdd.var(1))
+        f2 = bdd.apply_or(bdd.apply_xor(bdd.var(2), bdd.var(3)), bdd.var(0))
+        groups = symmetry.symmetry_groups(bdd, [f1, f2], [0, 1, 2, 3])
+        as_sets = [set(g) for g in groups]
+        assert {0} in as_sets
+        assert {1} in as_sets
+        assert {2, 3} in as_sets
+
+    def test_symmetric_pairs(self, bdd):
+        f = weight_function(bdd, [0, 1, 2], {1})
+        pairs = symmetry.symmetric_pairs(bdd, f, [0, 1, 2])
+        assert set(pairs) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_not_symmetric(self, bdd):
+        f = bdd.apply_or(bdd.apply_and(bdd.var(0), bdd.var(1)), bdd.var(2))
+        assert not symmetry.is_totally_symmetric(bdd, f, [0, 1, 2])

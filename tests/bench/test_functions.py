@@ -1,0 +1,249 @@
+"""Tests for the exactly defined benchmark functions."""
+
+import random
+
+import pytest
+
+from repro.bench import functions as F
+
+
+class TestRd:
+    @pytest.mark.parametrize("builder,n,bits", [
+        (F.rd53, 5, 3), (F.rd73, 7, 3), (F.rd84, 8, 4)])
+    def test_weight(self, builder, n, bits):
+        mf = builder()
+        assert mf.num_inputs == n
+        assert mf.num_outputs == bits
+        rng = random.Random(0)
+        for _ in range(60):
+            assignment = {v: rng.randint(0, 1) for v in mf.inputs}
+            weight = sum(assignment.values())
+            values = mf.eval(assignment)
+            got = sum(values[b] << b for b in range(bits))
+            assert got == weight % (1 << bits)
+
+    def test_rd_is_totally_symmetric(self):
+        from repro.bdd.symmetry import is_totally_symmetric
+        mf = F.rd53()
+        for out in mf.outputs:
+            assert is_totally_symmetric(mf.bdd, out.lo, mf.inputs)
+
+
+class TestSym9:
+    def test_window(self):
+        mf = F.sym9()
+        assert (mf.num_inputs, mf.num_outputs) == (9, 1)
+        rng = random.Random(1)
+        for _ in range(120):
+            assignment = {v: rng.randint(0, 1) for v in mf.inputs}
+            weight = sum(assignment.values())
+            assert mf.eval(assignment)[0] == (1 if 3 <= weight <= 6 else 0)
+
+    def test_symmetric(self):
+        from repro.bdd.symmetry import is_totally_symmetric
+        mf = F.sym9()
+        assert is_totally_symmetric(mf.bdd, mf.outputs[0].lo, mf.inputs)
+
+
+class TestZ4ml:
+    def test_addition(self):
+        mf = F.z4ml()
+        assert (mf.num_inputs, mf.num_outputs) == (7, 4)
+        for a in range(8):
+            for b in range(8):
+                for c in (0, 1):
+                    bits = {}
+                    for i in range(3):
+                        bits[mf.inputs[i]] = (a >> i) & 1
+                        bits[mf.inputs[3 + i]] = (b >> i) & 1
+                    bits[mf.inputs[6]] = c
+                    values = mf.eval(bits)
+                    got = sum(values[i] << i for i in range(4))
+                    assert got == a + b + c
+
+
+class TestAlu2:
+    def test_operations(self):
+        mf = F.alu2()
+        assert (mf.num_inputs, mf.num_outputs) == (10, 6)
+        rng = random.Random(3)
+        ops = {0: lambda a, b: a + b, 1: lambda a, b: a & b,
+               2: lambda a, b: a | b, 3: lambda a, b: a ^ b}
+        for _ in range(100):
+            a, b = rng.randrange(16), rng.randrange(16)
+            op = rng.randrange(4)
+            bits = {}
+            for i in range(4):
+                bits[mf.inputs[i]] = (a >> i) & 1
+                bits[mf.inputs[4 + i]] = (b >> i) & 1
+            bits[mf.inputs[8]] = op & 1
+            bits[mf.inputs[9]] = (op >> 1) & 1
+            values = mf.eval(bits)
+            result = ops[op](a, b)
+            got = sum(values[i] << i for i in range(4))
+            assert got == result & 0xF
+            cout = 1 if (op == 0 and result > 15) else 0
+            assert values[4] == cout
+            assert values[5] == (1 if (result & 0xF) == 0 else 0)
+
+
+class TestClip:
+    def test_clipping(self):
+        mf = F.clip()
+        assert (mf.num_inputs, mf.num_outputs) == (9, 5)
+        for raw in range(512):
+            value = raw - 512 if raw >= 256 else raw  # two's complement
+            bits = {mf.inputs[i]: (raw >> i) & 1 for i in range(9)}
+            values = mf.eval(bits)
+            got_raw = sum(values[i] << i for i in range(5))
+            got = got_raw - 32 if got_raw >= 16 else got_raw
+            expected = max(-15, min(15, value))
+            assert got == expected, (value, got)
+
+
+class TestC499:
+    def test_no_error_passthrough(self):
+        mf = F.c499()
+        assert (mf.num_inputs, mf.num_outputs) == (41, 32)
+        rng = random.Random(7)
+        bdd = mf.bdd
+        for _ in range(10):
+            data = [rng.randint(0, 1) for _ in range(32)]
+            # Compute consistent check bits by evaluating the syndrome
+            # relation: check bit b = XOR of data bits whose pattern has
+            # bit b (so the syndrome becomes 0).
+            patterns = []
+            value = 0
+            while len(patterns) < 32:
+                value += 1
+                if bin(value).count("1") >= 2:
+                    patterns.append(value)
+            check = []
+            for b in range(8):
+                parity = 0
+                for i, pattern in enumerate(patterns):
+                    if (pattern >> b) & 1:
+                        parity ^= data[i]
+                check.append(parity)
+            bits = {}
+            for i in range(32):
+                bits[mf.inputs[i]] = data[i]
+            for b in range(8):
+                bits[mf.inputs[32 + b]] = check[b]
+            bits[mf.inputs[40]] = 1
+            assert mf.eval(bits) == data
+
+    def test_single_error_corrected(self):
+        mf = F.c499()
+        rng = random.Random(11)
+        patterns = []
+        value = 0
+        while len(patterns) < 32:
+            value += 1
+            if bin(value).count("1") >= 2:
+                patterns.append(value)
+        for trial in range(6):
+            data = [rng.randint(0, 1) for _ in range(32)]
+            check = []
+            for b in range(8):
+                parity = 0
+                for i, pattern in enumerate(patterns):
+                    if (pattern >> b) & 1:
+                        parity ^= data[i]
+                check.append(parity)
+            flip = rng.randrange(32)
+            received = list(data)
+            received[flip] ^= 1
+            bits = {}
+            for i in range(32):
+                bits[mf.inputs[i]] = received[i]
+            for b in range(8):
+                bits[mf.inputs[32 + b]] = check[b]
+            bits[mf.inputs[40]] = 1
+            assert mf.eval(bits) == data  # the flip was corrected
+
+
+class TestCount:
+    def test_counter_semantics(self):
+        mf = F.count()
+        assert (mf.num_inputs, mf.num_outputs) == (35, 16)
+        rng = random.Random(13)
+        for _ in range(60):
+            state = rng.randrange(1 << 16)
+            data = rng.randrange(1 << 16)
+            en, ld, clr = (rng.randint(0, 1) for _ in range(3))
+            bits = {}
+            for i in range(16):
+                bits[mf.inputs[i]] = (state >> i) & 1
+                bits[mf.inputs[16 + i]] = (data >> i) & 1
+            bits[mf.inputs[32]] = en
+            bits[mf.inputs[33]] = ld
+            bits[mf.inputs[34]] = clr
+            values = mf.eval(bits)
+            got = sum(values[i] << i for i in range(16))
+            if clr:
+                expected = 0
+            elif ld:
+                expected = data
+            elif en:
+                expected = (state + 1) & 0xFFFF
+            else:
+                expected = state
+            assert got == expected
+
+
+class TestArithmeticReconstructions:
+    def test_f51m(self):
+        mf = F.f51m()
+        assert (mf.num_inputs, mf.num_outputs) == (8, 8)
+        for a in range(16):
+            for b in range(16):
+                bits = {}
+                for i in range(4):
+                    bits[mf.inputs[i]] = (a >> i) & 1
+                    bits[mf.inputs[4 + i]] = (b >> i) & 1
+                values = mf.eval(bits)
+                got = sum(values[i] << i for i in range(8))
+                assert got == (a * b + a) & 0xFF
+
+    def test_5xp1(self):
+        mf = F.five_xp1()
+        assert (mf.num_inputs, mf.num_outputs) == (7, 10)
+        for x in range(128):
+            bits = {mf.inputs[i]: (x >> i) & 1 for i in range(7)}
+            values = mf.eval(bits)
+            got = sum(values[i] << i for i in range(10))
+            assert got == (x * x + x) & 0x3FF
+
+
+class TestExtras:
+    def test_xor5(self):
+        mf = F.xor5()
+        for k in range(32):
+            bits = {mf.inputs[i]: (k >> i) & 1 for i in range(5)}
+            assert mf.eval(bits)[0] == bin(k).count("1") % 2
+
+    def test_majority(self):
+        mf = F.majority()
+        for k in range(32):
+            bits = {mf.inputs[i]: (k >> i) & 1 for i in range(5)}
+            assert mf.eval(bits)[0] == (1 if bin(k).count("1") >= 3
+                                        else 0)
+
+    def test_sym10(self):
+        import random
+        mf = F.sym10()
+        rng = random.Random(677)
+        for _ in range(80):
+            bits = {v: rng.randint(0, 1) for v in mf.inputs}
+            w = sum(bits.values())
+            assert mf.eval(bits)[0] == (1 if 3 <= w <= 6 else 0)
+
+    def test_t481_like_decomposes_small(self):
+        from repro.core import map_to_xc3000
+        from repro.verify.equiv import check_extension
+        mf = F.t481_like()
+        result = map_to_xc3000(mf)
+        assert check_extension(mf, result.network)
+        # The whole point of t481: a good decomposition collapses it.
+        assert result.clb_count <= 8

@@ -1,0 +1,38 @@
+"""Tests for the recorded paper claims."""
+
+from repro.bench import paper_tables as P
+
+
+class TestFormulas:
+    def test_wallace_gates(self):
+        assert P.wallace_gates(4) == 80
+        assert P.wallace_gates(8) == 480
+
+    def test_wallace_depth_monotone(self):
+        assert P.wallace_depth(8) > P.wallace_depth(4)
+
+    def test_mulop_multiplier_asymptotics(self):
+        # The paper's scheme is asymptotically ~10x cheaper per n^2.
+        for n in (16, 64, 256):
+            assert P.mulop_multiplier_gates(n) < P.wallace_gates(n)
+        ratio = P.mulop_multiplier_gates(1024) / (1024 * 1024)
+        assert ratio < 2.0  # n^2 leading term
+
+    def test_depth_small_cases(self):
+        assert P.mulop_multiplier_depth(1) == 1.0
+        assert P.mulop_multiplier_depth(8) > P.mulop_multiplier_depth(4)
+
+
+class TestClaims:
+    def test_fig2(self):
+        assert P.FIG2_ADDER["mulop_gates"] == 49
+        assert P.FIG2_ADDER["conditional_sum_gates"] == 90
+
+    def test_table_rows_match_registry(self):
+        from repro.bench.registry import BENCHMARKS
+        for name in P.TABLE_ROWS:
+            assert name in BENCHMARKS
+
+    def test_table1_claims(self):
+        assert P.TABLE1_CLAIMS["max_reduction_circuit"] == "alu2"
+        assert 0 < P.TABLE1_CLAIMS["overall_reduction_min"] < 1

@@ -1,0 +1,137 @@
+"""Tests for the benchmark registry and the synthetic generator."""
+
+import random
+
+import pytest
+
+from repro.bench.registry import BENCHMARKS, TABLE_ORDER, benchmark, benchmark_names
+from repro.bench.synthetic import synthetic_circuit
+
+
+class TestRegistry:
+    def test_all_table_rows_registered(self):
+        for name in TABLE_ORDER:
+            assert name in BENCHMARKS
+
+    def test_signatures(self):
+        # Signatures of the original MCNC/ISCAS circuits.
+        expected = {
+            "5xp1": (7, 10), "9sym": (9, 1), "alu2": (10, 6),
+            "apex7": (49, 37), "b9": (41, 21), "C499": (41, 32),
+            "C880": (60, 26), "clip": (9, 5), "count": (35, 16),
+            "duke2": (22, 29), "e64": (65, 65), "f51m": (8, 8),
+            "misex1": (8, 7), "misex2": (25, 18), "rd73": (7, 3),
+            "rd84": (8, 4), "rot": (135, 107), "sao2": (10, 4),
+            "vg2": (25, 8), "z4ml": (7, 4),
+        }
+        for name, (i, o) in expected.items():
+            spec = BENCHMARKS[name]
+            assert (spec.num_inputs, spec.num_outputs) == (i, o), name
+
+    def test_light_circuits_build(self):
+        for name in benchmark_names(include_heavy=False):
+            mf = benchmark(name)
+            assert mf.num_inputs == BENCHMARKS[name].num_inputs
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            benchmark("nonexistent")
+
+    def test_names_filtering(self):
+        all_names = benchmark_names()
+        light = benchmark_names(include_heavy=False)
+        assert set(light) <= set(all_names)
+        assert "rot" in all_names and "rot" not in light
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        a = synthetic_circuit("demo", 12, 5)
+        b = synthetic_circuit("demo", 12, 5)
+        rng = random.Random(0)
+        for _ in range(40):
+            bits = [rng.randint(0, 1) for _ in range(12)]
+            va = a.eval(dict(zip(a.inputs, bits)))
+            vb = b.eval(dict(zip(b.inputs, bits)))
+            assert va == vb
+
+    def test_different_names_differ(self):
+        a = synthetic_circuit("one", 12, 5)
+        b = synthetic_circuit("two", 12, 5)
+        rng = random.Random(0)
+        differs = False
+        for _ in range(60):
+            bits = [rng.randint(0, 1) for _ in range(12)]
+            if (a.eval(dict(zip(a.inputs, bits)))
+                    != b.eval(dict(zip(b.inputs, bits)))):
+                differs = True
+                break
+        assert differs
+
+    def test_signature_respected(self):
+        mf = synthetic_circuit("sig", 17, 9)
+        assert mf.num_inputs == 17
+        assert mf.num_outputs == 9
+        assert mf.is_complete()
+
+    def test_outputs_not_constant(self):
+        mf = synthetic_circuit("const-check", 14, 6)
+        from repro.bdd.manager import BDD
+        nonconstant = sum(
+            1 for out in mf.outputs
+            if out.lo not in (BDD.FALSE, BDD.TRUE))
+        assert nonconstant >= 4
+
+    def test_cones_are_wide(self):
+        # The multi-stage composition must produce some wide output cones
+        # (that is what makes the recursion deep enough for DC effects).
+        mf = synthetic_circuit("width-check", 30, 12)
+        widths = [len(out.support(mf.bdd)) for out in mf.outputs]
+        assert max(widths) >= 8
+
+
+class TestSyntheticBlocks:
+    def test_block_builders_semantics(self):
+        import random
+        from repro.bdd.manager import BDD
+        from repro.bench import synthetic as S
+        rng = random.Random(13)
+        bdd = BDD(8)
+        xs = list(range(6))
+
+        outs = S._block_adder(bdd, xs, rng)
+        # 3+3 adder: 4 outputs (3 sums + carry).
+        assert len(outs) == 4
+        for a in range(8):
+            for b in range(8):
+                bits = {}
+                for i in range(3):
+                    bits[i] = (a >> i) & 1
+                    bits[3 + i] = (b >> i) & 1
+                total = sum(bdd.eval(outs[i], bits) << i
+                            for i in range(4))
+                assert total == a + b
+
+        gt, eq = S._block_comparator(bdd, xs, rng)
+        for a in range(8):
+            for b in range(8):
+                bits = {}
+                for i in range(3):
+                    bits[i] = (a >> i) & 1
+                    bits[3 + i] = (b >> i) & 1
+                assert bdd.eval(gt, bits) == (a > b)
+                assert bdd.eval(eq, bits) == (a == b)
+
+        [parity] = S._block_parity(bdd, xs, rng)
+        bits = {v: 1 for v in xs}
+        assert bdd.eval(parity, bits) == (len(xs) % 2 == 1)
+
+        [maj] = S._block_majority(bdd, xs, rng)
+        assert bdd.eval(maj, {v: 1 for v in xs})
+        assert not bdd.eval(maj, {v: 0 for v in xs})
+
+        [onehot] = S._block_onehot(bdd, xs, rng)
+        one = {v: 0 for v in xs}
+        one[xs[2]] = 1
+        assert bdd.eval(onehot, one)
+        assert not bdd.eval(onehot, {v: 0 for v in xs})

@@ -1,0 +1,192 @@
+"""Tests for cube lists, PLA and BLIF parsing/writing."""
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.cube import Cube, CubeList
+from repro.boolfunc.pla import PlaError, parse_pla, write_pla
+from repro.boolfunc.blif import BlifError, parse_blif, write_blif
+
+
+class TestCube:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cube("01x", "1")
+        with pytest.raises(ValueError):
+            Cube("01", "z")
+
+    def test_to_bdd(self):
+        bdd = BDD(3)
+        cube = Cube("1-0", "1")
+        f = cube.to_bdd(bdd, [0, 1, 2])
+        assert bdd.eval(f, {0: 1, 1: 0, 2: 0})
+        assert bdd.eval(f, {0: 1, 1: 1, 2: 0})
+        assert not bdd.eval(f, {0: 1, 1: 0, 2: 1})
+
+    def test_contains(self):
+        cube = Cube("1-0", "1")
+        assert cube.contains([1, 1, 0])
+        assert not cube.contains([0, 1, 0])
+
+    def test_arity_checks(self):
+        cl = CubeList(2, 1)
+        with pytest.raises(ValueError):
+            cl.append(Cube("011", "1"))
+        with pytest.raises(ValueError):
+            cl.append(Cube("01", "11"))
+
+
+class TestPlaParse:
+    SIMPLE = """\
+# two-output example
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+11- 10
+--1 01
+000 1-
+.e
+"""
+
+    def test_parse_simple(self):
+        mf = parse_pla(self.SIMPLE)
+        assert mf.num_inputs == 3
+        assert mf.num_outputs == 2
+        assert mf.input_names == ["a", "b", "c"]
+        assert mf.output_names == ["f", "g"]
+        # f: onset 11-, plus 000; g: onset --1 with dc 000... wait 000 has
+        # '-' only for g.
+        assert mf.eval({0: 1, 1: 1, 2: 0}) == [1, 0]
+        assert mf.eval({0: 0, 1: 0, 2: 1}) == [0, 1]
+        assert mf.eval({0: 0, 1: 0, 2: 0}) == [1, None]
+        assert mf.eval({0: 1, 1: 0, 2: 0}) == [0, 0]
+
+    def test_parse_fr_type(self):
+        text = """\
+.i 2
+.o 1
+.type fr
+11 1
+00 r
+.e
+"""
+        mf = parse_pla(text)
+        assert mf.eval({0: 1, 1: 1}) == [1]
+        assert mf.eval({0: 0, 1: 0}) == [0]
+        assert mf.eval({0: 0, 1: 1}) == [None]
+        assert mf.eval({0: 1, 1: 0}) == [None]
+
+    def test_no_space_between_planes(self):
+        text = ".i 2\n.o 1\n111\n.e\n"
+        mf = parse_pla(text)
+        assert mf.eval({0: 1, 1: 1}) == [1]
+
+    def test_errors(self):
+        with pytest.raises(PlaError):
+            parse_pla("11 1\n")
+        with pytest.raises(PlaError):
+            parse_pla(".i 2\n.o 1\n111 1\n")
+
+    def test_parse_into_existing_manager(self):
+        bdd = BDD(2)
+        mf = parse_pla(".i 2\n.o 1\n11 1\n.e\n", bdd)
+        assert mf.inputs == [2, 3]
+
+
+class TestPlaRoundtrip:
+    def test_roundtrip_complete(self):
+        mf = parse_pla(TestPlaParse.SIMPLE)
+        text = write_pla(mf)
+        mf2 = parse_pla(text)
+        for k in range(8):
+            bits = [(k >> (2 - i)) & 1 for i in range(3)]
+            a1 = dict(zip(mf.inputs, bits))
+            a2 = dict(zip(mf2.inputs, bits))
+            assert mf.eval(a1) == mf2.eval(a2)
+
+
+class TestBlif:
+    NETWORK = """\
+.model test
+.inputs a b c
+.outputs y z
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.names a z
+0 1
+.end
+"""
+
+    def test_parse_network(self):
+        mf = parse_blif(self.NETWORK)
+        assert mf.num_inputs == 3
+        assert mf.output_names == ["y", "z"]
+        # y = (a & b) | c ; z = ~a
+        for k in range(8):
+            a, b, c = (k >> 2) & 1, (k >> 1) & 1, k & 1
+            values = mf.eval({mf.inputs[0]: a, mf.inputs[1]: b,
+                              mf.inputs[2]: c})
+            assert values == [1 if ((a and b) or c) else 0, 1 - a]
+
+    def test_parse_offset_cover(self):
+        # .names with value-0 rows defines the complement.
+        text = """\
+.model t
+.inputs a b
+.outputs y
+.names a b y
+00 0
+.end
+"""
+        mf = parse_blif(text)
+        assert mf.eval({mf.inputs[0]: 0, mf.inputs[1]: 0}) == [0]
+        assert mf.eval({mf.inputs[0]: 1, mf.inputs[1]: 0}) == [1]
+
+    def test_constant_node(self):
+        text = ".model t\n.inputs a\n.outputs y\n.names y\n1\n.end\n"
+        mf = parse_blif(text)
+        assert mf.eval({mf.inputs[0]: 0}) == [1]
+
+    def test_continuation_lines(self):
+        text = (".model t\n.inputs a \\\nb\n.outputs y\n"
+                ".names a b y\n11 1\n.end\n")
+        mf = parse_blif(text)
+        assert mf.num_inputs == 2
+
+    def test_cycle_detection(self):
+        text = """\
+.model t
+.inputs a
+.outputs y
+.names y y2
+1 1
+.names y2 y
+1 1
+.end
+"""
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_undefined_signal(self):
+        text = ".model t\n.inputs a\n.outputs y\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_unsupported_latch(self):
+        text = ".model t\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_roundtrip(self):
+        mf = parse_blif(self.NETWORK)
+        text = write_blif(mf)
+        mf2 = parse_blif(text)
+        for k in range(8):
+            bits = [(k >> (2 - i)) & 1 for i in range(3)]
+            assert (mf.eval(dict(zip(mf.inputs, bits)))
+                    == mf2.eval(dict(zip(mf2.inputs, bits))))

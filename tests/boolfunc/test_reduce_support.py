@@ -1,0 +1,75 @@
+"""Tests for don't-care based support minimisation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+
+
+def isf_from_spec(bdd, spec, variables):
+    onset = [1 if v == 1 else 0 for v in spec]
+    upper = [0 if v == 0 else 1 for v in spec]
+    return ISF.create(bdd,
+                      bdd.from_truth_table(onset, variables),
+                      bdd.from_truth_table(upper, variables))
+
+
+class TestReduceSupport:
+    def test_complete_function_unchanged(self):
+        bdd = BDD(4)
+        isf = ISF.complete(bdd.apply_xor(bdd.var(0), bdd.var(2)))
+        reduced = isf.reduce_support(bdd)
+        assert reduced.lo == isf.lo
+        assert reduced.hi == isf.hi
+
+    def test_removable_variable_removed(self):
+        bdd = BDD(3)
+        # f = x0 on the care set; x1 only matters on DC points.
+        # care: x1=0 plane fully; x1=1 plane all DC.
+        spec = [0, 0, None, None, 1, 1, None, None]  # (x0,x1,x2)
+        isf = isf_from_spec(bdd, spec, [0, 1, 2])
+        reduced = isf.reduce_support(bdd)
+        assert 1 not in reduced.support(bdd)
+        assert 2 not in reduced.support(bdd)
+        assert reduced.refines(bdd, isf)
+
+    def test_fully_unspecified(self):
+        bdd = BDD(3)
+        isf = ISF.create(bdd, BDD.FALSE, BDD.TRUE)
+        reduced = isf.reduce_support(bdd)
+        assert reduced.support(bdd) == set()
+
+    def test_result_refines(self):
+        rng = random.Random(733)
+        bdd = BDD(4)
+        for _ in range(20):
+            spec = [rng.choice([0, 1, None]) for _ in range(16)]
+            isf = isf_from_spec(bdd, spec, [0, 1, 2, 3])
+            reduced = isf.reduce_support(bdd)
+            assert reduced.refines(bdd, isf)
+            assert reduced.support(bdd) <= isf.support(bdd)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from([0, 1, None]), min_size=16, max_size=16))
+def test_reduce_support_preserves_care_values(spec):
+    """Property: the reduction never changes a care value."""
+    bdd = BDD(4)
+    onset = [1 if v == 1 else 0 for v in spec]
+    upper = [0 if v == 0 else 1 for v in spec]
+    isf = ISF.create(bdd, bdd.from_truth_table(onset, [0, 1, 2, 3]),
+                     bdd.from_truth_table(upper, [0, 1, 2, 3]))
+    reduced = isf.reduce_support(bdd)
+    for k in range(16):
+        bits = {v: (k >> (3 - v)) & 1 for v in range(4)}
+        if spec[k] is None:
+            continue
+        lo = bdd.eval(reduced.lo, bits)
+        hi = bdd.eval(reduced.hi, bits)
+        if spec[k] == 1:
+            assert lo and hi
+        else:
+            assert not lo and not hi

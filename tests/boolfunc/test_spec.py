@@ -1,0 +1,201 @@
+"""Tests for ISF intervals and MultiFunction bundles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF, MultiFunction
+
+
+@pytest.fixture
+def bdd():
+    return BDD(4)
+
+
+class TestISFBasics:
+    def test_create_checks_interval(self, bdd):
+        with pytest.raises(ValueError):
+            ISF.create(bdd, BDD.TRUE, BDD.FALSE)
+        isf = ISF.create(bdd, bdd.var(0), BDD.TRUE)
+        assert isf.lo == bdd.var(0)
+
+    def test_complete(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        isf = ISF.complete(f)
+        assert isf.is_complete()
+        assert isf.dc_set(bdd) == BDD.FALSE
+
+    def test_from_onset_dcset(self, bdd):
+        onset = bdd.apply_and(bdd.var(0), bdd.var(1))
+        dcset = bdd.apply_and(bdd.apply_not(bdd.var(0)), bdd.var(1))
+        isf = ISF.from_onset_dcset(bdd, onset, dcset)
+        assert isf.lo == onset
+        assert isf.dc_set(bdd) == dcset
+        assert not isf.is_complete()
+
+    def test_from_onset_dcset_rejects_overlap(self, bdd):
+        with pytest.raises(ValueError):
+            ISF.from_onset_dcset(bdd, bdd.var(0), bdd.var(0))
+
+    def test_admits(self, bdd):
+        # interval [x0&x1, x0|x1]
+        lo = bdd.apply_and(bdd.var(0), bdd.var(1))
+        hi = bdd.apply_or(bdd.var(0), bdd.var(1))
+        isf = ISF.create(bdd, lo, hi)
+        assert isf.admits(bdd, bdd.var(0))
+        assert isf.admits(bdd, bdd.var(1))
+        assert isf.admits(bdd, lo)
+        assert isf.admits(bdd, hi)
+        assert not isf.admits(bdd, BDD.TRUE)
+        assert not isf.admits(bdd, bdd.apply_xor(bdd.var(0), bdd.var(1)))
+
+    def test_refines(self, bdd):
+        wide = ISF.create(bdd, BDD.FALSE, BDD.TRUE)
+        narrow = ISF.complete(bdd.var(0))
+        assert narrow.refines(bdd, wide)
+        assert not wide.refines(bdd, narrow)
+
+
+class TestISFCombination:
+    def test_intersect_compatible(self, bdd):
+        a = ISF.create(bdd, bdd.apply_and(bdd.var(0), bdd.var(1)), bdd.var(0))
+        b = ISF.create(bdd, BDD.FALSE, bdd.var(0))
+        both = a.intersect(bdd, b)
+        assert both is not None
+        assert both.lo == bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert both.hi == bdd.var(0)
+
+    def test_intersect_incompatible(self, bdd):
+        a = ISF.complete(bdd.var(0))
+        b = ISF.complete(bdd.apply_not(bdd.var(0)))
+        assert a.intersect(bdd, b) is None
+        assert not a.compatible(bdd, b)
+
+    def test_compatible_iff_intersection(self, bdd):
+        import random
+        rng = random.Random(8)
+        for _ in range(25):
+            t1 = [rng.randint(0, 1) for _ in range(8)]
+            t2 = [min(a + rng.randint(0, 1), 1) for a in t1]
+            u1 = [rng.randint(0, 1) for _ in range(8)]
+            u2 = [min(a + rng.randint(0, 1), 1) for a in u1]
+            a = ISF.create(bdd, bdd.from_truth_table(t1, [0, 1, 2]),
+                           bdd.from_truth_table(t2, [0, 1, 2]))
+            b = ISF.create(bdd, bdd.from_truth_table(u1, [0, 1, 2]),
+                           bdd.from_truth_table(u2, [0, 1, 2]))
+            assert a.compatible(bdd, b) == (a.intersect(bdd, b) is not None)
+
+    def test_negate(self, bdd):
+        isf = ISF.create(bdd, bdd.apply_and(bdd.var(0), bdd.var(1)),
+                         bdd.apply_or(bdd.var(0), bdd.var(1)))
+        neg = isf.negate(bdd)
+        assert neg.admits(bdd, bdd.apply_not(bdd.var(0)))
+        assert not neg.admits(bdd, bdd.var(0))
+
+
+class TestISFCofactors:
+    def test_restrict(self, bdd):
+        isf = ISF.create(bdd, bdd.apply_and(bdd.var(0), bdd.var(1)),
+                         bdd.apply_or(bdd.var(0), bdd.var(1)))
+        r1 = isf.restrict(bdd, 0, 1)
+        assert r1.lo == bdd.var(1)
+        assert r1.hi == BDD.TRUE
+
+    def test_cofactor(self, bdd):
+        isf = ISF.create(bdd, bdd.conjoin([bdd.var(i) for i in range(3)]),
+                         BDD.TRUE)
+        c = isf.cofactor(bdd, {0: 1, 1: 1})
+        assert c.lo == bdd.var(2)
+
+    def test_rename(self, bdd):
+        isf = ISF.complete(bdd.var(0))
+        assert isf.rename(bdd, {0: 3}).lo == bdd.var(3)
+
+    def test_support(self, bdd):
+        isf = ISF.create(bdd, bdd.apply_and(bdd.var(0), bdd.var(1)),
+                         bdd.apply_or(bdd.var(0), bdd.var(2)))
+        assert isf.support(bdd) == {0, 1, 2}
+
+
+class TestMultiFunction:
+    def test_from_truth_tables(self, bdd):
+        mf = MultiFunction.from_truth_tables(
+            bdd, [0, 1], [[0, 0, 0, 1], [0, 1, 1, 0]])
+        assert mf.num_inputs == 2
+        assert mf.num_outputs == 2
+        assert mf.is_complete()
+        assert mf.eval({0: 1, 1: 1}) == [1, 0]
+        assert mf.eval({0: 0, 1: 1}) == [0, 1]
+
+    def test_from_truth_tables_with_dc(self, bdd):
+        mf = MultiFunction.from_truth_tables(
+            bdd, [0, 1], [[0, 0, 0, 1]], dc_tables=[[1, 0, 0, 0]])
+        assert not mf.is_complete()
+        assert mf.eval({0: 0, 1: 0}) == [None]
+        assert mf.eval({0: 1, 1: 1}) == [1]
+
+    def test_from_callable(self, bdd):
+        mf = MultiFunction.from_callable(
+            bdd, [0, 1, 2], 2,
+            lambda a, b, c: [(a + b + c) & 1, (a + b + c) >> 1])
+        assert mf.eval({0: 1, 1: 1, 2: 0}) == [0, 1]
+        assert mf.eval({0: 1, 1: 1, 2: 1}) == [1, 1]
+
+    def test_from_callable_arity_check(self, bdd):
+        with pytest.raises(ValueError):
+            MultiFunction.from_callable(bdd, [0, 1], 2, lambda a, b: [a])
+
+    def test_completed_lo(self, bdd):
+        mf = MultiFunction.from_truth_tables(
+            bdd, [0, 1], [[0, 0, 0, 1]], dc_tables=[[1, 0, 0, 0]])
+        completed = mf.completed_lo()
+        assert completed.is_complete()
+        assert completed.eval({0: 0, 1: 0}) == [0]
+
+    def test_support(self, bdd):
+        mf = MultiFunction.from_truth_tables(
+            bdd, [0, 1, 2], [[0, 0, 0, 0, 1, 1, 1, 1]])  # f = x0
+        assert mf.support() == {0}
+
+    def test_restrict_outputs(self, bdd):
+        mf = MultiFunction.from_truth_tables(
+            bdd, [0, 1], [[0, 0, 0, 1], [0, 1, 1, 0], [1, 1, 1, 1]])
+        sub = mf.restrict_outputs([2, 0])
+        assert sub.num_outputs == 2
+        assert sub.eval({0: 0, 1: 0}) == [1, 0]
+
+    def test_name_validation(self, bdd):
+        with pytest.raises(ValueError):
+            MultiFunction(bdd, [0, 1], [ISF.complete(BDD.TRUE)],
+                          input_names=["a"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from([0, 1, None]), min_size=8, max_size=8))
+def test_isf_interval_roundtrip_property(spec):
+    """Property: building an ISF from a partial spec and evaluating gives
+    back exactly the partial spec."""
+    bdd = BDD(3)
+    onset = [1 if v == 1 else 0 for v in spec]
+    dcset = [1 if v is None else 0 for v in spec]
+    mf = MultiFunction.from_truth_tables(bdd, [0, 1, 2], [onset],
+                                         dc_tables=[dcset])
+    for k in range(8):
+        bits = [(k >> (2 - i)) & 1 for i in range(3)]
+        value = mf.eval(dict(zip([0, 1, 2], bits)))[0]
+        assert value == spec[k]
+
+
+class TestSizeGuards:
+    def test_from_callable_rejects_huge(self, bdd):
+        big = BDD(21)
+        with pytest.raises(ValueError):
+            MultiFunction.from_callable(big, list(range(21)), 1,
+                                        lambda *bits: [0])
+
+    def test_write_pla_rejects_huge(self):
+        from repro.boolfunc.pla import write_pla
+        from repro.arith.adders import adder_function
+        mf = adder_function(9)  # 18 inputs
+        with pytest.raises(ValueError):
+            write_pla(mf)

@@ -1,0 +1,56 @@
+"""Tests for truth-table utilities."""
+
+import pytest
+
+from repro.boolfunc import truthtable as tt
+
+
+class TestIntConversion:
+    def test_roundtrip(self):
+        for value in (0, 1, 0b1011, 0xFF):
+            table = tt.table_from_int(value, 3)
+            assert tt.table_to_int(table) == value
+
+    def test_length(self):
+        assert len(tt.table_from_int(0, 4)) == 16
+
+    def test_rejects_oversized_mask(self):
+        with pytest.raises(ValueError):
+            tt.table_from_int(1 << 8, 2)
+
+
+class TestCallable:
+    def test_and(self):
+        table = tt.table_from_callable(lambda a, b: a and b, 2)
+        assert table == [0, 0, 0, 1]
+
+    def test_msb_first(self):
+        table = tt.table_from_callable(lambda a, b: a, 2)
+        assert table == [0, 0, 1, 1]
+
+
+class TestCofactor:
+    def test_cofactor(self):
+        table = tt.table_from_callable(lambda a, b: a ^ b, 2)
+        assert tt.cofactor_table(table, 0, 0) == [0, 1]
+        assert tt.cofactor_table(table, 0, 1) == [1, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tt.cofactor_table([0, 1, 0], 0, 0)
+        with pytest.raises(ValueError):
+            tt.cofactor_table([0, 1, 0, 1], 5, 0)
+
+
+class TestHelpers:
+    def test_minterms(self):
+        assert tt.minterms([0, 1, 1, 0]) == [1, 2]
+
+    def test_format(self):
+        text = tt.format_table([0, 1, 1, 0], names=["a", "b"])
+        assert "a b | f" in text
+        assert "0 1 | 1" in text
+
+    def test_iter_assignments(self):
+        assert list(tt.iter_assignments(2)) == [
+            (0, 0), (0, 1), (1, 0), (1, 1)]

@@ -1,0 +1,82 @@
+"""Tests for the high-level API facade."""
+
+import random
+
+import pytest
+
+from repro import (
+    BDD,
+    MultiFunction,
+    decompose_to_luts,
+    map_to_xc3000,
+    synthesize_two_input_gates,
+)
+
+
+@pytest.fixture
+def func():
+    rng = random.Random(271)
+    bdd = BDD(7)
+    tables = [[rng.randint(0, 1) for _ in range(128)] for _ in range(2)]
+    return MultiFunction.from_truth_tables(bdd, list(range(7)), tables)
+
+
+class TestMapToXc3000:
+    def test_result_fields(self, func):
+        result = map_to_xc3000(func)
+        assert result.lut_count == result.network.lut_count
+        assert result.clb_count == len(result.clbs)
+        assert result.clb_count <= result.lut_count
+        assert result.depth == result.network.depth()
+        assert result.network.max_fanin() <= 5
+
+    def test_summary_readable(self, func):
+        result = map_to_xc3000(func)
+        text = result.summary()
+        assert "LUTs" in text and "CLBs" in text
+
+    def test_modes_differ_only_in_flag(self, func):
+        with_dc = map_to_xc3000(func, use_dontcares=True)
+        without = map_to_xc3000(func, use_dontcares=False)
+        # Both must be valid; counts may differ either way on random
+        # functions.
+        assert with_dc.clb_count > 0
+        assert without.clb_count > 0
+
+    def test_functional(self, func):
+        result = map_to_xc3000(func)
+        for k in range(0, 128, 3):
+            bits = [(k >> (6 - i)) & 1 for i in range(7)]
+            expected = func.eval(dict(zip(func.inputs, bits)))
+            got = result.network.eval_outputs(
+                dict(zip(func.input_names, bits)))
+            assert [got[n] for n in func.output_names] == expected
+
+
+class TestDecomposeToLuts:
+    def test_n_lut_parameter(self, func):
+        for n_lut in (3, 4, 5):
+            net = decompose_to_luts(func, n_lut=n_lut)
+            assert net.max_fanin() <= n_lut
+
+
+class TestGateSynthesis:
+    def test_end_to_end(self, func):
+        net = synthesize_two_input_gates(func)
+        assert net.gate_count > 0
+        for k in range(0, 128, 5):
+            bits = [(k >> (6 - i)) & 1 for i in range(7)]
+            expected = func.eval(dict(zip(func.inputs, bits)))
+            got = net.eval_outputs(dict(zip(func.input_names, bits)))
+            assert [got[n] for n in func.output_names] == expected
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+        assert repro.__version__
+
+    def test_exports(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name)

@@ -1,0 +1,46 @@
+"""Regression tests: composition-function don't cares must not inflate
+the working support of the recursion."""
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.decomp.compat import classes_for
+from repro.decomp.encoding import build_composition_for_output
+from repro.decomp.multi import select_common_alphas
+
+
+def test_unused_code_support_is_removable():
+    """A g with one unused code has the alpha variables in hi's support
+    even where no extension needs them; reduce_support must be able to
+    drop anything an extension does not need."""
+    bdd = BDD(6)
+    # 3-class function => r=2, one unused code.
+    table = [1 if bin(k).count("1") >= 2 else 0 for k in range(8)]
+    isf = ISF.complete(bdd.from_truth_table(table, [0, 1, 2]))
+    cls = classes_for(bdd, [isf], [0, 1])
+    pool, encodings = select_common_alphas(bdd, [cls])
+    enc = encodings[0]
+    alpha_vars = {i: bdd.add_var() for i in enc.alpha_indices}
+    g = build_composition_for_output(bdd, enc, 0, alpha_vars)
+    # The raw interval support includes the alphas and the free var.
+    raw_support = g.support(bdd)
+    assert set(alpha_vars.values()) <= raw_support
+    reduced = g.reduce_support(bdd)
+    # Some extension needs strictly fewer variables than the raw union
+    # (at minimum the reduction must not grow it).
+    assert reduced.support(bdd) <= raw_support
+    assert reduced.refines(bdd, g)
+
+
+def test_composition_of_constant_class_is_constant():
+    bdd = BDD(4)
+    isf = ISF.complete(bdd.var(3))  # independent of the bound vars
+    cls = classes_for(bdd, [isf], [0, 1])
+    assert cls.ncc == 1
+    pool, encodings = select_common_alphas(bdd, [cls])
+    enc = encodings[0]
+    assert enc.r == 0
+    g = build_composition_for_output(bdd, enc, 0, {})
+    assert g.lo == bdd.var(3)
+    assert g.hi == bdd.var(3)

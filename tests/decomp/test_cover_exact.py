@@ -1,0 +1,105 @@
+"""Exact-vs-greedy clique cover cross-checks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.decomp.compat import classes_for
+from repro.decomp.cover import classes_for_exact, exact_cover
+from repro.decomp.compat import vertex_cofactors
+
+
+def build_isf(bdd, spec, variables):
+    onset = [1 if v == 1 else 0 for v in spec]
+    upper = [0 if v == 0 else 1 for v in spec]
+    return ISF.create(bdd,
+                      bdd.from_truth_table(onset, variables),
+                      bdd.from_truth_table(upper, variables))
+
+
+class TestExactCover:
+    def test_complete_functions_identical(self):
+        rng = random.Random(443)
+        bdd = BDD(5)
+        table = [rng.randint(0, 1) for _ in range(32)]
+        isf = ISF.complete(bdd.from_truth_table(table, [0, 1, 2, 3, 4]))
+        bound = [0, 1]
+        exact = classes_for_exact(bdd, [isf], bound)
+        greedy = classes_for(bdd, [isf], bound)
+        assert exact.ncc == greedy.ncc  # equality classes are optimal
+
+    def test_exact_never_worse(self):
+        rng = random.Random(449)
+        for _ in range(15):
+            bdd = BDD(4)
+            spec = [rng.choice([0, 1, None]) for _ in range(16)]
+            isf = build_isf(bdd, spec, [0, 1, 2, 3])
+            bound = [0, 1]
+            exact = classes_for_exact(bdd, [isf], bound)
+            greedy = classes_for(bdd, [isf], bound)
+            assert exact.ncc <= greedy.ncc
+
+    def test_exact_classes_valid(self):
+        rng = random.Random(457)
+        for _ in range(10):
+            bdd = BDD(4)
+            spec = [rng.choice([0, 1, None]) for _ in range(16)]
+            isf = build_isf(bdd, spec, [0, 1, 2, 3])
+            bound = [0, 1]
+            cls = classes_for_exact(bdd, [isf], bound)
+            cof = vertex_cofactors(bdd, [isf], bound)
+            # Every class's merged interval refines all members.
+            for c, vertices in enumerate(cls.classes):
+                for v in vertices:
+                    assert cls.merged[c][0].refines(bdd, cof[v][0])
+            # Partition check.
+            flat = sorted(v for ms in cls.classes for v in ms)
+            assert flat == list(range(4))
+
+    def test_node_limit_fallback(self):
+        bdd = BDD(5)
+        rng = random.Random(461)
+        spec = [rng.choice([0, 1, None]) for _ in range(32)]
+        isf = build_isf(bdd, spec, [0, 1, 2, 3, 4])
+        cof = vertex_cofactors(bdd, [isf], [0, 1, 2])
+        result = exact_cover(bdd, cof, [0, 1, 2], node_limit=1)
+        assert result is None  # budget too small -> caller falls back
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from([0, 1, None]), min_size=16, max_size=16))
+def test_exact_cover_optimality_property(spec):
+    """Exact <= greedy for every random ISF (and both are valid covers)."""
+    bdd = BDD(4)
+    onset = [1 if v == 1 else 0 for v in spec]
+    upper = [0 if v == 0 else 1 for v in spec]
+    isf = ISF.create(bdd, bdd.from_truth_table(onset, [0, 1, 2, 3]),
+                     bdd.from_truth_table(upper, [0, 1, 2, 3]))
+    bound = [0, 1]
+    exact = classes_for_exact(bdd, [isf], bound)
+    greedy = classes_for(bdd, [isf], bound)
+    assert exact.ncc <= greedy.ncc
+
+
+class TestExactCoverMultiOutput:
+    def test_joint_cover_never_worse(self):
+        rng = random.Random(641)
+        for _ in range(8):
+            bdd = BDD(4)
+            isfs = []
+            for _ in range(2):
+                spec = [rng.choice([0, 1, None]) for _ in range(16)]
+                isfs.append(build_isf(bdd, spec, [0, 1, 2, 3]))
+            bound = [0, 1]
+            exact = classes_for_exact(bdd, isfs, bound)
+            greedy = classes_for(bdd, isfs, bound)
+            assert exact.ncc <= greedy.ncc
+            # Valid joint cover: merged vectors refine all members.
+            cof = vertex_cofactors(bdd, isfs, bound)
+            for c, members in enumerate(exact.classes):
+                for v in members:
+                    for k in range(2):
+                        assert exact.merged[c][k].refines(bdd, cof[v][k])

@@ -1,0 +1,52 @@
+"""The onset-seeded clique cover dominates plain 0-completion.
+
+This property is what makes ``mulop-dc`` never lose to ``mulopII`` on
+the same bound set: computing compatible classes of an ISF can only
+MERGE (never split) the classes obtained by assigning all don't cares
+to 0 first.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.decomp.compat import classes_for
+
+
+def build_isf(bdd, spec, variables):
+    onset = [1 if v == 1 else 0 for v in spec]
+    upper = [0 if v == 0 else 1 for v in spec]
+    return ISF.create(bdd,
+                      bdd.from_truth_table(onset, variables),
+                      bdd.from_truth_table(upper, variables))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from([0, 1, None]), min_size=32, max_size=32),
+       st.integers(min_value=1, max_value=3))
+def test_isf_cover_never_exceeds_completion(spec, p):
+    bdd = BDD(5)
+    isf = build_isf(bdd, spec, [0, 1, 2, 3, 4])
+    bound = list(range(p))
+    isf_ncc = classes_for(bdd, [isf], bound).ncc
+    completed = ISF.complete(isf.lo)
+    lo_ncc = classes_for(bdd, [completed], bound).ncc
+    assert isf_ncc <= lo_ncc
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_multi_output_cover_never_exceeds_completion(seed):
+    rng = random.Random(seed)
+    bdd = BDD(5)
+    isfs = []
+    for _ in range(3):
+        spec = [rng.choice([0, 1, None]) for _ in range(32)]
+        isfs.append(build_isf(bdd, spec, [0, 1, 2, 3, 4]))
+    bound = [0, 1, 2]
+    joint_isf = classes_for(bdd, isfs, bound).ncc
+    completed = [ISF.complete(i.lo) for i in isfs]
+    joint_lo = classes_for(bdd, completed, bound).ncc
+    assert joint_isf <= joint_lo

@@ -1,0 +1,72 @@
+"""Cross-check: the BDD cut-counting ncc equals the cofactor-based ncc."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.decomp.compat import ncc
+from repro.decomp.cut_count import cut_nodes, ncc_via_cut, ncc_with_reorder
+
+
+class TestCutMethod:
+    def test_requires_bound_on_top(self):
+        bdd = BDD(4)
+        f = bdd.apply_xor(bdd.var(0), bdd.var(3))
+        with pytest.raises(ValueError):
+            cut_nodes(bdd, f, [3])  # bound var below free var 0
+
+    def test_requires_nonempty_sets(self):
+        bdd = BDD(3)
+        f = bdd.var(0)
+        with pytest.raises(ValueError):
+            cut_nodes(bdd, f, [0])  # no free variables
+
+    def test_simple_known_value(self):
+        # majority(x0,x1,x2), bound {x0,x1}: classes 0, x2, 1 -> ncc 3.
+        bdd = BDD(3)
+        table = [1 if bin(k).count("1") >= 2 else 0 for k in range(8)]
+        f = bdd.from_truth_table(table, [0, 1, 2])
+        assert ncc_via_cut(bdd, f, [0, 1]) == 3
+
+    def test_matches_cofactor_method_with_natural_order(self):
+        rng = random.Random(349)
+        for _ in range(20):
+            bdd = BDD(5)
+            table = [rng.randint(0, 1) for _ in range(32)]
+            f = bdd.from_truth_table(table, [0, 1, 2, 3, 4])
+            for p in (1, 2, 3):
+                bound = list(range(p))
+                expected = ncc(bdd, [ISF.complete(f)], bound)
+                assert ncc_via_cut(bdd, f, bound) == expected
+
+    def test_with_reorder_arbitrary_bound(self):
+        rng = random.Random(353)
+        for _ in range(10):
+            bdd = BDD(5)
+            table = [rng.randint(0, 1) for _ in range(32)]
+            f = bdd.from_truth_table(table, [0, 1, 2, 3, 4])
+            bound = rng.sample(range(5), 2)
+            expected = ncc(bdd, [ISF.complete(f)], bound)
+            got, _ = ncc_with_reorder(bdd, f, bound)
+            assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1),
+                min_size=16, max_size=16),
+       st.integers(min_value=1, max_value=2))
+def test_cut_equals_cofactor_property(table, p):
+    bdd = BDD(4)
+    f = bdd.from_truth_table(table, [0, 1, 2, 3])
+    bound = list(range(p))
+    if not (bdd.support(f) - set(bound)):
+        return  # no free variables
+    if not (bdd.support(f) & set(bound)):
+        # f independent of the bound: exactly one class.
+        assert ncc(bdd, [ISF.complete(f)], bound) == 1
+        return
+    assert ncc_via_cut(bdd, f, bound) == ncc(bdd, [ISF.complete(f)],
+                                             bound)

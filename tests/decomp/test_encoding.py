@@ -1,0 +1,192 @@
+"""Tests for alpha functions, encodings and composition functions."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.bdd.ops import vertex_bits, vertex_index
+from repro.boolfunc.spec import ISF
+from repro.decomp.compat import classes_for
+from repro.decomp.encoding import (
+    AlphaFunction,
+    build_composition_for_output,
+    encode_output,
+)
+from repro.decomp.multi import select_common_alphas
+
+
+@pytest.fixture
+def bdd():
+    return BDD(8)
+
+
+class TestAlphaFunction:
+    def test_normalisation(self):
+        a = AlphaFunction.normalised([1, 0, 1, 1])
+        assert a.values == (0, 1, 0, 0)
+        b = AlphaFunction.normalised([0, 1, 1, 0])
+        assert b.values == (0, 1, 1, 0)
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError):
+            AlphaFunction((1, 0))
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            AlphaFunction((0, 1, 0))
+
+    def test_projection_var(self):
+        # p = 2, alpha = x_b1 (second bound var): values by vertex
+        # 00,01,10,11 -> 0,1,0,1
+        a = AlphaFunction((0, 1, 0, 1))
+        assert a.projection_var([4, 7]) == 7
+        b = AlphaFunction((0, 0, 1, 1))
+        assert b.projection_var([4, 7]) == 4
+        c = AlphaFunction((0, 1, 1, 0))
+        assert c.projection_var([4, 7]) is None
+
+    def test_to_bdd(self, bdd):
+        a = AlphaFunction((0, 1, 1, 0))
+        f = a.to_bdd(bdd, [0, 1])
+        assert f == bdd.apply_xor(bdd.var(0), bdd.var(1))
+
+    def test_strictness(self, bdd):
+        f = ISF.complete(bdd.apply_xor(bdd.var(0), bdd.var(1)))
+        cls = classes_for(bdd, [f], [0, 1])
+        strict = AlphaFunction((0, 1, 1, 0))
+        assert strict.is_strict_for(cls)
+        loose = AlphaFunction((0, 1, 0, 1))
+        assert not loose.is_strict_for(cls)
+
+
+class TestEncodeOutput:
+    def test_injective(self, bdd):
+        table = [1 if bin(k).count('1') >= 2 else 0 for k in range(8)]
+        f = ISF.complete(bdd.from_truth_table(table, [0, 1, 2]))
+        cls = classes_for(bdd, [f], [0, 1])  # 3 classes: 0, 1, 2 ones
+        a0 = AlphaFunction.normalised([0, 0, 0, 1])  # both ones
+        a1 = AlphaFunction.normalised([0, 1, 1, 0])  # exactly one
+        enc = encode_output(cls, [a0, a1], [0, 1])
+        assert len(set(enc.codes)) == 3
+
+    def test_rejects_non_strict(self, bdd):
+        table = [1 if bin(k).count('1') >= 2 else 0 for k in range(8)]
+        f = ISF.complete(bdd.from_truth_table(table, [0, 1, 2]))
+        cls = classes_for(bdd, [f], [0, 1])
+        bad = AlphaFunction((0, 1, 0, 1))  # splits the middle class
+        with pytest.raises(ValueError):
+            encode_output(cls, [bad, bad], [0, 1])
+
+    def test_rejects_non_injective(self, bdd):
+        f = ISF.complete(bdd.apply_and(bdd.var(0), bdd.var(1)))
+        cls = classes_for(bdd, [f], [0, 1])
+        const = AlphaFunction((0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            encode_output(cls, [const], [0])
+
+
+def _decomposition_is_correct(bdd, isf, bound, free):
+    """Run classes -> alphas -> g and check f(x) = g(alpha(xB), xF)
+    is an extension of the ISF on every input."""
+    cls = classes_for(bdd, [isf], bound)
+    pool, encodings = select_common_alphas(bdd, [cls])
+    enc = encodings[0]
+    alpha_vars = {}
+    for i in enc.alpha_indices:
+        alpha_vars[i] = bdd.add_var()
+    g = build_composition_for_output(bdd, enc, 0, alpha_vars)
+    g_ext = g.lo  # any extension; take lo
+    p = len(bound)
+    for bits in itertools.product((0, 1), repeat=p + len(free)):
+        assignment = dict(zip(list(bound) + list(free), bits))
+        v = vertex_index([assignment[b] for b in bound])
+        alpha_assign = {
+            alpha_vars[i]: pool[i].values[v] for i in enc.alpha_indices}
+        g_val = bdd.eval(g_ext, {**assignment, **alpha_assign})
+        lo_val = bdd.eval(isf.lo, assignment)
+        hi_val = bdd.eval(isf.hi, assignment)
+        if lo_val and not g_val:
+            return False
+        if not hi_val and g_val:
+            return False
+    return True
+
+
+class TestCompositionCorrectness:
+    def test_random_complete_functions(self):
+        rng = random.Random(61)
+        for _ in range(15):
+            bdd = BDD(5)
+            table = [rng.randint(0, 1) for _ in range(32)]
+            isf = ISF.complete(bdd.from_truth_table(table, [0, 1, 2, 3, 4]))
+            assert _decomposition_is_correct(bdd, isf, [0, 1, 2], [3, 4])
+
+    def test_random_incomplete_functions(self):
+        rng = random.Random(67)
+        for _ in range(15):
+            bdd = BDD(5)
+            spec = [rng.choice([0, 1, None]) for _ in range(32)]
+            onset = [1 if v == 1 else 0 for v in spec]
+            upper = [0 if v == 0 else 1 for v in spec]
+            isf = ISF.create(
+                bdd, bdd.from_truth_table(onset, [0, 1, 2, 3, 4]),
+                bdd.from_truth_table(upper, [0, 1, 2, 3, 4]))
+            assert _decomposition_is_correct(bdd, isf, [0, 1, 2], [3, 4])
+
+    def test_unused_codes_are_dontcares(self, bdd):
+        # A function with 3 classes and r=2 leaves one unused code; g
+        # must be DC there.
+        table = [1 if bin(k).count('1') >= 2 else 0 for k in range(8)]
+        isf = ISF.complete(bdd.from_truth_table(table, [0, 1, 2]))
+        cls = classes_for(bdd, [isf], [0, 1])
+        pool, encodings = select_common_alphas(bdd, [cls])
+        enc = encodings[0]
+        assert enc.r == 2
+        alpha_vars = {i: bdd.add_var() for i in enc.alpha_indices}
+        g = build_composition_for_output(bdd, enc, 0, alpha_vars)
+        assert not g.is_complete()
+        unused = set(itertools.product((0, 1), repeat=2)) - set(enc.codes)
+        assert len(unused) == 1
+        code = unused.pop()
+        assign = {alpha_vars[i]: code[j]
+                  for j, i in enumerate(enc.alpha_indices)}
+        assign[2] = 0
+        assert not bdd.eval(g.lo, assign)
+        assert bdd.eval(g.hi, assign)
+
+
+class TestSelectCommonAlphas:
+    def test_equal_outputs_share_everything(self, bdd):
+        table = [random.Random(71).randint(0, 1) for _ in range(16)]
+        f = ISF.complete(bdd.from_truth_table(table, [0, 1, 2, 3]))
+        cls = classes_for(bdd, [f], [0, 1])
+        pool, encodings = select_common_alphas(bdd, [cls, cls])
+        assert encodings[0].alpha_indices == encodings[1].alpha_indices
+
+    def test_r_within_bounds(self, bdd):
+        rng = random.Random(73)
+        for _ in range(10):
+            fs = [ISF.complete(bdd.from_truth_table(
+                [rng.randint(0, 1) for _ in range(16)], [0, 1, 2, 3]))
+                for _ in range(3)]
+            per_out = [classes_for(bdd, [f], [0, 1]) for f in fs]
+            pool, encodings = select_common_alphas(bdd, per_out)
+            used = {i for e in encodings for i in e.alpha_indices}
+            assert max(e.r for e in encodings) <= len(used)
+            assert len(used) <= sum(e.r for e in encodings)
+            # Encodings must match the theoretical r_i.
+            for e, cls in zip(encodings, per_out):
+                assert e.r <= cls.min_r
+
+    def test_each_alpha_strict(self, bdd):
+        rng = random.Random(79)
+        fs = [ISF.complete(bdd.from_truth_table(
+            [rng.randint(0, 1) for _ in range(32)], [0, 1, 2, 3, 4]))
+            for _ in range(4)]
+        per_out = [classes_for(bdd, [f], [0, 1, 2]) for f in fs]
+        pool, encodings = select_common_alphas(bdd, per_out)
+        for e, cls in zip(encodings, per_out):
+            for i in e.alpha_indices:
+                assert pool[i].is_strict_for(cls)

@@ -1,0 +1,92 @@
+"""Tests for specific engine control paths: cooldown, node budget,
+components, alpha bundles in balanced mode."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import MultiFunction
+from repro.decomp.recursive import DecompositionEngine
+
+
+def random_mf(seed, n, m):
+    rng = random.Random(seed)
+    bdd = BDD(n)
+    tables = [[rng.randint(0, 1) for _ in range(1 << n)]
+              for _ in range(m)]
+    return MultiFunction.from_truth_tables(bdd, list(range(n)), tables)
+
+
+class TestNodeBudget:
+    def test_tiny_node_budget_triggers_fallback(self):
+        func = random_mf(601, 8, 2)
+        engine = DecompositionEngine(n_lut=4, node_budget=10)
+        net = engine.run(func)
+        assert engine.stats.budget_exhausted
+        # The fallback still realises the function.
+        for k in range(0, 256, 7):
+            bits = [(k >> (7 - i)) & 1 for i in range(8)]
+            got = net.eval_outputs(dict(zip(func.input_names, bits)))
+            expected = func.eval(dict(zip(func.inputs, bits)))
+            assert [got[n] for n in func.output_names] == expected
+
+    def test_generous_node_budget_untouched(self):
+        func = random_mf(607, 6, 1)
+        engine = DecompositionEngine(n_lut=4, node_budget=10_000_000)
+        net = engine.run(func)
+        assert not engine.stats.budget_exhausted
+
+
+class TestComponents:
+    def test_disjoint_outputs_split(self):
+        # f0 over x0..x2, f1 over x3..x5: supports are disjoint.
+        bdd = BDD(6)
+        rng = random.Random(613)
+        t0 = [rng.randint(0, 1) for _ in range(8)]
+        t1 = [rng.randint(0, 1) for _ in range(8)]
+        f0 = bdd.from_truth_table(t0, [0, 1, 2])
+        f1 = bdd.from_truth_table(t1, [3, 4, 5])
+        from repro.boolfunc.spec import ISF
+        func = MultiFunction(bdd, list(range(6)),
+                             [ISF.complete(f0), ISF.complete(f1)])
+        engine = DecompositionEngine(n_lut=3)
+        net = engine.run(func)
+        # Each output fits one 3-LUT (support 3) -> at most 2 LUTs.
+        assert net.lut_count <= 2
+
+
+class TestShannonCooldown:
+    def test_cooldown_still_correct(self):
+        # A function engineered to defeat the window search: dense random
+        # 8-var function where every 2..5-bound set has high ncc; the
+        # engine must fall through Shannon (possibly with cooldown) and
+        # remain correct.
+        func = random_mf(617, 8, 1)
+        engine = DecompositionEngine(n_lut=3, max_candidates=2,
+                                     try_candidates=1)
+        net = engine.run(func)
+        for k in range(0, 256, 5):
+            bits = [(k >> (7 - i)) & 1 for i in range(8)]
+            got = net.eval_outputs(dict(zip(func.input_names, bits)))
+            expected = func.eval(dict(zip(func.inputs, bits)))
+            assert [got[n] for n in func.output_names] == expected
+
+
+class TestBalancedAlphaBundles:
+    def test_wide_alpha_recursion(self):
+        # Balanced mode on 12 inputs forces p ~ 6 > n_lut: the alphas are
+        # decomposed recursively as a bundle.
+        from repro.arith.adders import adder_function
+        func = adder_function(6)  # 12 inputs
+        engine = DecompositionEngine(n_lut=3, balanced=True)
+        net = engine.run(func)
+        assert net.max_fanin() <= 3
+        rng = random.Random(619)
+        for _ in range(100):
+            x = rng.randrange(64)
+            y = rng.randrange(64)
+            bits = {f"x{i}": (x >> i) & 1 for i in range(6)}
+            bits.update({f"y{i}": (y >> i) & 1 for i in range(6)})
+            out = net.eval_outputs(bits)
+            assert sum(out[f"s{i}"] << i for i in range(7)) == x + y

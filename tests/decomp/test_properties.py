@@ -1,0 +1,81 @@
+"""Property-based tests over the whole decomposition flow."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import MultiFunction
+from repro.decomp.recursive import decompose
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1),
+                min_size=32, max_size=32),
+       st.integers(min_value=3, max_value=5))
+def test_decomposition_realises_function(table, n_lut):
+    """Property: for any 5-var function and LUT size, the mapped network
+    computes exactly the function."""
+    bdd = BDD(5)
+    func = MultiFunction.from_truth_tables(bdd, list(range(5)), [table])
+    net = decompose(func, n_lut=n_lut)
+    assert net.max_fanin() <= n_lut
+    for k in range(32):
+        bits = [(k >> (4 - i)) & 1 for i in range(5)]
+        got = net.eval_outputs(dict(zip(func.input_names, bits)))
+        assert got["f0"] == table[k]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**16 - 1),
+       st.integers(min_value=0, max_value=2**16 - 1))
+def test_two_output_bundle_property(bits_a, bits_b):
+    """Property: multi-output bundles are decomposed jointly but each
+    output stays correct."""
+    bdd = BDD(4)
+    table_a = [(bits_a >> k) & 1 for k in range(16)]
+    table_b = [(bits_b >> k) & 1 for k in range(16)]
+    func = MultiFunction.from_truth_tables(bdd, list(range(4)),
+                                           [table_a, table_b])
+    net = decompose(func, n_lut=3)
+    for k in range(16):
+        bits = [(k >> (3 - i)) & 1 for i in range(4)]
+        got = net.eval_outputs(dict(zip(func.input_names, bits)))
+        assert got["f0"] == table_a[k]
+        assert got["f1"] == table_b[k]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.sampled_from([0, 1, None]), min_size=32, max_size=32))
+def test_isf_decomposition_extension_property(spec):
+    """Property: for an incompletely specified function, the mapped
+    network realises SOME extension — care values always match."""
+    bdd = BDD(5)
+    onset = [1 if v == 1 else 0 for v in spec]
+    dcset = [1 if v is None else 0 for v in spec]
+    func = MultiFunction.from_truth_tables(bdd, list(range(5)), [onset],
+                                           dc_tables=[dcset])
+    net = decompose(func, n_lut=3)
+    for k in range(32):
+        if spec[k] is None:
+            continue
+        bits = [(k >> (4 - i)) & 1 for i in range(5)]
+        got = net.eval_outputs(dict(zip(func.input_names, bits)))
+        assert got["f0"] == spec[k]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=10**9))
+def test_balanced_and_plain_agree(seed):
+    """Property: balanced and plain modes both realise the function."""
+    rng = random.Random(seed)
+    bdd = BDD(6)
+    table = [rng.randint(0, 1) for _ in range(64)]
+    func = MultiFunction.from_truth_tables(bdd, list(range(6)), [table])
+    plain = decompose(func, n_lut=4)
+    balanced = decompose(func, n_lut=4, balanced=True)
+    for k in range(64):
+        bits = [(k >> (5 - i)) & 1 for i in range(6)]
+        named = dict(zip(func.input_names, bits))
+        assert plain.eval_outputs(named)["f0"] == table[k]
+        assert balanced.eval_outputs(named)["f0"] == table[k]

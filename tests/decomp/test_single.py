@@ -1,0 +1,79 @@
+"""Tests for the single-output one-step decomposition API."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.decomp.single import decompose_single
+
+
+class TestDecomposeSingle:
+    def test_majority_xor_example(self):
+        bdd = BDD(5)
+        maj = bdd.from_truth_table(
+            [1 if bin(k).count("1") >= 2 else 0 for k in range(8)],
+            [0, 1, 2])
+        f = bdd.apply_xor(maj, bdd.apply_and(bdd.var(3), bdd.var(4)))
+        step = decompose_single(bdd, f, [0, 1, 2])
+        assert step.ncc == 2
+        assert step.r == 1
+        assert step.is_nontrivial()
+        assert step.verify(f)
+
+    def test_doctest_runs(self):
+        import doctest
+        import repro.decomp.single as module
+        results = doctest.testmod(module)
+        assert results.failed == 0
+
+    def test_random_functions_recompose(self):
+        rng = random.Random(673)
+        for _ in range(15):
+            bdd = BDD(5)
+            table = [rng.randint(0, 1) for _ in range(32)]
+            f = bdd.from_truth_table(table, [0, 1, 2, 3, 4])
+            if not ({0, 1} & bdd.support(f)) \
+                    or not (bdd.support(f) - {0, 1}):
+                continue
+            step = decompose_single(bdd, f, [0, 1])
+            assert step.verify(f)
+            assert step.r <= 2
+
+    def test_validation(self):
+        bdd = BDD(3)
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        with pytest.raises(ValueError):
+            decompose_single(bdd, f, [2])  # disjoint from support
+        with pytest.raises(ValueError):
+            decompose_single(bdd, f, [0, 1])  # no free variables left
+
+    def test_unused_codes_are_dc(self):
+        bdd = BDD(5)
+        # 3 classes -> r=2 -> one unused code -> g incomplete.
+        table = [1 if bin(k).count("1") >= 2 else 0 for k in range(8)]
+        maj = bdd.from_truth_table(table, [0, 1, 2])
+        f = bdd.apply_and(maj, bdd.var(3))
+        # bound {0,1}: classes 0 / x2-dependent... compute directly.
+        step = decompose_single(bdd, f, [0, 1])
+        if step.ncc == 3:
+            assert not step.g.is_complete()
+        assert step.verify(f)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=32,
+                max_size=32),
+       st.integers(min_value=2, max_value=3))
+def test_single_step_roundtrip_property(table, p):
+    bdd = BDD(5)
+    f = bdd.from_truth_table(table, [0, 1, 2, 3, 4])
+    bound = list(range(p))
+    support = bdd.support(f)
+    if not (set(bound) & support) or not (support - set(bound)):
+        return
+    step = decompose_single(bdd, f, bound)
+    assert step.verify(f)
+    # r respects the information-theoretic bound.
+    assert (1 << step.r) >= step.ncc

@@ -1,0 +1,48 @@
+"""Shared test utilities: brute-force reference implementations."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Sequence
+
+from repro.bdd.manager import BDD
+
+
+def all_assignments(variables: Sequence[int]):
+    """Iterate all total assignments {var: 0/1} over the variables."""
+    for bits in itertools.product((0, 1), repeat=len(variables)):
+        yield dict(zip(variables, bits))
+
+
+def bdd_from_callable(bdd: BDD, fn: Callable[..., int],
+                      variables: Sequence[int]) -> int:
+    """Build a BDD for a Python callable over the given variables."""
+    table = []
+    for bits in itertools.product((0, 1), repeat=len(variables)):
+        table.append(1 if fn(*bits) else 0)
+    return bdd.from_truth_table(table, variables)
+
+
+def functions_equal(bdd: BDD, f: int, fn: Callable[..., int],
+                    variables: Sequence[int]) -> bool:
+    """Compare a BDD against a Python callable pointwise."""
+    for assignment in all_assignments(variables):
+        expected = bool(fn(*[assignment[v] for v in variables]))
+        if bdd.eval(f, assignment) != expected:
+            return False
+    return True
+
+
+def random_truth_table(rng, nvars: int) -> List[int]:
+    """Random truth table over nvars variables."""
+    return [rng.randint(0, 1) for _ in range(1 << nvars)]
+
+
+def truth_table_of(bdd: BDD, f: int, variables: Sequence[int]) -> List[int]:
+    """Truth table via eval (independent check of to_truth_table)."""
+    out = []
+    for assignment in all_assignments(variables):
+        full = {v: 0 for v in bdd.support(f)}
+        full.update(assignment)
+        out.append(1 if bdd.eval(f, full) else 0)
+    return out

@@ -1,0 +1,95 @@
+"""Tests for the baseline mappers (mux-tree and structural cut)."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import MultiFunction
+from repro.mapping.baselines import mux_tree_map, structural_cut_map
+
+
+def random_mf(rng, n, m):
+    bdd = BDD(n)
+    tables = [[rng.randint(0, 1) for _ in range(1 << n)] for _ in range(m)]
+    return MultiFunction.from_truth_tables(bdd, list(range(n)), tables)
+
+
+def check(func, net):
+    n = func.num_inputs
+    for k in range(1 << n):
+        bits = [(k >> (n - 1 - i)) & 1 for i in range(n)]
+        expected = func.eval(dict(zip(func.inputs, bits)))
+        got = net.eval_outputs(dict(zip(func.input_names, bits)))
+        for name, value in zip(func.output_names, expected):
+            assert got[name] == value
+
+
+class TestMuxTree:
+    def test_correct(self):
+        rng = random.Random(197)
+        for _ in range(8):
+            func = random_mf(rng, 7, 2)
+            net = mux_tree_map(func, n_lut=5)
+            assert net.max_fanin() <= 5
+            check(func, net)
+
+    def test_small_function_single_lut(self):
+        rng = random.Random(199)
+        func = random_mf(rng, 4, 1)
+        net = mux_tree_map(func, n_lut=5)
+        assert net.lut_count <= 1
+
+    def test_constant(self):
+        bdd = BDD(3)
+        func = MultiFunction.from_truth_tables(bdd, [0, 1, 2],
+                                               [[1] * 8])
+        net = mux_tree_map(func)
+        assert net.lut_count == 0
+
+
+class TestStructuralCut:
+    def test_correct(self):
+        rng = random.Random(211)
+        for _ in range(8):
+            func = random_mf(rng, 6, 2)
+            net = structural_cut_map(func, n_lut=5)
+            assert net.max_fanin() <= 5
+            check(func, net)
+
+    def test_wide_function(self):
+        rng = random.Random(223)
+        func = random_mf(rng, 8, 1)
+        net = structural_cut_map(func, n_lut=5)
+        assert net.max_fanin() <= 5
+        # spot-check correctness
+        for k in range(0, 256, 7):
+            bits = [(k >> (7 - i)) & 1 for i in range(8)]
+            expected = func.eval(dict(zip(func.inputs, bits)))
+            got = net.eval_outputs(dict(zip(func.input_names, bits)))
+            assert got["f0"] == expected[0]
+
+
+class TestBaselineVsDecomposition:
+    def test_decomposition_beats_muxtree_on_symmetric(self):
+        # On a symmetric function the paper's method shines; the naive
+        # mapper pays full price.
+        bdd = BDD(9)
+        table = [1 if bin(k).count('1') in (3, 4, 5, 6) else 0
+                 for k in range(512)]
+        func = MultiFunction.from_truth_tables(bdd, list(range(9)),
+                                               [table])
+        from repro.decomp.recursive import decompose
+        ours = decompose(func, n_lut=5)
+        theirs = mux_tree_map(func, n_lut=5)
+        assert ours.lut_count <= theirs.lut_count
+
+
+class TestBitParallelCutMap:
+    def test_wide_block_function(self):
+        # Exercise the word-level cone simulation on a deeper circuit.
+        from repro.bench.registry import benchmark
+        from repro.verify.equiv import check_equivalence
+        func = benchmark("misex1")
+        net = structural_cut_map(func, n_lut=5)
+        assert check_equivalence(func, net)

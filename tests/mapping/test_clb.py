@@ -1,0 +1,77 @@
+"""Tests for XC3000 CLB merging."""
+
+import pytest
+
+from repro.mapping.clb import clb_count, merge_luts_xc3000, mergeable
+from repro.mapping.lutnet import LutNetwork
+
+
+def make_net(specs):
+    """specs: list of fanin-name lists; creates one XOR-chain LUT each."""
+    net = LutNetwork()
+    created = set()
+    for fanins in specs:
+        for f in fanins:
+            if f not in created:
+                net.add_input(f)
+                created.add(f)
+    for i, fanins in enumerate(specs):
+        k = len(fanins)
+        # parity table (depends on all fanins, never simplifies away)
+        table = [bin(idx).count("1") & 1 for idx in range(1 << k)]
+        s = net.add_lut(fanins, table)
+        net.set_output(f"o{i}", s)
+    return net
+
+
+class TestMergeable:
+    def test_small_pair(self):
+        assert mergeable({"a", "b"}, {"c", "d"})
+        assert mergeable({"a", "b", "c", "d"}, {"a", "b", "c", "d"})
+
+    def test_too_many_union(self):
+        assert not mergeable({"a", "b", "c"}, {"d", "e", "f"})
+
+    def test_five_input_lut_never_merges(self):
+        assert not mergeable({"a", "b", "c", "d", "e"}, {"a"})
+
+
+class TestMerging:
+    def test_disjoint_four_input_luts_do_not_merge(self):
+        net = make_net([["a", "b", "c", "d"], ["e", "f", "g", "h"]])
+        assert clb_count(net) == 2
+
+    def test_shared_support_merges(self):
+        net = make_net([["a", "b", "c", "d"], ["a", "b", "c", "e"]])
+        assert clb_count(net) == 1
+
+    def test_single_five_input_lut(self):
+        net = make_net([["a", "b", "c", "d", "e"]])
+        assert clb_count(net) == 1
+
+    def test_five_input_lut_plus_small(self):
+        net = make_net([["a", "b", "c", "d", "e"], ["a", "b"]])
+        assert clb_count(net) == 2
+
+    def test_matching_is_maximum(self):
+        # Four 2-input LUTs over {a, b, c}: all pairs mergeable -> 2 CLBs.
+        net = make_net([["a", "b"], ["b", "c"], ["a", "c"],
+                        ["a", "b", "c"]])
+        assert clb_count(net) == 2
+
+    def test_rejects_oversized_luts(self):
+        net = make_net([["a", "b", "c", "d", "e", "f"]])
+        with pytest.raises(ValueError):
+            merge_luts_xc3000(net)
+
+    def test_merge_structure(self):
+        net = make_net([["a", "b"], ["a", "c"]])
+        clbs = merge_luts_xc3000(net)
+        assert len(clbs) == 1
+        assert len(clbs[0]) == 2
+
+    def test_empty_network(self):
+        net = LutNetwork()
+        net.add_input("a")
+        net.set_output("y", "a")
+        assert clb_count(net) == 0

@@ -1,0 +1,126 @@
+"""Additional CLB-merging tests: matching quality and structure."""
+
+import random
+
+import pytest
+
+from repro.mapping.clb import clb_count, merge_luts_xc3000
+from repro.mapping.lutnet import LutNetwork
+
+
+def parity_net(specs):
+    net = LutNetwork()
+    created = set()
+    for fanins in specs:
+        for f in fanins:
+            if f not in created:
+                net.add_input(f)
+                created.add(f)
+    for i, fanins in enumerate(specs):
+        k = len(fanins)
+        table = [bin(idx).count("1") & 1 for idx in range(1 << k)]
+        net.set_output(f"o{i}", net.add_lut(fanins, table))
+    return net
+
+
+class TestMatchingQuality:
+    def test_chain_pairs_optimally(self):
+        # Chain a-b, b-c, c-d, d-e: maximum matching pairs 2 of the 4.
+        net = parity_net([["a", "b"], ["b", "c"], ["c", "d"], ["d", "e"]])
+        assert clb_count(net) == 2
+
+    def test_odd_chain(self):
+        net = parity_net([["a", "b"], ["b", "c"], ["c", "d"]])
+        assert clb_count(net) == 2  # one pair + one single
+
+    def test_star_cannot_overpair(self):
+        # Five 4-input LUTs all sharing the same 4 inputs: any two merge.
+        net = parity_net([["a", "b", "c", "d"]] * 5)
+        # Structural hashing collapses identical LUTs to one!
+        assert net.lut_count == 1
+        assert clb_count(net) == 1
+
+    def test_distinct_functions_same_support(self):
+        net = LutNetwork()
+        for name in "abcd":
+            net.add_input(name)
+        tables = [
+            [bin(i).count("1") & 1 for i in range(16)],          # parity
+            [1 if bin(i).count("1") >= 2 else 0 for i in range(16)],
+            [1 if bin(i).count("1") == 2 else 0 for i in range(16)],
+        ]
+        for i, table in enumerate(tables):
+            net.set_output(f"o{i}", net.add_lut(list("abcd"), table))
+        assert net.lut_count == 3
+        assert clb_count(net) == 2
+
+    def test_mixed_sizes(self):
+        rng = random.Random(9)
+        specs = []
+        letters = [f"i{k}" for k in range(12)]
+        for _ in range(9):
+            size = rng.randint(2, 5)
+            specs.append(rng.sample(letters, size))
+        net = parity_net(specs)
+        clbs = merge_luts_xc3000(net)
+        # Every CLB is a single or a legal pair.
+        names = {node.name: set(node.fanins)
+                 for node in net.node_list()}
+        for clb in clbs:
+            assert len(clb) in (1, 2)
+            if len(clb) == 2:
+                a, b = clb
+                assert len(names[a]) <= 4
+                assert len(names[b]) <= 4
+                assert len(names[a] | names[b]) <= 5
+        # Every LUT appears exactly once.
+        flat = [name for clb in clbs for name in clb]
+        assert sorted(flat) == sorted(names)
+
+
+class TestGreedyBaseline:
+    def test_matching_never_worse_than_greedy(self):
+        import random
+        from repro.mapping.clb import merge_luts_greedy
+        rng = random.Random(77)
+        for trial in range(10):
+            specs = []
+            letters = [f"i{k}" for k in range(10)]
+            for _ in range(8):
+                size = rng.randint(2, 5)
+                specs.append(rng.sample(letters, size))
+            net = parity_net(specs)
+            greedy = len(merge_luts_greedy(net))
+            matched = len(merge_luts_xc3000(net))
+            assert matched <= greedy
+
+    def test_greedy_structure_valid(self):
+        from repro.mapping.clb import merge_luts_greedy
+        net = parity_net([["a", "b"], ["b", "c"], ["c", "d"], ["d", "e"]])
+        clbs = merge_luts_greedy(net)
+        flat = [n for clb in clbs for n in clb]
+        assert sorted(flat) == sorted(n.name for n in net.node_list())
+
+
+class TestIndexedMerge:
+    def test_indexed_valid_and_close_to_matching(self):
+        import random
+        from repro.mapping.clb import merge_luts_indexed, merge_luts_xc3000
+        rng = random.Random(99)
+        specs = []
+        letters = [f"i{k}" for k in range(14)]
+        for _ in range(12):
+            size = rng.randint(2, 5)
+            specs.append(rng.sample(letters, size))
+        net = parity_net(specs)
+        indexed = merge_luts_indexed(net)
+        exact = merge_luts_xc3000(net)
+        names = {n.name: set(n.fanins) for n in net.node_list()}
+        flat = [n for clb in indexed for n in clb]
+        assert sorted(flat) == sorted(names)
+        from repro.mapping.clb import mergeable
+        for clb in indexed:
+            if len(clb) == 2:
+                assert mergeable(names[clb[0]], names[clb[1]])
+        # Never better than the exact matching, and not wildly worse.
+        assert len(exact) <= len(indexed) <= len(exact) + 3

@@ -1,0 +1,60 @@
+"""Tests for the FlowMap baseline mapper."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import MultiFunction
+from repro.mapping.flowmap import flowmap
+from repro.verify.equiv import check_equivalence
+
+
+def random_mf(seed, n, m):
+    rng = random.Random(seed)
+    bdd = BDD(n)
+    tables = [[rng.randint(0, 1) for _ in range(1 << n)]
+              for _ in range(m)]
+    return MultiFunction.from_truth_tables(bdd, list(range(n)), tables)
+
+
+class TestFlowMap:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_functionally_correct(self, seed):
+        func = random_mf(seed, 6, 2)
+        net = flowmap(func, k=4)
+        assert net.max_fanin() <= 4
+        assert check_equivalence(func, net)
+
+    def test_small_function_single_lut(self):
+        func = random_mf(97, 4, 1)
+        net = flowmap(func, k=5)
+        assert net.lut_count <= 1
+        assert net.depth() <= 1
+
+    def test_depth_no_worse_than_greedy_cut(self):
+        from repro.mapping.baselines import structural_cut_map
+        for seed in range(4):
+            func = random_mf(200 + seed, 7, 1)
+            fm = flowmap(func, k=4)
+            greedy = structural_cut_map(func, n_lut=4)
+            assert check_equivalence(func, fm)
+            # FlowMap is depth-optimal on the same subject graph.
+            assert fm.depth() <= greedy.depth()
+
+    def test_constant_and_passthrough(self):
+        bdd = BDD(2)
+        from repro.boolfunc.spec import ISF
+        func = MultiFunction(bdd, [0, 1],
+                             [ISF.complete(BDD.TRUE),
+                              ISF.complete(bdd.var(1))])
+        net = flowmap(func)
+        out = net.eval_outputs({"x0": 0, "x1": 1})
+        assert out[func.output_names[0]] == 1
+        assert out[func.output_names[1]] == 1
+
+    def test_wide_function(self):
+        func = random_mf(303, 8, 1)
+        net = flowmap(func, k=5)
+        assert net.max_fanin() <= 5
+        assert check_equivalence(func, net)

@@ -1,0 +1,162 @@
+"""Tests for two-input gate synthesis."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import MultiFunction
+from repro.decomp.recursive import decompose
+from repro.mapping.gatelevel import (
+    GateNetwork,
+    _cls,
+    _dp,
+    _embed,
+    gate_synthesize,
+    optimal_gate_cost,
+    to_gates,
+)
+from repro.mapping.lutnet import LutNetwork
+
+
+class TestDp:
+    def test_covers_all_classes(self):
+        assert len(_dp()) == 128
+
+    def test_known_costs(self):
+        # constants / projections: 0 gates
+        assert optimal_gate_cost([0, 0]) == 0
+        assert optimal_gate_cost([0, 1]) == 0
+        assert optimal_gate_cost([1, 0]) == 0  # free inverter
+        # 2-input gates: 1 gate
+        assert optimal_gate_cost([0, 0, 0, 1]) == 1  # AND
+        assert optimal_gate_cost([0, 1, 1, 0]) == 1  # XOR
+        assert optimal_gate_cost([1, 1, 1, 0]) == 1  # NAND (free inv)
+        # 3-input parity: 2 gates
+        assert optimal_gate_cost([0, 1, 1, 0, 1, 0, 0, 1]) == 2
+        # majority: 4 gates (ab | bc | ac with sharing: a&b, a^b, c&(a^b),
+        # or) -> 4
+        maj = [0, 0, 0, 1, 0, 1, 1, 1]
+        assert optimal_gate_cost(maj) == 4
+        # MUX (s, a, b): 3 gates
+        mux = [0, 1, 0, 1, 0, 0, 1, 1]
+        assert optimal_gate_cost(mux) == 3
+
+    def test_plans_consistent(self):
+        # Every plan must evaluate to its declared function.
+        dp = _dp()
+        for c, plan in dp.items():
+            assert _cls(plan.fn) == c
+            if plan.op is not None:
+                from repro.mapping.gatelevel import _apply
+                assert _apply(plan.op, plan.arg_a[0],
+                              plan.arg_b[0]) == plan.fn
+
+    def test_embed(self):
+        # 1-var table [0,1] -> projection x0.
+        assert _embed([0, 1]) == 0xF0
+        assert _embed([0, 0, 0, 1]) == 0xF0 & 0xCC
+        with pytest.raises(ValueError):
+            _embed([0, 1, 0])
+
+
+class TestGateNetwork:
+    def test_eval_and_hashing(self):
+        net = GateNetwork()
+        a = (net.add_input("a"), False)
+        b = (net.add_input("b"), False)
+        s1 = net.add_gate("and", a, b)
+        s2 = net.add_gate("and", b, a)  # commutative hash hit
+        assert s1 == s2
+        assert net.total_gate_count == 1
+        net.set_output("y", s1)
+        assert net.eval_outputs({"a": 1, "b": 1})["y"] == 1
+        assert net.eval_outputs({"a": 1, "b": 0})["y"] == 0
+
+    def test_xor_negation_floats(self):
+        net = GateNetwork()
+        a = (net.add_input("a"), False)
+        b = (net.add_input("b"), False)
+        s1 = net.add_gate("xor", (a[0], True), b)
+        s2 = net.add_gate("xor", a, (b[0], True))
+        # Same gate, both results negated relative to a^b.
+        assert s1[0] == s2[0]
+        assert s1[1] and s2[1]
+        assert net.total_gate_count == 1
+
+    def test_live_vs_total(self):
+        net = GateNetwork()
+        a = (net.add_input("a"), False)
+        b = (net.add_input("b"), False)
+        live = net.add_gate("and", a, b)
+        net.add_gate("or", a, b)  # dead
+        net.set_output("y", live)
+        assert net.total_gate_count == 2
+        assert net.gate_count == 1
+
+    def test_inverter_count(self):
+        net = GateNetwork()
+        a = (net.add_input("a"), False)
+        b = (net.add_input("b"), False)
+        g = net.add_gate("and", (a[0], True), b)
+        net.set_output("y", g)
+        assert net.inverter_count == 1
+
+    def test_depth(self):
+        net = GateNetwork()
+        a = (net.add_input("a"), False)
+        b = (net.add_input("b"), False)
+        c = (net.add_input("c"), False)
+        g1 = net.add_gate("and", a, b)
+        g2 = net.add_gate("or", g1, c)
+        net.set_output("y", g2)
+        assert net.depth() == 2
+
+    def test_bad_op(self):
+        net = GateNetwork()
+        a = (net.add_input("a"), False)
+        with pytest.raises(ValueError):
+            net.add_gate("nand", a, a)
+
+
+class TestToGates:
+    def test_rejects_wide_luts(self):
+        net = LutNetwork()
+        for name in "abcd":
+            net.add_input(name)
+        s = net.add_lut(list("abcd"),
+                        [bin(i).count("1") & 1 for i in range(16)])
+        net.set_output("y", s)
+        with pytest.raises(ValueError):
+            to_gates(net)
+
+    def test_functional_equivalence(self):
+        rng = random.Random(191)
+        for _ in range(10):
+            bdd = BDD(6)
+            tables = [[rng.randint(0, 1) for _ in range(64)]
+                      for _ in range(2)]
+            func = MultiFunction.from_truth_tables(bdd, list(range(6)),
+                                                   tables)
+            lut_net = decompose(func, n_lut=3)
+            gnet = to_gates(lut_net)
+            for k in range(64):
+                bits = [(k >> (5 - i)) & 1 for i in range(6)]
+                named = dict(zip(func.input_names, bits))
+                lut_out = lut_net.eval_outputs(named)
+                gate_out = gnet.eval_outputs(named)
+                assert lut_out == gate_out
+
+    def test_gate_synthesize_end_to_end(self):
+        rng = random.Random(193)
+        bdd = BDD(5)
+        table = [rng.randint(0, 1) for _ in range(32)]
+        func = MultiFunction.from_truth_tables(bdd, list(range(5)),
+                                               [table])
+        gnet = gate_synthesize(func)
+        for k in range(32):
+            bits = [(k >> (4 - i)) & 1 for i in range(5)]
+            named = dict(zip(func.input_names, bits))
+            assert (gnet.eval_outputs(named)["f0"]
+                    == table[k])

@@ -1,0 +1,151 @@
+"""Tests for the LUT network container."""
+
+import pytest
+
+from repro.mapping.lutnet import CONST0, CONST1, LutNetwork
+
+
+@pytest.fixture
+def net():
+    n = LutNetwork()
+    for name in ("a", "b", "c"):
+        n.add_input(name)
+    return n
+
+
+class TestConstruction:
+    def test_add_and_eval(self, net):
+        s = net.add_lut(["a", "b"], [0, 0, 0, 1])
+        net.set_output("y", s)
+        assert net.eval_outputs({"a": 1, "b": 1, "c": 0})["y"] == 1
+        assert net.eval_outputs({"a": 1, "b": 0, "c": 0})["y"] == 0
+
+    def test_duplicate_input_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.add_input("a")
+
+    def test_unknown_fanin_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.add_lut(["zz"], [0, 1])
+
+    def test_bad_table_length(self, net):
+        with pytest.raises(ValueError):
+            net.add_lut(["a", "b"], [0, 1])
+
+
+class TestSimplification:
+    def test_structural_hashing(self, net):
+        s1 = net.add_lut(["a", "b"], [0, 1, 1, 0])
+        s2 = net.add_lut(["a", "b"], [0, 1, 1, 0])
+        assert s1 == s2
+        assert net.lut_count == 1
+
+    def test_constant_table(self, net):
+        assert net.add_lut(["a"], [1, 1]) == CONST1
+        assert net.add_lut(["a", "b"], [0, 0, 0, 0]) == CONST0
+        assert net.lut_count == 0
+
+    def test_buffer_elimination(self, net):
+        assert net.add_lut(["b"], [0, 1]) == "b"
+        assert net.lut_count == 0
+
+    def test_unused_fanin_removed(self, net):
+        # Table depends only on 'a' (MSB): projection -> buffer to 'a'.
+        s = net.add_lut(["a", "b"], [0, 0, 1, 1])
+        assert s == "a"
+
+    def test_inverter_is_a_node(self, net):
+        s = net.add_lut(["a"], [1, 0])
+        assert s in net.nodes
+        net.set_output("y", s)
+        assert net.eval_outputs({"a": 0, "b": 0, "c": 0})["y"] == 1
+
+    def test_constant_fanin_folded(self, net):
+        s = net.add_lut(["a", CONST1], [0, 0, 0, 1])  # a AND 1 == a
+        assert s == "a"
+        s2 = net.add_lut(["a", CONST0], [0, 1, 1, 1])  # a OR 0 == a
+        assert s2 == "a"
+
+    def test_duplicate_fanin_merged(self, net):
+        s = net.add_lut(["a", "a"], [0, 0, 0, 1])  # a AND a == a
+        assert s == "a"
+        s2 = net.add_lut(["a", "a"], [0, 1, 1, 0])  # a XOR a == 0
+        assert s2 == CONST0
+
+
+class TestAnalysis:
+    def test_depth(self, net):
+        s1 = net.add_lut(["a", "b"], [0, 1, 1, 1])
+        s2 = net.add_lut([s1, "c"], [0, 0, 0, 1])
+        net.set_output("y", s2)
+        assert net.depth() == 2
+
+    def test_depth_constant_output(self, net):
+        net.set_output("y", CONST0)
+        assert net.depth() == 0
+
+    def test_max_fanin(self, net):
+        net.add_lut(["a", "b", "c"], [0] * 7 + [1])
+        assert net.max_fanin() == 3
+
+    def test_histogram(self, net):
+        net.add_lut(["a", "b"], [0, 1, 1, 0])
+        net.add_lut(["a", "b", "c"], [0, 1] * 4)
+        hist = net.histogram()
+        assert hist.get(2) == 1
+        # 3-input table [0,1]*4 only depends on LSB 'c' -> buffer;
+        # so no 3-input node exists.
+        assert 3 not in hist
+
+    def test_node_list_topological(self, net):
+        s1 = net.add_lut(["a", "b"], [0, 1, 1, 1])
+        s2 = net.add_lut([s1, "c"], [0, 1, 1, 1])
+        names = [n.name for n in net.node_list()]
+        assert names.index(s1) < names.index(s2)
+
+
+class TestBlifExport:
+    def test_roundtrip_through_parser(self, net):
+        from repro.boolfunc.blif import parse_blif
+        s1 = net.add_lut(["a", "b"], [0, 1, 1, 0])
+        s2 = net.add_lut([s1, "c"], [0, 0, 0, 1])
+        net.set_output("y", s2)
+        text = net.to_blif()
+        mf = parse_blif(text)
+        for k in range(8):
+            bits = {"a": (k >> 2) & 1, "b": (k >> 1) & 1, "c": k & 1}
+            expected = ((bits["a"] ^ bits["b"]) & bits["c"])
+            got = mf.eval({mf.inputs[i]: bits[n]
+                           for i, n in enumerate(["a", "b", "c"])})
+            assert got == [expected]
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        net = LutNetwork()
+        for name in ("a", "b"):
+            net.add_input(name)
+        s = net.add_lut(["a", "b"], [0, 1, 1, 0])
+        net.set_output("y", s)
+        dot = net.to_dot()
+        assert "digraph LutNetwork" in dot
+        assert '"a" [shape=box]' in dot
+        assert "2-LUT" in dot
+        assert 'out_y' in dot
+
+
+class TestBlifConstOutputs:
+    def test_const_outputs_roundtrip(self):
+        from repro.boolfunc.blif import parse_blif
+        net = LutNetwork()
+        net.add_input("a")
+        net.set_output("one", CONST1)
+        net.set_output("zero", CONST0)
+        net.set_output("thru", "a")
+        mf = parse_blif(net.to_blif())
+        for bit in (0, 1):
+            values = mf.eval({mf.inputs[0]: bit})
+            by_name = dict(zip(mf.output_names, values))
+            assert by_name["one"] == 1
+            assert by_name["zero"] == 0
+            assert by_name["thru"] == bit

@@ -1,0 +1,259 @@
+"""Tests for the structural network IR."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.network.netlist import NetNode, Network
+from repro.network.passes import constant_propagate, sweep
+
+BLIF = """\
+.model demo
+.inputs a b c
+.outputs y z
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.names a z
+0 1
+.end
+"""
+
+
+class TestNetNode:
+    def test_eval_onset(self):
+        node = NetNode("y", ["a", "b"], [("11", "1"), ("00", "1")])
+        assert node.eval({"a": 1, "b": 1}) == 1
+        assert node.eval({"a": 0, "b": 0}) == 1
+        assert node.eval({"a": 1, "b": 0}) == 0
+
+    def test_eval_offset_polarity(self):
+        node = NetNode("y", ["a"], [("1", "0")])
+        assert node.eval({"a": 1}) == 0
+        assert node.eval({"a": 0}) == 1
+
+    def test_mixed_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            NetNode("y", ["a"], [("1", "1"), ("0", "0")])
+
+    def test_constant(self):
+        assert NetNode("k", [], [("", "1")]).is_constant() == 1
+        assert NetNode("k", [], []).is_constant() == 0
+        assert NetNode("k", ["a"], [("1", "1")]).is_constant() is None
+
+
+class TestNetwork:
+    def test_parse_and_eval(self):
+        net = Network.from_blif(BLIF)
+        assert net.name == "demo"
+        assert len(net.nodes) == 3
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            out = net.eval_outputs({"a": a, "b": b, "c": c})
+            assert out["y"] == (1 if (a and b) or c else 0)
+            assert out["z"] == 1 - a
+
+    def test_depth_and_levels(self):
+        net = Network.from_blif(BLIF)
+        assert net.depth() == 2
+        levels = net.levels()
+        assert levels["t"] == 1
+        assert levels["y"] == 2
+
+    def test_fanout(self):
+        net = Network.from_blif(BLIF)
+        counts = net.fanout_counts()
+        assert counts["a"] == 2  # t and z
+        assert counts["t"] == 1
+        assert counts["y"] == 1  # the output itself
+
+    def test_cycle_detection(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("u", ["v"], [("1", "1")])
+        net.add_node("v", ["u"], [("1", "1")])
+        net.set_output("u")
+        with pytest.raises(ValueError):
+            net.check()
+
+    def test_unknown_reference(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("u", ["ghost"], [("1", "1")])
+        net.set_output("u")
+        with pytest.raises(ValueError):
+            net.check()
+
+    def test_collapse_matches_simulation(self):
+        net = Network.from_blif(BLIF)
+        func = net.collapse()
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            sim = net.eval_outputs({"a": a, "b": b, "c": c})
+            sym = func.eval(dict(zip(func.inputs, [a, b, c])))
+            assert sym == [sim["y"], sim["z"]]
+
+    def test_blif_roundtrip(self):
+        net = Network.from_blif(BLIF)
+        net2 = Network.from_blif(net.to_blif())
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assignment = {"a": a, "b": b, "c": c}
+            assert net.eval_outputs(assignment) == \
+                net2.eval_outputs(assignment)
+
+    def test_collapse_then_decompose(self):
+        from repro.core import map_to_xc3000
+        from repro.verify.equiv import check_extension
+        net = Network.from_blif(BLIF)
+        func = net.collapse()
+        result = map_to_xc3000(func)
+        assert check_extension(func, result.network)
+
+
+class TestPasses:
+    def test_sweep_removes_dangling(self):
+        net = Network.from_blif(BLIF)
+        net.add_node("dead", ["a", "b"], [("10", "1")])
+        removed = sweep(net)
+        assert removed == 1
+        assert "dead" not in net.nodes
+        net.check()
+
+    def test_sweep_keeps_live(self):
+        net = Network.from_blif(BLIF)
+        assert sweep(net) == 0
+        assert len(net.nodes) == 3
+
+    def test_constant_propagation(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("k1", [], [("", "1")])
+        net.add_node("y", ["a", "k1"], [("11", "1")])  # a AND 1 == a
+        net.set_output("y")
+        folds = constant_propagate(net)
+        assert folds >= 1
+        assert "k1" not in net.nodes
+        assert net.eval_outputs({"a": 1})["y"] == 1
+        assert net.eval_outputs({"a": 0})["y"] == 0
+
+    def test_constant_zero_kills_and(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("k0", [], [])
+        net.add_node("y", ["a", "k0"], [("11", "1")])  # a AND 0 == 0
+        net.set_output("y")
+        constant_propagate(net)
+        assert net.eval_outputs({"a": 1})["y"] == 0
+        assert net.eval_outputs({"a": 0})["y"] == 0
+
+    def test_constant_output_preserved(self):
+        net = Network()
+        net.add_input("a")
+        net.add_node("k1", [], [("", "1")])
+        net.set_output("k1")
+        constant_propagate(net)
+        assert "k1" in net.nodes
+        assert net.eval_outputs({"a": 0})["k1"] == 1
+
+
+class TestFromLutNetwork:
+    def test_roundtrip_semantics(self):
+        import random
+        from repro.bdd.manager import BDD
+        from repro.boolfunc.spec import MultiFunction
+        from repro.decomp.recursive import decompose
+        rng = random.Random(541)
+        bdd = BDD(6)
+        tables = [[rng.randint(0, 1) for _ in range(64)]
+                  for _ in range(2)]
+        func = MultiFunction.from_truth_tables(bdd, list(range(6)),
+                                               tables)
+        lut_net = decompose(func, n_lut=4)
+        net = Network.from_lut_network(lut_net)
+        for k in range(64):
+            bits = [(k >> (5 - i)) & 1 for i in range(6)]
+            named = dict(zip(func.input_names, bits))
+            assert net.eval_outputs(named) == lut_net.eval_outputs(named)
+
+    def test_constant_output(self):
+        from repro.mapping.lutnet import LutNetwork
+        lut_net = LutNetwork()
+        lut_net.add_input("a")
+        lut_net.set_output("y", "const1")
+        net = Network.from_lut_network(lut_net)
+        assert net.eval_outputs({"a": 0})["y"] == 1
+
+    def test_passthrough_output(self):
+        from repro.mapping.lutnet import LutNetwork
+        lut_net = LutNetwork()
+        lut_net.add_input("a")
+        lut_net.set_output("y", "a")
+        net = Network.from_lut_network(lut_net)
+        assert net.eval_outputs({"a": 1})["y"] == 1
+        assert net.eval_outputs({"a": 0})["y"] == 0
+
+
+class TestParserConsistency:
+    def test_structural_vs_flattening_parser(self):
+        """The structural Network parser and the flattening BLIF parser
+        must agree on semantics."""
+        from repro.boolfunc.blif import parse_blif
+        flat = parse_blif(BLIF)
+        net = Network.from_blif(BLIF)
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            sim = net.eval_outputs({"a": a, "b": b, "c": c})
+            sym = flat.eval(dict(zip(flat.inputs, [a, b, c])))
+            assert sym == [sim["y"], sim["z"]]
+
+
+class TestMinimizeNodes:
+    def test_redundant_rows_removed(self):
+        from repro.network.passes import minimize_nodes
+        net = Network()
+        for s in ("a", "b", "c"):
+            net.add_input(s)
+        # Four minterm rows that collapse to one cube (a AND b).
+        net.add_node("y", ["a", "b", "c"],
+                     [("110", "1"), ("111", "1"),
+                      ("11-", "1"), ("1-1", "1")])
+        net.set_output("y")
+        reference = {}
+        import itertools
+        for bits in itertools.product((0, 1), repeat=3):
+            reference[bits] = net.eval_outputs(
+                dict(zip(net.inputs, bits)))
+        removed = minimize_nodes(net)
+        assert removed >= 1
+        for bits, expected in reference.items():
+            assert net.eval_outputs(dict(zip(net.inputs, bits))) == \
+                expected
+
+    def test_offset_polarity_preserved(self):
+        from repro.network.passes import minimize_nodes
+        net = Network()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("y", ["a", "b"], [("00", "0"), ("01", "0")])
+        net.set_output("y")
+        minimize_nodes(net)
+        # y = NOT(a'=0 rows...) — semantics: offset {00,01} -> y=0 when
+        # a=0 — minimises to a single row "0-".
+        assert net.eval_outputs({"a": 0, "b": 1})["y"] == 0
+        assert net.eval_outputs({"a": 1, "b": 1})["y"] == 1
+
+    def test_random_networks_preserved(self):
+        from repro.network.passes import minimize_nodes
+        from tests.network.test_random_networks import random_network
+        import itertools
+        for seed in range(5):
+            net = random_network(seed + 400)
+            reference = {}
+            for bits in itertools.product((0, 1), repeat=4):
+                reference[bits] = net.eval_outputs(
+                    dict(zip(net.inputs, bits)))
+            minimize_nodes(net)
+            net.check()
+            for bits, expected in reference.items():
+                assert net.eval_outputs(
+                    dict(zip(net.inputs, bits))) == expected

@@ -1,0 +1,66 @@
+"""Randomised structural-network invariants."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.network.netlist import Network
+from repro.network.passes import constant_propagate, sweep
+
+
+def random_network(seed, num_inputs=4, num_nodes=6):
+    rng = random.Random(seed)
+    net = Network(f"rand{seed}")
+    signals = []
+    for i in range(num_inputs):
+        signals.append(net.add_input(f"i{i}"))
+    for j in range(num_nodes):
+        k = rng.randint(1, min(3, len(signals)))
+        fanins = rng.sample(signals, k)
+        rows = []
+        polarity = rng.choice("01")
+        for _ in range(rng.randint(1, 3)):
+            pattern = "".join(rng.choice("01-") for _ in range(k))
+            rows.append((pattern, polarity))
+        name = net.add_node(f"n{j}", fanins, rows)
+        signals.append(name)
+    # Choose a couple of outputs among the later signals.
+    for name in rng.sample(signals[num_inputs:], 2):
+        net.set_output(name)
+    net.check()
+    return net
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_collapse_equals_simulation(seed):
+    net = random_network(seed)
+    func = net.collapse()
+    for bits in itertools.product((0, 1), repeat=4):
+        assignment = dict(zip(net.inputs, bits))
+        sim = net.eval_outputs(assignment)
+        sym = func.eval(dict(zip(func.inputs, bits)))
+        assert sym == [sim[o] for o in net.outputs], (seed, bits)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_passes_preserve_semantics(seed):
+    net = random_network(seed + 100)
+    reference = {}
+    for bits in itertools.product((0, 1), repeat=4):
+        reference[bits] = net.eval_outputs(dict(zip(net.inputs, bits)))
+    sweep(net)
+    constant_propagate(net)
+    net.check()
+    for bits, expected in reference.items():
+        assert net.eval_outputs(dict(zip(net.inputs, bits))) == expected
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_blif_roundtrip_random(seed):
+    net = random_network(seed + 200)
+    net2 = Network.from_blif(net.to_blif())
+    for bits in itertools.product((0, 1), repeat=4):
+        assignment = dict(zip(net.inputs, bits))
+        assert net.eval_outputs(assignment) == \
+            net2.eval_outputs(assignment)

@@ -1,0 +1,135 @@
+"""Tests for the greedy symmetry-maximising DC assignment (paper step 1)."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.symmetry.groups import (
+    assign_for_symmetry,
+    assign_for_symmetry_multi,
+    isf_symmetry_groups,
+)
+from repro.symmetry.isf_symmetry import SymmetryKind, strongly_symmetric
+
+
+@pytest.fixture
+def bdd():
+    return BDD(5)
+
+
+def isf_from_spec(bdd, spec, variables):
+    onset = [1 if v == 1 else 0 for v in spec]
+    upper = [0 if v == 0 else 1 for v in spec]
+    return ISF.create(bdd,
+                      bdd.from_truth_table(onset, variables),
+                      bdd.from_truth_table(upper, variables))
+
+
+class TestIsfSymmetryGroups:
+    def test_complete_symmetric(self, bdd):
+        # weight-2 function on 3 vars: totally symmetric.
+        spec = [1 if bin(k).count("1") == 2 else 0 for k in range(8)]
+        isf = isf_from_spec(bdd, spec, [0, 1, 2])
+        groups = isf_symmetry_groups(bdd, isf, [0, 1, 2])
+        assert groups == [[0, 1, 2]]
+
+    def test_no_symmetry(self, bdd):
+        isf = ISF.complete(
+            bdd.apply_or(bdd.apply_and(bdd.var(0), bdd.var(1)), bdd.var(2)))
+        groups = isf_symmetry_groups(bdd, isf, [0, 1, 2])
+        assert [0, 1] in groups  # AND part is symmetric
+        assert [2] in groups
+
+
+class TestAssignForSymmetry:
+    def test_single_dc_unlocks_total_symmetry(self, bdd):
+        # Weight function with one corrupted minterm marked DC: the
+        # assignment must recover total symmetry.
+        spec = [1 if bin(k).count("1") >= 2 else 0 for k in range(8)]
+        spec[0b011] = None
+        isf = isf_from_spec(bdd, spec, [0, 1, 2])
+        fixed, groups = assign_for_symmetry(bdd, isf, [0, 1, 2])
+        assert groups == [[0, 1, 2]]
+        assert bdd.eval(fixed.lo, {0: 0, 1: 1, 2: 1})
+
+    def test_result_refines_input(self, bdd):
+        rng = random.Random(41)
+        for _ in range(10):
+            spec = [rng.choice([0, 1, None]) for _ in range(16)]
+            isf = isf_from_spec(bdd, spec, [0, 1, 2, 3])
+            fixed, _ = assign_for_symmetry(bdd, isf, [0, 1, 2, 3])
+            assert fixed.refines(bdd, isf)
+
+    def test_groups_are_strongly_symmetric(self, bdd):
+        rng = random.Random(43)
+        for _ in range(10):
+            spec = [rng.choice([0, 1, None]) for _ in range(16)]
+            isf = isf_from_spec(bdd, spec, [0, 1, 2, 3])
+            fixed, groups = assign_for_symmetry(bdd, isf, [0, 1, 2, 3])
+            for group in groups:
+                for i in range(len(group)):
+                    for j in range(i + 1, len(group)):
+                        assert strongly_symmetric(bdd, fixed, group[i],
+                                                  group[j])
+
+    def test_all_dc_becomes_fully_symmetric(self, bdd):
+        isf = ISF.create(bdd, BDD.FALSE, BDD.TRUE)
+        fixed, groups = assign_for_symmetry(bdd, isf, [0, 1, 2])
+        # Fully unspecified function has empty support -> nothing to do.
+        assert groups == []
+
+    def test_protected_groups_respected(self, bdd):
+        # Craft an ISF where symmetrising (1,2) would break symmetry in
+        # the protected pair (0,1); the assignment must refuse.
+        rng = random.Random(47)
+        for _ in range(20):
+            spec = [rng.choice([0, 1, None]) for _ in range(8)]
+            isf = isf_from_spec(bdd, spec, [0, 1, 2])
+            if not strongly_symmetric(bdd, isf, 0, 1):
+                continue
+            fixed, _ = assign_for_symmetry(
+                bdd, isf, [0, 1, 2], protected_groups=[[0, 1]])
+            assert strongly_symmetric(bdd, fixed, 0, 1)
+
+
+class TestAssignMulti:
+    def test_common_groups_created(self, bdd):
+        # Two outputs, both potentially symmetric in (0,1) via DCs.
+        spec1 = [0, 1, None, 1]          # over vars 0,1
+        spec2 = [1, None, 0, 0]
+        isf1 = isf_from_spec(bdd, spec1, [0, 1])
+        isf2 = isf_from_spec(bdd, spec2, [0, 1])
+        outputs, groups = assign_for_symmetry_multi(bdd, [isf1, isf2],
+                                                    [0, 1])
+        as_sets = [set(g) for g in groups]
+        assert {0, 1} in as_sets
+        for out in outputs:
+            assert strongly_symmetric(bdd, out, 0, 1)
+
+    def test_outputs_refine_inputs(self, bdd):
+        rng = random.Random(53)
+        specs = [[rng.choice([0, 1, None]) for _ in range(8)]
+                 for _ in range(3)]
+        isfs = [isf_from_spec(bdd, s, [0, 1, 2]) for s in specs]
+        outputs, _ = assign_for_symmetry_multi(bdd, isfs, [0, 1, 2])
+        for before, after in zip(isfs, outputs):
+            assert after.refines(bdd, before)
+
+    def test_empty_support(self, bdd):
+        isfs = [ISF.complete(BDD.TRUE)]
+        outputs, groups = assign_for_symmetry_multi(bdd, isfs, [0, 1])
+        assert outputs[0].lo == BDD.TRUE
+
+
+class TestPotentialPairs:
+    def test_counts(self, bdd):
+        from repro.symmetry.groups import potential_pairs
+        from repro.boolfunc.spec import ISF
+        # AND is symmetric -> its only pair is potentially symmetric.
+        isf = ISF.complete(bdd.apply_and(bdd.var(0), bdd.var(1)))
+        assert potential_pairs(bdd, isf, [0, 1]) == 1
+        # Implication is not.
+        isf2 = ISF.complete(bdd.apply_implies(bdd.var(0), bdd.var(1)))
+        assert potential_pairs(bdd, isf2, [0, 1]) == 0

@@ -1,0 +1,180 @@
+"""Tests for ISF symmetry notions and the make-symmetric assignment."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.symmetry.isf_symmetry import (
+    SymmetryKind,
+    make_symmetric,
+    potentially_symmetric,
+    strongly_symmetric,
+)
+
+
+@pytest.fixture
+def bdd():
+    return BDD(4)
+
+
+def isf_from_spec(bdd, spec, variables):
+    """spec: list over minterms with entries 0, 1 or None (DC)."""
+    onset = [1 if v == 1 else 0 for v in spec]
+    upper = [0 if v == 0 else 1 for v in spec]
+    return ISF.create(bdd,
+                      bdd.from_truth_table(onset, variables),
+                      bdd.from_truth_table(upper, variables))
+
+
+class TestStrongSymmetry:
+    def test_complete_symmetric(self, bdd):
+        isf = ISF.complete(bdd.apply_and(bdd.var(0), bdd.var(1)))
+        assert strongly_symmetric(bdd, isf, 0, 1)
+
+    def test_complete_asymmetric(self, bdd):
+        isf = ISF.complete(bdd.apply_implies(bdd.var(0), bdd.var(1)))
+        assert not strongly_symmetric(bdd, isf, 0, 1)
+
+    def test_equivalence_kind(self, bdd):
+        isf = ISF.complete(bdd.apply_and(bdd.var(0),
+                                         bdd.apply_not(bdd.var(1))))
+        assert strongly_symmetric(bdd, isf, 0, 1,
+                                  SymmetryKind.EQUIVALENCE)
+        assert not strongly_symmetric(bdd, isf, 0, 1,
+                                      SymmetryKind.NONEQUIVALENCE)
+
+    def test_same_var(self, bdd):
+        isf = ISF.complete(bdd.var(0))
+        assert strongly_symmetric(bdd, isf, 0, 0)
+
+
+class TestPotentialSymmetry:
+    def test_dc_enables_symmetry(self, bdd):
+        # f(0,1) = 1, f(1,0) = DC: potentially but not strongly symmetric.
+        spec = [0, 1, None, 0]  # minterms 00,01,10,11 over vars (0,1)
+        isf = isf_from_spec(bdd, spec, [0, 1])
+        assert potentially_symmetric(bdd, isf, 0, 1)
+        assert not strongly_symmetric(bdd, isf, 0, 1)
+
+    def test_conflict_is_detected(self, bdd):
+        # f(0,1) = 1, f(1,0) = 0: no extension is symmetric.
+        spec = [0, 1, 0, 0]
+        isf = isf_from_spec(bdd, spec, [0, 1])
+        assert not potentially_symmetric(bdd, isf, 0, 1)
+
+    def test_strong_implies_potential(self, bdd):
+        rng = random.Random(17)
+        for _ in range(30):
+            spec = [rng.choice([0, 1, None]) for _ in range(8)]
+            isf = isf_from_spec(bdd, spec, [0, 1, 2])
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    for kind in SymmetryKind:
+                        if strongly_symmetric(bdd, isf, i, j, kind):
+                            assert potentially_symmetric(bdd, isf, i, j,
+                                                         kind)
+
+    def test_potential_matches_bruteforce(self, bdd):
+        """Potential symmetry iff some extension is symmetric (exhaustive)."""
+        from repro.bdd.ops import swap_vars
+        rng = random.Random(23)
+        for _ in range(12):
+            spec = [rng.choice([0, 1, None]) for _ in range(8)]
+            isf = isf_from_spec(bdd, spec, [0, 1, 2])
+            dc_positions = [k for k, v in enumerate(spec) if v is None]
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    found = False
+                    for fill in range(1 << len(dc_positions)):
+                        concrete = list(spec)
+                        for t, pos in enumerate(dc_positions):
+                            concrete[pos] = (fill >> t) & 1
+                        f = bdd.from_truth_table(concrete, [0, 1, 2])
+                        if swap_vars(bdd, f, i, j) == f:
+                            found = True
+                            break
+                    assert potentially_symmetric(bdd, isf, i, j) == found
+
+
+class TestMakeSymmetric:
+    def test_creates_strong_symmetry(self, bdd):
+        spec = [0, 1, None, 0]
+        isf = isf_from_spec(bdd, spec, [0, 1])
+        fixed = make_symmetric(bdd, isf, 0, 1)
+        assert strongly_symmetric(bdd, fixed, 0, 1)
+        # The forced value: f(1,0) must become 1.
+        assert bdd.eval(fixed.lo, {0: 1, 1: 0})
+
+    def test_refines_interval(self, bdd):
+        rng = random.Random(31)
+        for _ in range(20):
+            spec = [rng.choice([0, 1, None]) for _ in range(16)]
+            isf = isf_from_spec(bdd, spec, [0, 1, 2, 3])
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    for kind in SymmetryKind:
+                        if potentially_symmetric(bdd, isf, i, j, kind):
+                            fixed = make_symmetric(bdd, isf, i, j, kind)
+                            assert fixed.refines(bdd, isf)
+                            assert strongly_symmetric(bdd, fixed, i, j,
+                                                      kind)
+
+    def test_untouched_cofactors_preserved(self, bdd):
+        spec = [None, 1, None, 0]
+        isf = isf_from_spec(bdd, spec, [0, 1])
+        fixed = make_symmetric(bdd, isf, 0, 1)
+        # 00 cofactor stays DC, 11 cofactor stays 0.
+        assert not bdd.eval(fixed.lo, {0: 0, 1: 0})
+        assert bdd.eval(fixed.hi, {0: 0, 1: 0})
+        assert not bdd.eval(fixed.hi, {0: 1, 1: 1})
+
+    def test_raises_on_conflict(self, bdd):
+        spec = [0, 1, 0, 0]
+        isf = isf_from_spec(bdd, spec, [0, 1])
+        with pytest.raises(ValueError):
+            make_symmetric(bdd, isf, 0, 1)
+
+    def test_equivalence_assignment(self, bdd):
+        # f(0,0)=1, f(1,1)=DC -> equivalence symmetrisation forces f(1,1)=1.
+        spec = [1, 0, 0, None]
+        isf = isf_from_spec(bdd, spec, [0, 1])
+        fixed = make_symmetric(bdd, isf, 0, 1, SymmetryKind.EQUIVALENCE)
+        assert bdd.eval(fixed.lo, {0: 1, 1: 1})
+        assert strongly_symmetric(bdd, fixed, 0, 1,
+                                  SymmetryKind.EQUIVALENCE)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from([0, 1, None]), min_size=8, max_size=8),
+       st.sampled_from([(0, 1), (0, 2), (1, 2)]),
+       st.sampled_from(list(SymmetryKind)))
+def test_make_symmetric_least_committing(spec, pair, kind):
+    """Property: make_symmetric only narrows where it must — the result
+    still admits every symmetric extension of the original ISF."""
+    from repro.bdd.ops import swap_vars
+    bdd = BDD(3)
+    onset = [1 if v == 1 else 0 for v in spec]
+    upper = [0 if v == 0 else 1 for v in spec]
+    isf = ISF.create(bdd, bdd.from_truth_table(onset, [0, 1, 2]),
+                     bdd.from_truth_table(upper, [0, 1, 2]))
+    i, j = pair
+    if not potentially_symmetric(bdd, isf, i, j, kind):
+        return
+    fixed = make_symmetric(bdd, isf, i, j, kind)
+    dc_positions = [k for k, v in enumerate(spec) if v is None]
+    for fill in range(1 << len(dc_positions)):
+        concrete = list(spec)
+        for t, pos in enumerate(dc_positions):
+            concrete[pos] = (fill >> t) & 1
+        f = bdd.from_truth_table(concrete, [0, 1, 2])
+        if kind is SymmetryKind.NONEQUIVALENCE:
+            symmetric = swap_vars(bdd, f, i, j) == f
+        else:
+            from repro.symmetry.isf_symmetry import _cof
+            symmetric = (_cof(bdd, f, i, j, 0, 0)
+                         == _cof(bdd, f, i, j, 1, 1))
+        if symmetric:
+            assert fixed.admits(bdd, f)

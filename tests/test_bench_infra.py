@@ -1,0 +1,70 @@
+"""Tests for the benchmark-harness infrastructure itself."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from benchmarks.conftest import RowCollector, verify_network  # noqa: E402
+
+
+class TestRowCollector:
+    def test_add_and_flush(self, tmp_path, monkeypatch):
+        import benchmarks.conftest as C
+        monkeypatch.setattr(C, "OUT_DIR", tmp_path)
+        collector = RowCollector()
+        collector.add("demo", "row one")
+        collector.add("demo", "row two")
+        collector.add("other", "x")
+        collector.flush()
+        assert (tmp_path / "demo.txt").read_text() == "row one\nrow two\n"
+        assert (tmp_path / "other.txt").read_text() == "x\n"
+
+    def test_tables_ordered(self):
+        collector = RowCollector()
+        collector.add("t", "a")
+        collector.add("t", "b")
+        assert collector.tables["t"] == ["a", "b"]
+
+
+class TestVerifyNetwork:
+    def test_formal_path(self):
+        import random
+        from repro.bdd.manager import BDD
+        from repro.boolfunc.spec import MultiFunction
+        from repro.decomp.recursive import decompose
+        rng = random.Random(643)
+        bdd = BDD(5)
+        table = [rng.randint(0, 1) for _ in range(32)]
+        func = MultiFunction.from_truth_tables(bdd, list(range(5)),
+                                               [table])
+        net = decompose(func, n_lut=4)
+        assert verify_network(func, net)
+
+    def test_detects_mismatch(self):
+        from repro.bdd.manager import BDD
+        from repro.boolfunc.spec import MultiFunction
+        from repro.mapping.lutnet import LutNetwork
+        bdd = BDD(3)
+        func = MultiFunction.from_truth_tables(
+            bdd, [0, 1, 2], [[1, 0, 0, 0, 0, 0, 0, 0]])
+        wrong = LutNetwork()
+        for name in func.input_names:
+            wrong.add_input(name)
+        wrong.set_output(func.output_names[0], "const0")
+        assert not verify_network(func, wrong)
+
+
+class TestSummarize:
+    def test_summarize_prints_tables(self, tmp_path, capsys):
+        from benchmarks.summarize import main as summarize_main
+        (tmp_path / "fig2_adder.txt").write_text("row A\n")
+        assert summarize_main(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "row A" in out
+        assert "(not generated)" in out
+
+    def test_summarize_missing_dir(self, tmp_path, capsys):
+        from benchmarks.summarize import main as summarize_main
+        assert summarize_main(tmp_path / "ghost") == 1

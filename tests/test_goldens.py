@@ -1,0 +1,54 @@
+"""Golden regression values for the deterministic flows.
+
+Everything in the engine is deterministic (no randomness at run time),
+so fixed inputs must produce fixed LUT/CLB/gate counts.  These goldens
+catch accidental behavioural drift; if a deliberate algorithm change
+moves them, update the constants alongside the change.
+"""
+
+import pytest
+
+from repro.arith.adders import adder_function, conditional_sum_adder
+from repro.arith.multipliers import partial_multiplier_function
+from repro.bench.registry import benchmark
+from repro.core import map_to_xc3000, synthesize_two_input_gates
+
+
+class TestArithmeticGoldens:
+    def test_conditional_sum_adder_counts(self):
+        assert conditional_sum_adder(4).gate_count == 26
+        assert conditional_sum_adder(8).gate_count == 74
+
+    def test_adder_decomposition_beats_baseline(self):
+        gates = synthesize_two_input_gates(adder_function(8)).gate_count
+        assert gates < conditional_sum_adder(8).gate_count
+        # Near the paper's 49 (give head-room for heuristic changes).
+        assert gates <= 60
+
+    def test_pm4_dc_penalty(self):
+        func = partial_multiplier_function(4)
+        with_dc = synthesize_two_input_gates(func).gate_count
+        without = synthesize_two_input_gates(
+            func, use_dontcares=False).gate_count
+        assert without > with_dc * 1.25
+
+
+class TestBenchmarkGoldens:
+    @pytest.mark.parametrize("name,max_clbs", [
+        ("rd73", 6), ("rd84", 10), ("9sym", 7), ("z4ml", 5),
+        ("misex1", 9), ("clip", 8),
+    ])
+    def test_small_circuit_budgets(self, name, max_clbs):
+        # Upper bounds, not exact counts: the numbers may improve, but a
+        # regression past these budgets signals a real quality loss
+        # (paper-era tools land in the same region for these circuits).
+        result = map_to_xc3000(benchmark(name))
+        assert result.clb_count <= max_clbs, (
+            f"{name}: {result.clb_count} CLBs exceeds budget {max_clbs}")
+
+    def test_dc_never_hurts_on_reference_set(self):
+        for name in ("rd84", "clip", "f51m", "sao2"):
+            func = benchmark(name)
+            with_dc = map_to_xc3000(func, use_dontcares=True).clb_count
+            without = map_to_xc3000(func, use_dontcares=False).clb_count
+            assert with_dc <= without, name

@@ -1,0 +1,72 @@
+"""Tests for cover complementation and the sharp operation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.twolevel.complement import complement, sharp
+from repro.twolevel.cubes import PCover, PCube
+
+
+class TestComplement:
+    def test_empty_cover(self):
+        comp = complement(PCover(3, []))
+        assert comp.is_tautology()
+
+    def test_universal_cover(self):
+        comp = complement(PCover.from_strings(["---"]))
+        assert len(comp) == 0
+
+    def test_single_cube(self):
+        comp = complement(PCover.from_strings(["11-"]))
+        for m in range(8):
+            covered = PCube.from_string("11-").covers_minterm(m)
+            assert comp.covers_minterm(m) == (not covered)
+
+    def test_matches_bruteforce(self):
+        rng = random.Random(727)
+        for _ in range(30):
+            rows = ["".join(rng.choice("01-") for _ in range(4))
+                    for _ in range(rng.randint(1, 5))]
+            cover = PCover.from_strings(rows)
+            comp = complement(cover)
+            for m in range(16):
+                assert comp.covers_minterm(m) == \
+                    (not cover.covers_minterm(m)), (rows, m)
+
+    def test_double_complement_same_function(self):
+        rng = random.Random(733)
+        for _ in range(10):
+            rows = ["".join(rng.choice("01-") for _ in range(4))
+                    for _ in range(rng.randint(1, 4))]
+            cover = PCover.from_strings(rows)
+            double = complement(complement(cover))
+            for m in range(16):
+                assert double.covers_minterm(m) == \
+                    cover.covers_minterm(m)
+
+
+class TestSharp:
+    def test_sharp_semantics(self):
+        a = PCover.from_strings(["1--"])
+        b = PCover.from_strings(["11-"])
+        result = sharp(a, b)
+        for m in range(8):
+            expected = a.covers_minterm(m) and not b.covers_minterm(m)
+            assert result.covers_minterm(m) == expected
+
+    def test_sharp_with_self_is_empty(self):
+        a = PCover.from_strings(["1-0", "01-"])
+        result = sharp(a, a)
+        assert all(not result.covers_minterm(m) for m in range(8))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.text(alphabet="01-", min_size=4, max_size=4),
+                min_size=1, max_size=5))
+def test_complement_property(rows):
+    cover = PCover.from_strings(rows)
+    comp = complement(cover)
+    for m in range(16):
+        assert comp.covers_minterm(m) != cover.covers_minterm(m)

@@ -1,0 +1,78 @@
+"""Differential tests: cube covers vs BDDs.
+
+The two function representations in the repository must agree — cube
+covers are converted to BDDs and compared canonically against the
+reference function.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.twolevel.cubes import PCover, PCube
+from repro.twolevel.espresso import espresso
+
+
+def cover_to_bdd(bdd: BDD, cover: PCover, variables) -> int:
+    result = BDD.FALSE
+    for cube in cover:
+        term = BDD.TRUE
+        for var, value in cube.literals():
+            lit = bdd.var(variables[var]) if value \
+                else bdd.nvar(variables[var])
+            term = bdd.apply_and(term, lit)
+        result = bdd.apply_or(result, term)
+    return result
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=15), min_size=1))
+def test_minimised_cover_equals_onset_bdd(onset_minterms):
+    bdd = BDD(4)
+    onset = PCover.from_minterms(sorted(onset_minterms), 4)
+    minimised = espresso(onset)
+    reference = bdd.disjoin([
+        bdd.cube({v: (m >> (3 - v)) & 1 for v in range(4)})
+        for m in onset_minterms])
+    assert cover_to_bdd(bdd, minimised, list(range(4))) == reference
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=15), min_size=1),
+       st.sets(st.integers(min_value=0, max_value=15)))
+def test_minimised_cover_within_interval(onset_raw, dc_raw):
+    """With DCs, the minimised cover must be an extension: it contains
+    the onset and avoids the offset."""
+    bdd = BDD(4)
+    dc_minterms = dc_raw - onset_raw
+    onset = PCover.from_minterms(sorted(onset_raw), 4)
+    dc = PCover.from_minterms(sorted(dc_minterms), 4)
+    minimised = espresso(onset, dc)
+    got = cover_to_bdd(bdd, minimised, list(range(4)))
+    lo = bdd.disjoin([bdd.cube({v: (m >> (3 - v)) & 1
+                                for v in range(4)})
+                      for m in onset_raw])
+    hi = bdd.apply_or(lo, bdd.disjoin([
+        bdd.cube({v: (m >> (3 - v)) & 1 for v in range(4)})
+        for m in dc_minterms]))
+    assert bdd.leq(lo, got)
+    assert bdd.leq(got, hi)
+
+
+def test_cover_primes_are_prime():
+    """After espresso, raising any literal of any cube must leave the
+    onset+DC (primality — EXPAND's postcondition)."""
+    rng = random.Random(661)
+    for _ in range(10):
+        onset_minterms = {m for m in range(16) if rng.random() < 0.45}
+        if not onset_minterms:
+            continue
+        onset = PCover.from_minterms(sorted(onset_minterms), 4)
+        minimised = espresso(onset)
+        care = PCover(4, list(onset.cubes))
+        for cube in minimised:
+            for var, _value in cube.literals():
+                raised = cube.with_field(var, 0b11)
+                assert not care.covers_cube(raised), (
+                    f"cube {cube} is not prime (can raise x{var})")

@@ -1,0 +1,111 @@
+"""Tests for positional-cube algebra."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.twolevel.cubes import PCover, PCube
+
+
+class TestPCube:
+    def test_parse_and_str(self):
+        cube = PCube.from_string("01-")
+        assert str(cube) == "01-"
+        assert cube.field(0) == 0b01
+        assert cube.field(1) == 0b10
+        assert cube.field(2) == 0b11
+
+    def test_bad_literal(self):
+        with pytest.raises(ValueError):
+            PCube.from_string("0x1")
+
+    def test_full(self):
+        assert str(PCube.full(4)) == "----"
+
+    def test_minterm(self):
+        cube = PCube.from_minterm(0b101, 3)
+        assert str(cube) == "101"
+
+    def test_covers_minterm(self):
+        cube = PCube.from_string("1-0")
+        assert cube.covers_minterm(0b100)
+        assert cube.covers_minterm(0b110)
+        assert not cube.covers_minterm(0b101)
+
+    def test_intersect(self):
+        a = PCube.from_string("1--")
+        b = PCube.from_string("-0-")
+        both = a.intersect(b)
+        assert str(both) == "10-"
+        c = PCube.from_string("0--")
+        assert a.intersect(c) is None
+
+    def test_contains(self):
+        big = PCube.from_string("1--")
+        small = PCube.from_string("101")
+        assert big.contains(small)
+        assert not small.contains(big)
+        assert big.contains(big)
+
+    def test_cofactor(self):
+        cover_cube = PCube.from_string("1-1")
+        against = PCube.from_string("1--")
+        cf = cover_cube.cofactor(against)
+        assert str(cf) == "--1"
+        disjoint = PCube.from_string("0--")
+        assert cover_cube.cofactor(disjoint) is None
+
+    def test_supercube(self):
+        a = PCube.from_string("10-")
+        b = PCube.from_string("11-")
+        assert str(a.supercube(b)) == "1--"
+
+    def test_literals(self):
+        cube = PCube.from_string("0-1")
+        assert list(cube.literals()) == [(0, 0), (2, 1)]
+        assert cube.num_literals == 2
+
+
+class TestTautology:
+    def test_universal(self):
+        assert PCover.from_strings(["---"]).is_tautology()
+
+    def test_complementary_pair(self):
+        assert PCover.from_strings(["0--", "1--"]).is_tautology()
+
+    def test_not_tautology(self):
+        assert not PCover.from_strings(["0--", "10-"]).is_tautology()
+
+    def test_empty_cover(self):
+        assert not PCover(3, []).is_tautology()
+
+    def test_full_minterm_cover(self):
+        cover = PCover.from_minterms(range(8), 3)
+        assert cover.is_tautology()
+
+    def test_matches_bruteforce(self):
+        rng = random.Random(467)
+        for _ in range(40):
+            rows = []
+            for _ in range(rng.randint(1, 6)):
+                rows.append("".join(rng.choice("01-") for _ in range(4)))
+            cover = PCover.from_strings(rows)
+            expected = all(cover.covers_minterm(m) for m in range(16))
+            assert cover.is_tautology() == expected
+
+    def test_covers_cube(self):
+        cover = PCover.from_strings(["1--", "01-"])
+        assert cover.covers_cube(PCube.from_string("1-1"))
+        assert not cover.covers_cube(PCube.from_string("0--"))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.text(alphabet="01-", min_size=4, max_size=4), min_size=1,
+    max_size=6))
+def test_tautology_property(rows):
+    cover = PCover.from_strings(rows)
+    expected = all(cover.covers_minterm(m) for m in range(16))
+    assert cover.is_tautology() == expected

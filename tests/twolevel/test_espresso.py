@@ -1,0 +1,115 @@
+"""Tests for the espresso-style minimiser."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import MultiFunction
+from repro.twolevel.cubes import PCover, PCube
+from repro.twolevel.espresso import espresso, minimize_function
+
+
+def cover_equals_on_care(original_on, dc_minterms, result, n):
+    """result must cover exactly the onset over the care set."""
+    dc = set(dc_minterms)
+    for m in range(1 << n):
+        if m in dc:
+            continue
+        expected = m in original_on
+        if result.covers_minterm(m) != expected:
+            return False
+    return True
+
+
+class TestEspresso:
+    def test_classic_merge(self):
+        # 0-1 and 1-1 merge to --1 ... here: minterms of x2: all four
+        # cubes with x2=1 collapse into one.
+        onset = PCover.from_minterms([0b001, 0b011, 0b101, 0b111], 3)
+        result = espresso(onset)
+        assert len(result) == 1
+        assert str(result.cubes[0]) == "--1"
+
+    def test_already_minimal(self):
+        onset = PCover.from_strings(["01-", "10-"])
+        result = espresso(onset)
+        assert len(result) == 2
+
+    def test_dc_enables_merge(self):
+        # onset {00}, dc {01, 10, 11} over two vars: one universal cube.
+        onset = PCover.from_minterms([0b00], 2)
+        dc = PCover.from_minterms([0b01, 0b10, 0b11], 2)
+        result = espresso(onset, dc)
+        assert len(result) == 1
+        assert str(result.cubes[0]) == "--"
+
+    def test_random_functions_stay_correct(self):
+        rng = random.Random(479)
+        for _ in range(25):
+            n = rng.randint(3, 5)
+            onset_minterms = {m for m in range(1 << n)
+                              if rng.random() < 0.4}
+            if not onset_minterms:
+                continue
+            dc_minterms = {m for m in range(1 << n)
+                           if m not in onset_minterms
+                           and rng.random() < 0.2}
+            onset = PCover.from_minterms(sorted(onset_minterms), n)
+            dc = PCover.from_minterms(sorted(dc_minterms), n)
+            result = espresso(onset, dc)
+            assert len(result) <= len(onset)
+            assert cover_equals_on_care(onset_minterms, dc_minterms,
+                                        result, n)
+
+    def test_cube_count_decreases_substantially(self):
+        # Parity complement-ish structured function: espresso should
+        # merge minterm covers well below the minterm count.
+        n = 4
+        onset_minterms = [m for m in range(16) if m % 4 != 3]
+        onset = PCover.from_minterms(onset_minterms, n)
+        result = espresso(onset)
+        assert len(result) <= 4
+
+
+class TestMinimizeFunction:
+    def test_roundtrip(self):
+        bdd = BDD(4)
+        rng = random.Random(487)
+        table = [rng.randint(0, 1) for _ in range(16)]
+        func = MultiFunction.from_truth_tables(bdd, [0, 1, 2, 3],
+                                               [table])
+        cover = minimize_function(func)
+        for m in range(16):
+            assert cover.covers_minterm(m) == bool(table[m])
+
+    def test_empty_onset(self):
+        bdd = BDD(3)
+        func = MultiFunction.from_truth_tables(bdd, [0, 1, 2],
+                                               [[0] * 8])
+        cover = minimize_function(func)
+        assert len(cover) == 0
+
+    def test_with_dontcares(self):
+        bdd = BDD(3)
+        onset = [1, 0, 0, 0, 0, 0, 0, 0]
+        dcset = [0, 1, 1, 1, 1, 1, 1, 0]
+        func = MultiFunction.from_truth_tables(bdd, [0, 1, 2], [onset],
+                                               dc_tables=[dcset])
+        cover = minimize_function(func)
+        # minterm 0 must be covered, minterm 7 must not.
+        assert cover.covers_minterm(0)
+        assert not cover.covers_minterm(7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=15), min_size=1),
+       st.sets(st.integers(min_value=0, max_value=15)))
+def test_espresso_correctness_property(onset_minterms, dc_raw):
+    dc_minterms = dc_raw - onset_minterms
+    onset = PCover.from_minterms(sorted(onset_minterms), 4)
+    dc = PCover.from_minterms(sorted(dc_minterms), 4)
+    result = espresso(onset, dc)
+    assert cover_equals_on_care(onset_minterms, dc_minterms, result, 4)
+    assert len(result) <= len(onset)

@@ -1,0 +1,111 @@
+"""Tests for multi-output minimisation with cube sharing."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import MultiFunction
+from repro.twolevel.cubes import PCover
+from repro.twolevel.multi_output import (
+    MOCover,
+    minimize_multi,
+    minimize_multifunction,
+)
+
+
+class TestMinimizeMulti:
+    def test_shared_cube(self):
+        # Both outputs contain the term x0&x1; it must be realised once.
+        on0 = PCover.from_strings(["11-", "0-1"])
+        on1 = PCover.from_strings(["11-", "1-0"])
+        cover = minimize_multi([on0, on1])
+        shared = [mc for mc in cover.cubes if mc.tags == 0b11]
+        assert shared, "the common term should carry both output tags"
+        # And the cover stays correct.
+        for j, onset in enumerate((on0, on1)):
+            for m in range(8):
+                assert cover.covers_minterm(j, m) == \
+                    onset.covers_minterm(m)
+
+    def test_output_tag_raising(self):
+        # Output 1's onset strictly contains output 0's cube, so the
+        # cube can be shared even though output 1 never listed it.
+        on0 = PCover.from_strings(["11"])
+        on1 = PCover.from_strings(["1-"])
+        cover = minimize_multi([on0, on1])
+        for j, onset in enumerate((on0, on1)):
+            for m in range(4):
+                assert cover.covers_minterm(j, m) == \
+                    onset.covers_minterm(m)
+
+    def test_random_correctness(self):
+        rng = random.Random(499)
+        for _ in range(15):
+            n = 4
+            m = 3
+            onsets = []
+            for _ in range(m):
+                minterms = [k for k in range(16) if rng.random() < 0.4]
+                onsets.append(PCover.from_minterms(minterms, n))
+            cover = minimize_multi(onsets)
+            for j in range(m):
+                for k in range(16):
+                    assert cover.covers_minterm(j, k) == \
+                        onsets[j].covers_minterm(k), (j, k)
+
+    def test_cube_count_not_worse(self):
+        rng = random.Random(503)
+        for _ in range(10):
+            n = 4
+            onsets = []
+            for _ in range(2):
+                minterms = [k for k in range(16) if rng.random() < 0.5]
+                onsets.append(PCover.from_minterms(minterms, n))
+            total_before = sum(len(o) for o in onsets)
+            cover = minimize_multi(onsets)
+            assert cover.cube_count() <= total_before
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            minimize_multi([])
+
+
+class TestMinimizeMultiFunction:
+    def test_adder_slice(self):
+        bdd = BDD(3)
+        func = MultiFunction.from_callable(
+            bdd, [0, 1, 2], 2,
+            lambda a, b, c: [(a + b + c) & 1, (a + b + c) >> 1])
+        cover = minimize_multifunction(func)
+        for j in range(2):
+            for k in range(8):
+                bits = [(k >> (2 - i)) & 1 for i in range(3)]
+                expected = func.eval(dict(zip(func.inputs, bits)))[j]
+                assert cover.covers_minterm(j, k) == bool(expected)
+
+    def test_sharing_beats_separate(self):
+        # Two outputs that are near-duplicates: the shared cover should
+        # use far fewer than 2x the cubes.
+        bdd = BDD(4)
+        table = [1 if bin(k).count("1") >= 2 else 0 for k in range(16)]
+        table2 = list(table)
+        func = MultiFunction.from_truth_tables(bdd, [0, 1, 2, 3],
+                                               [table, table2])
+        cover = minimize_multifunction(func)
+        singles = sum(1 for mc in cover.cubes if mc.tags != 0b11)
+        assert singles == 0  # fully shared
+
+
+class TestPlaExport:
+    def test_roundtrip_through_parser(self):
+        from repro.boolfunc.pla import parse_pla
+        on0 = PCover.from_strings(["11-", "0-1"])
+        on1 = PCover.from_strings(["11-", "1-0"])
+        cover = minimize_multi([on0, on1])
+        func = parse_pla(cover.to_pla())
+        for j, onset in enumerate((on0, on1)):
+            for k in range(8):
+                bits = [(k >> (2 - i)) & 1 for i in range(3)]
+                got = func.eval(dict(zip(func.inputs, bits)))[j]
+                assert got == (1 if onset.covers_minterm(k) else 0)

@@ -1,0 +1,135 @@
+"""Tests for BDD prime generation and exact two-level minimisation."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.twolevel.cubes import PCover, PCube
+from repro.twolevel.espresso import espresso
+from repro.twolevel.primes import all_primes, essential_primes, \
+    exact_minimize
+
+
+def brute_force_primes(table, n):
+    """Reference: enumerate all implicant cubes, keep the maximal ones."""
+    cubes = []
+    for pattern in itertools.product("01-", repeat=n):
+        cube = PCube.from_string("".join(pattern))
+        covered = [m for m in range(1 << n) if cube.covers_minterm(m)]
+        if covered and all(table[m] for m in covered):
+            cubes.append(cube)
+    primes = []
+    for c in cubes:
+        if not any(o.contains(c) and o.bits != c.bits for o in cubes):
+            primes.append(c)
+    return {c.bits for c in primes}
+
+
+class TestAllPrimes:
+    def test_matches_bruteforce(self):
+        rng = random.Random(739)
+        for _ in range(20):
+            n = 4
+            table = [rng.randint(0, 1) for _ in range(16)]
+            bdd = BDD(n)
+            f = bdd.from_truth_table(table, list(range(n)))
+            got = all_primes(bdd, f, list(range(n)))
+            assert {c.bits for c in got.cubes} == \
+                brute_force_primes(table, n)
+
+    def test_constants(self):
+        bdd = BDD(3)
+        assert len(all_primes(bdd, BDD.FALSE, [0, 1, 2])) == 0
+        taut = all_primes(bdd, BDD.TRUE, [0, 1, 2])
+        assert len(taut) == 1
+        assert str(taut.cubes[0]) == "---"
+
+    def test_xor_primes(self):
+        bdd = BDD(2)
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        primes = all_primes(bdd, f, [0, 1])
+        assert {str(c) for c in primes.cubes} == {"01", "10"}
+
+    def test_extra_support_rejected(self):
+        bdd = BDD(3)
+        f = bdd.var(2)
+        with pytest.raises(ValueError):
+            all_primes(bdd, f, [0, 1])
+
+
+class TestEssentialPrimes:
+    def test_known_example(self):
+        # f = x0x1 + x1x2 + x0'x2' : classic — x0x1... compute directly.
+        bdd = BDD(3)
+        f = bdd.disjoin([
+            bdd.apply_and(bdd.var(0), bdd.var(1)),
+            bdd.apply_and(bdd.var(1), bdd.var(2)),
+            bdd.apply_and(bdd.nvar(0), bdd.nvar(2)),
+        ])
+        primes = all_primes(bdd, f, [0, 1, 2])
+        ess = essential_primes(bdd, f, [0, 1, 2], primes)
+        # Essentials must be a subset of the primes and cover something
+        # uniquely.
+        assert 0 < len(ess) <= len(primes)
+
+    def test_all_essential_for_xor(self):
+        bdd = BDD(2)
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        ess = essential_primes(bdd, f, [0, 1])
+        assert len(ess) == 2
+
+
+class TestExactMinimize:
+    def test_exact_is_a_cover(self):
+        rng = random.Random(743)
+        for _ in range(15):
+            n = 4
+            table = [rng.randint(0, 1) for _ in range(16)]
+            if not any(table):
+                continue
+            bdd = BDD(n)
+            f = bdd.from_truth_table(table, list(range(n)))
+            cover = exact_minimize(bdd, f, BDD.FALSE, list(range(n)))
+            assert cover is not None
+            for m in range(16):
+                assert cover.covers_minterm(m) == bool(table[m])
+
+    def test_exact_at_most_espresso(self):
+        rng = random.Random(751)
+        worse = 0
+        for _ in range(15):
+            n = 4
+            minterms = [m for m in range(16) if rng.random() < 0.45]
+            if not minterms:
+                continue
+            bdd = BDD(n)
+            f = bdd.disjoin([
+                bdd.cube({v: (m >> (n - 1 - v)) & 1 for v in range(n)})
+                for m in minterms])
+            exact = exact_minimize(bdd, f, BDD.FALSE, list(range(n)))
+            heuristic = espresso(PCover.from_minterms(minterms, n))
+            assert exact is not None
+            assert len(exact) <= len(heuristic)
+            if len(exact) < len(heuristic):
+                worse += 1
+        # espresso should be near-exact on these sizes.
+        assert worse <= 5
+
+    def test_with_dontcares(self):
+        bdd = BDD(3)
+        onset = bdd.cube({0: 0, 1: 0, 2: 0})
+        dc = bdd.apply_not(onset)  # everything else DC
+        cover = exact_minimize(bdd, onset, dc, [0, 1, 2])
+        assert len(cover) == 1
+        assert str(cover.cubes[0]) == "---"
+
+    def test_node_limit(self):
+        bdd = BDD(4)
+        rng = random.Random(757)
+        table = [rng.randint(0, 1) for _ in range(16)]
+        f = bdd.from_truth_table(table, [0, 1, 2, 3])
+        assert exact_minimize(bdd, f, BDD.FALSE, [0, 1, 2, 3],
+                              node_limit=0) is None
