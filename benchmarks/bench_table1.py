@@ -17,7 +17,12 @@ import pytest
 from repro.bench.registry import BENCHMARKS, TABLE_ORDER
 from repro.bench.registry import benchmark as build_circuit
 from repro.core import map_to_xc3000
-from benchmarks.conftest import skip_if_fast, verify_network
+from benchmarks.conftest import (
+    dump_metrics,
+    obs_summary,
+    skip_if_fast,
+    verify_network,
+)
 
 _RESULTS = {}
 _HEADER = [False]
@@ -27,7 +32,8 @@ def _emit_header(rows):
     if not _HEADER[0]:
         rows.add("table1",
                  f"{'circuit':9s} {'i':>4s} {'o':>4s} "
-                 f"{'mulopII':>8s} {'mulop-dc':>9s} {'saved':>7s}")
+                 f"{'mulopII':>8s} {'mulop-dc':>9s} {'saved':>7s}  "
+                 f"dc-run cache/phases")
         _HEADER[0] = True
 
 
@@ -45,9 +51,13 @@ def test_table1_row(benchmark, rows, name):
     budget = HEAVY_BUDGET_S if spec.heavy else None
 
     def run_both():
+        # Counter resets keep each driver's bdd_metrics snapshot
+        # attributable to that run alone (the manager is shared).
+        func.bdd.reset_counters()
         baseline = map_to_xc3000(func, use_dontcares=False,
                                  time_budget=budget,
                                  node_budget=budget and 4_000_000)
+        func.bdd.reset_counters()
         with_dc = map_to_xc3000(func, use_dontcares=True,
                                 time_budget=budget,
                                  node_budget=budget and 4_000_000)
@@ -69,7 +79,12 @@ def test_table1_row(benchmark, rows, name):
     rows.add("table1",
              f"{name:9s} {func.num_inputs:4d} {func.num_outputs:4d} "
              f"{baseline.clb_count:8d} {with_dc.clb_count:9d} "
-             f"{delta:+7d}{marker}")
+             f"{delta:+7d}{marker}  {obs_summary(with_dc.stats)}")
+    dump_metrics("table1", name, "map", with_dc.stats,
+                 {"lut_count": with_dc.lut_count,
+                  "clb_count": with_dc.clb_count,
+                  "depth": with_dc.depth,
+                  "mulopII_clb_count": baseline.clb_count})
 
 
 def test_table1_totals(benchmark, rows):

@@ -73,3 +73,29 @@ def verify_network(func, net, samples: int = 100) -> bool:
 def skip_if_fast(heavy: bool) -> None:
     if FAST_MODE and heavy:
         pytest.skip("REPRO_BENCH_FAST=1 skips heavy circuits")
+
+
+def obs_summary(stats) -> str:
+    """Compact observability column for table rows: computed-table hit
+    rate plus the most expensive engine phase of the run."""
+    parts = []
+    bm = getattr(stats, "bdd_metrics", None)
+    if bm is not None:
+        parts.append(f"hit {100.0 * bm.computed_hit_rate:.0f}%")
+    phases = stats.phase_profile()
+    if phases:
+        top = max(phases, key=lambda n: phases[n]["time_s"])
+        parts.append(f"{top} {phases[top]['time_s']:.2f}s")
+    return " ".join(parts)
+
+
+def dump_metrics(experiment: str, name: str, command: str, stats,
+                 result: dict) -> None:
+    """Write one row's machine-readable trace next to the table output
+    (``benchmarks/out/<experiment>.<name>.metrics.json``)."""
+    from repro.obs import run_metrics, write_metrics
+    OUT_DIR.mkdir(exist_ok=True)
+    doc = run_metrics(command=command, source=name, stats=stats,
+                      bdd_metrics=getattr(stats, "bdd_metrics", None),
+                      result=result)
+    write_metrics(str(OUT_DIR / f"{experiment}.{name}.metrics.json"), doc)

@@ -15,6 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import BddMetrics
+
+#: Default cap on computed-table entries (clear-on-threshold).  Each
+#: entry is a small tuple key plus an int, so the default bounds the
+#: table at a few hundred MB even in adversarial workloads.
+DEFAULT_CACHE_LIMIT = 1_000_000
+
 
 class BDD:
     """A reduced ordered BDD manager.
@@ -24,6 +31,12 @@ class BDD:
     num_vars:
         Number of variables to create up front.  More can be added later
         with :meth:`add_var`.
+    cache_limit:
+        Maximum number of computed-table entries.  The table is pure
+        memoisation, so when an insert would exceed the cap the whole
+        table is cleared (cheap, and recency bookkeeping would cost more
+        than the occasional recomputation).  ``None`` disables the bound.
+        Hits, misses and evictions are counted — see :meth:`metrics`.
 
     Examples
     --------
@@ -40,7 +53,8 @@ class BDD:
     #: Sentinel level used for terminals; larger than any variable level.
     _TERMINAL_LEVEL = 1 << 30
 
-    def __init__(self, num_vars: int = 0) -> None:
+    def __init__(self, num_vars: int = 0,
+                 cache_limit: Optional[int] = DEFAULT_CACHE_LIMIT) -> None:
         # Node store; index = node id.  Entries 0 and 1 are terminals and
         # carry a dummy variable id of -1.
         self._var: List[int] = [-1, -1]
@@ -48,10 +62,18 @@ class BDD:
         self._high: List[int] = [0, 0]
         # Unique table: (var, low, high) -> node id.
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        # Computed table for ITE and helpers.
+        # Computed table for ITE and helpers (size-capped memoisation).
         self._cache: Dict[Tuple, int] = {}
+        self._cache_limit = cache_limit
         # Per-root support cache (nodes are immutable once created).
         self._support_cache: Dict[int, frozenset] = {}
+        # Hot-path counters (see metrics()).
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        self._ite_calls = 0
+        self._restrict_calls = 0
+        self._peak_nodes = 2
         # Variable order bookkeeping.
         self._level_of_var: List[int] = []
         self._var_at_level: List[int] = []
@@ -131,7 +153,17 @@ class BDD:
             self._low.append(low)
             self._high.append(high)
             self._unique[key] = node
+            if node >= self._peak_nodes:
+                self._peak_nodes = node + 1
         return node
+
+    def _cache_put(self, key: Tuple, res: int) -> None:
+        """Insert into the computed table, clearing it at the cap."""
+        cache = self._cache
+        if self._cache_limit is not None and len(cache) >= self._cache_limit:
+            cache.clear()
+            self._cache_evictions += 1
+        cache[key] = res
 
     def var_of(self, node: int) -> int:
         """Top variable id of an internal node."""
@@ -163,6 +195,7 @@ class BDD:
 
     def ite(self, f: int, g: int, h: int) -> int:
         """``if f then g else h`` — the universal ternary operator."""
+        self._ite_calls += 1
         if f == self.TRUE:
             return g
         if f == self.FALSE:
@@ -174,7 +207,9 @@ class BDD:
         key = ("ite", f, g, h)
         res = self._cache.get(key)
         if res is not None:
+            self._cache_hits += 1
             return res
+        self._cache_misses += 1
         lvl = min(self.level(f), self.level(g), self.level(h))
         top = self._var_at_level[lvl]
         f0, f1 = self._branch(f, top, lvl)
@@ -183,7 +218,7 @@ class BDD:
         low = self.ite(f0, g0, h0)
         high = self.ite(f1, g1, h1)
         res = self._make(top, low, high)
-        self._cache[key] = res
+        self._cache_put(key, res)
         return res
 
     def _branch(self, node: int, var: int, lvl: int) -> Tuple[int, int]:
@@ -253,12 +288,15 @@ class BDD:
 
     def restrict(self, f: int, var: int, value: int) -> int:
         """Cofactor ``f`` with ``var`` fixed to ``value`` (0 or 1)."""
+        self._restrict_calls += 1
         key = ("res", f, var, value)
         res = self._cache.get(key)
         if res is not None:
+            self._cache_hits += 1
             return res
+        self._cache_misses += 1
         res = self._restrict_rec(f, var, self._level_of_var[var], value)
-        self._cache[key] = res
+        self._cache_put(key, res)
         return res
 
     def _restrict_rec(self, f: int, var: int, vlvl: int, value: int) -> int:
@@ -270,11 +308,13 @@ class BDD:
         key = ("res", f, var, value)
         res = self._cache.get(key)
         if res is not None:
+            self._cache_hits += 1
             return res
+        self._cache_misses += 1
         low = self._restrict_rec(self._low[f], var, vlvl, value)
         high = self._restrict_rec(self._high[f], var, vlvl, value)
         res = self._make(self._var[f], low, high)
-        self._cache[key] = res
+        self._cache_put(key, res)
         return res
 
     def cofactor(self, f: int, assignment: Dict[int, int]) -> int:
@@ -509,6 +549,47 @@ class BDD:
     def clear_cache(self) -> None:
         """Drop the computed table (unique table is kept)."""
         self._cache.clear()
+
+    @property
+    def cache_limit(self) -> Optional[int]:
+        """Computed-table entry cap (None = unbounded)."""
+        return self._cache_limit
+
+    @cache_limit.setter
+    def cache_limit(self, limit: Optional[int]) -> None:
+        self._cache_limit = limit
+        if limit is not None and len(self._cache) > limit:
+            self._cache.clear()
+            self._cache_evictions += 1
+
+    def metrics(self) -> BddMetrics:
+        """Snapshot of the manager's hot-path counters."""
+        return BddMetrics(
+            num_vars=self.num_vars,
+            nodes=len(self._var),
+            peak_nodes=self._peak_nodes,
+            unique_table_size=len(self._unique),
+            computed_table_size=len(self._cache),
+            computed_table_capacity=self._cache_limit,
+            computed_hits=self._cache_hits,
+            computed_misses=self._cache_misses,
+            computed_evictions=self._cache_evictions,
+            ite_calls=self._ite_calls,
+            restrict_calls=self._restrict_calls,
+        )
+
+    def reset_counters(self) -> None:
+        """Zero the hot-path counters (table contents are untouched).
+
+        Lets one run's metrics be isolated when several runs share a
+        manager (e.g. the CLI's ``compare`` command).
+        """
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        self._ite_calls = 0
+        self._restrict_calls = 0
+        self._peak_nodes = len(self._var)
 
     def __len__(self) -> int:
         return len(self._var)

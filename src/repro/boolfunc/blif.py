@@ -1,17 +1,29 @@
 """BLIF (Berkeley Logic Interchange Format) reading and writing.
 
 Combinational subset: ``.model``, ``.inputs``, ``.outputs``, ``.names``
-(with single-output SOP cover lines), ``.end``.  Parsing flattens the
-network into per-output BDDs, which is what the decomposition flow
-consumes.
+(with single-output SOP cover lines), ``.exdc``, ``.end``.  Parsing
+flattens the network into per-output BDDs, which is what the
+decomposition flow consumes.
+
+An ``.exdc`` section describes a *second* network over the same primary
+inputs; its outputs are the external don't-care conditions of the
+like-named primary outputs.  Parsing keeps the two networks separate and
+returns each output as a proper interval ``ISF(lo, hi)`` — the exact
+input the paper's three-step don't-care assignment consumes.  Writing
+emits one cube per BDD path (no ``2^n`` enumeration) and preserves don't
+cares through an ``.exdc`` section, so parse → write → parse round-trips
+both the care function and the DC set.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.bdd.manager import BDD
 from repro.boolfunc.spec import ISF, MultiFunction
+
+#: A network is a map name -> (fanin signal names, cover rows).
+_Tables = Dict[str, Tuple[List[str], List[Tuple[str, str]]]]
 
 
 class BlifError(ValueError):
@@ -37,32 +49,59 @@ def _tokenise(text: str) -> List[List[str]]:
 
 
 def parse_blif(text: str, bdd: Optional[BDD] = None) -> MultiFunction:
-    """Parse combinational BLIF into a :class:`MultiFunction`."""
+    """Parse combinational BLIF into a :class:`MultiFunction`.
+
+    ``.exdc`` don't cares surface as incomplete output intervals; without
+    an ``.exdc`` section every output is completely specified.
+    """
     if bdd is None:
         bdd = BDD(0)
     inputs: List[str] = []
     outputs: List[str] = []
-    # name -> (input signal names, cover rows [(in_pattern, out_value)])
-    tables: Dict[str, Tuple[List[str], List[Tuple[str, str]]]] = {}
+    tables: _Tables = {}
+    exdc_tables: _Tables = {}
+    current_tables = tables
     current: Optional[str] = None
+    in_exdc = False
 
     for tokens in _tokenise(text):
         head = tokens[0]
         if head == ".model":
             continue
         if head == ".inputs":
-            inputs.extend(tokens[1:])
+            # Tolerated but ignored inside .exdc (the DC network shares
+            # the main model's primary inputs by definition).
+            if not in_exdc:
+                inputs.extend(tokens[1:])
             current = None
         elif head == ".outputs":
-            outputs.extend(tokens[1:])
+            if not in_exdc:
+                outputs.extend(tokens[1:])
             current = None
         elif head == ".names":
             signals = tokens[1:]
             if not signals:
                 raise BlifError(".names needs at least an output")
             current = signals[-1]
-            tables[current] = (signals[:-1], [])
-        elif head in (".end", ".exdc"):
+            where = ".exdc network" if in_exdc else "care network"
+            if current in current_tables:
+                raise BlifError(
+                    f"duplicate .names for {current!r} in the {where}")
+            if in_exdc and current in tables and current not in outputs:
+                # Redefining a primary output inside .exdc is the whole
+                # point; silently shadowing a care-network *internal*
+                # signal would corrupt whichever reading we picked.
+                raise BlifError(
+                    f".exdc redefines care-network signal {current!r} "
+                    f"(only primary outputs may appear in both)")
+            current_tables[current] = (signals[:-1], [])
+        elif head == ".exdc":
+            if in_exdc:
+                raise BlifError("nested .exdc section")
+            in_exdc = True
+            current_tables = exdc_tables
+            current = None
+        elif head == ".end":
             current = None
         elif head.startswith("."):
             if head in (".latch", ".subckt", ".gate"):
@@ -71,7 +110,7 @@ def parse_blif(text: str, bdd: Optional[BDD] = None) -> MultiFunction:
         else:
             if current is None:
                 raise BlifError(f"cover line outside .names: {tokens}")
-            fanins, rows = tables[current]
+            fanins, rows = current_tables[current]
             if len(fanins) == 0:
                 if len(tokens) != 1 or tokens[0] not in "01":
                     raise BlifError(f"bad constant row: {tokens}")
@@ -85,66 +124,133 @@ def parse_blif(text: str, bdd: Optional[BDD] = None) -> MultiFunction:
                 rows.append((pattern, value))
 
     variables = {name: bdd.add_var(name) for name in inputs}
-    node_bdd: Dict[str, int] = {name: bdd.var(var)
-                                for name, var in variables.items()}
+    input_bdd: Dict[str, int] = {name: bdd.var(var)
+                                 for name, var in variables.items()}
 
-    def build(name: str, trail: tuple) -> int:
-        if name in node_bdd:
-            return node_bdd[name]
-        if name not in tables:
-            raise BlifError(f"undefined signal {name!r}")
-        if name in trail:
-            raise BlifError(f"combinational cycle through {name!r}")
-        fanins, rows = tables[name]
-        fanin_bdds = [build(f, trail + (name,)) for f in fanins]
-        # The cover lists either onset rows (value 1) or offset rows
-        # (value 0); mixing is not allowed by BLIF.
-        values = {value for _, value in rows}
-        if values - {"0", "1"}:
-            raise BlifError(f"bad cover value in {name!r}")
-        if len(values) > 1:
-            raise BlifError(f"mixed cover polarities in {name!r}")
-        cover = BDD.FALSE
-        for pattern, _ in rows:
-            term = BDD.TRUE
-            for ch, fb in zip(pattern, fanin_bdds):
-                if ch == "1":
-                    term = bdd.apply_and(term, fb)
-                elif ch == "0":
-                    term = bdd.apply_and(term, bdd.apply_not(fb))
-                elif ch != "-":
-                    raise BlifError(f"bad input literal {ch!r} in {name!r}")
-            cover = bdd.apply_or(cover, term)
-        if not rows:
-            result = BDD.FALSE
-        elif values == {"0"}:
-            result = bdd.apply_not(cover)
+    care_nodes = dict(input_bdd)
+    onsets = [_build_signal(bdd, tables, care_nodes, name, (),
+                            "care network") for name in outputs]
+
+    # The exdc network is evaluated in its own namespace: primary inputs
+    # are shared, internal care signals are not visible.
+    exdc_nodes = dict(input_bdd)
+    out_isfs: List[ISF] = []
+    for name, onset in zip(outputs, onsets):
+        if name in exdc_tables:
+            dc = _build_signal(bdd, exdc_tables, exdc_nodes, name, (),
+                               ".exdc network")
+            lo = bdd.apply_diff(onset, dc)
+            out_isfs.append(ISF(lo, bdd.apply_or(lo, dc)))
         else:
-            result = cover
-        node_bdd[name] = result
-        return result
+            out_isfs.append(ISF.complete(onset))
 
-    out_isfs = [ISF.complete(build(name, ())) for name in outputs]
     input_vars = [variables[name] for name in inputs]
     return MultiFunction(bdd, input_vars, out_isfs,
                          input_names=inputs, output_names=outputs)
 
 
+def _build_signal(bdd: BDD, tables: _Tables, node_bdd: Dict[str, int],
+                  name: str, trail: tuple, where: str) -> int:
+    """Flatten one signal of one network (care or exdc) into a BDD."""
+    if name in node_bdd:
+        return node_bdd[name]
+    if name not in tables:
+        raise BlifError(f"undefined signal {name!r} in the {where}")
+    if name in trail:
+        raise BlifError(f"combinational cycle through {name!r}")
+    fanins, rows = tables[name]
+    fanin_bdds = [_build_signal(bdd, tables, node_bdd, f,
+                                trail + (name,), where) for f in fanins]
+    # The cover lists either onset rows (value 1) or offset rows
+    # (value 0); mixing is not allowed by BLIF.
+    values = {value for _, value in rows}
+    if values - {"0", "1"}:
+        raise BlifError(f"bad cover value in {name!r}")
+    if len(values) > 1:
+        raise BlifError(f"mixed cover polarities in {name!r}")
+    cover = BDD.FALSE
+    for pattern, _ in rows:
+        term = BDD.TRUE
+        for ch, fb in zip(pattern, fanin_bdds):
+            if ch == "1":
+                term = bdd.apply_and(term, fb)
+            elif ch == "0":
+                term = bdd.apply_and(term, bdd.apply_not(fb))
+            elif ch != "-":
+                raise BlifError(f"bad input literal {ch!r} in {name!r}")
+        cover = bdd.apply_or(cover, term)
+    if not rows:
+        result = BDD.FALSE
+    elif values == {"0"}:
+        result = bdd.apply_not(cover)
+    else:
+        result = cover
+    node_bdd[name] = result
+    return result
+
+
+def _bdd_cubes(bdd: BDD, f: int) -> Iterator[Dict[int, int]]:
+    """One ``{var: value}`` cube per BDD path from ``f`` to TRUE.
+
+    The cube count is bounded by the number of one-paths (never more
+    than the minterm count, usually far fewer) — unlike minterm
+    enumeration it does not scale with ``2^n``.
+    """
+    if f == BDD.FALSE:
+        return
+    stack: List[Tuple[int, Dict[int, int]]] = [(f, {})]
+    while stack:
+        node, partial = stack.pop()
+        if node == BDD.TRUE:
+            yield partial
+            continue
+        var = bdd.var_of(node)
+        for value, child in ((0, bdd.low(node)), (1, bdd.high(node))):
+            if child != BDD.FALSE:
+                cube = dict(partial)
+                cube[var] = value
+                stack.append((child, cube))
+
+
+def _emit_cover(bdd: BDD, f: int, out_name: str,
+                input_names: List[str], var_pos: Dict[int, int],
+                lines: List[str]) -> None:
+    """Append one ``.names`` table realising ``f`` over the inputs."""
+    lines.append(".names " + " ".join(input_names) + f" {out_name}")
+    n = len(input_names)
+    for cube in _bdd_cubes(bdd, f):
+        pattern = ["-"] * n
+        for var, value in cube.items():
+            pos = var_pos.get(var)
+            if pos is None:
+                raise BlifError(
+                    f"output {out_name!r} depends on variable {var} "
+                    f"outside the declared inputs")
+            pattern[pos] = "1" if value else "0"
+        lines.append("".join(pattern) + " 1")
+
+
 def write_blif(func: MultiFunction, model: str = "repro") -> str:
     """Write a :class:`MultiFunction` as flat single-level BLIF.
 
-    Don't cares are completed to 0 (BLIF has no native DC plane).
+    Covers are cubes read off the BDD one-paths (no ``2^n`` row
+    enumeration), and incompletely specified outputs keep their don't
+    cares via an ``.exdc`` section.
     """
+    bdd = func.bdd
+    var_pos = {v: i for i, v in enumerate(func.inputs)}
     lines = [f".model {model}",
              ".inputs " + " ".join(func.input_names),
              ".outputs " + " ".join(func.output_names)]
-    n = func.num_inputs
-    for j, name in enumerate(func.output_names):
-        lines.append(".names " + " ".join(func.input_names) + f" {name}")
-        for k in range(1 << n):
-            bits = [(k >> (n - 1 - i)) & 1 for i in range(n)]
-            assignment = dict(zip(func.inputs, bits))
-            if func.bdd.eval(func.outputs[j].lo, assignment):
-                lines.append("".join(str(b) for b in bits) + " 1")
+    for name, isf in zip(func.output_names, func.outputs):
+        _emit_cover(bdd, isf.lo, name, func.input_names, var_pos, lines)
+    exdc_lines: List[str] = []
+    for name, isf in zip(func.output_names, func.outputs):
+        if not isf.is_complete():
+            _emit_cover(bdd, isf.dc_set(bdd), name, func.input_names,
+                        var_pos, exdc_lines)
+    if exdc_lines:
+        lines.append(".exdc")
+        lines.extend(exdc_lines)
     lines.append(".end")
     return "\n".join(lines) + "\n"

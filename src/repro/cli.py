@@ -5,6 +5,8 @@
     python -m repro map rd84                  # XC3000 flow on a benchmark
     python -m repro map --no-dc rd84          # the mulopII baseline
     python -m repro map --pla my.pla          # map a PLA file
+    python -m repro map rd84 --profile        # phase/BDD-counter summary
+    python -m repro map rd84 --metrics-out m.json   # JSON run trace
     python -m repro gates adder8              # two-input-gate synthesis
     python -m repro list                      # registered benchmarks
 """
@@ -13,32 +15,92 @@ from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 from typing import Optional
 
 from repro.bench.registry import BENCHMARKS, benchmark, benchmark_names
-from repro.boolfunc.blif import parse_blif
+from repro.boolfunc.blif import BlifError, parse_blif
 from repro.boolfunc.pla import parse_pla
 from repro.boolfunc.spec import MultiFunction
 from repro.core.api import map_to_xc3000, synthesize_two_input_gates
+from repro.obs import profile_report, run_metrics, write_metrics
+
+#: Shown whenever a generator name fails to parse.
+_GENERATOR_FORMS = ("adderN with N >= 1 (e.g. adder8), "
+                    "pmN with N >= 1 (e.g. pm4)")
+
+
+def _generator_width(name: str, prefix: str) -> int:
+    """Parse the ``N`` of a ``adderN``/``pmN`` generator name; exits with
+    a clean message on malformed input (``adderfoo``, ``pm0``, ...)."""
+    suffix = name[len(prefix):]
+    if not suffix.isdigit() or int(suffix) < 1:
+        raise SystemExit(
+            f"malformed generator name {name!r}: valid forms are "
+            f"{_GENERATOR_FORMS}")
+    return int(suffix)
 
 
 def _load_function(args) -> MultiFunction:
     if args.pla:
-        with open(args.pla) as handle:
-            return parse_pla(handle.read())
+        try:
+            with open(args.pla) as handle:
+                return parse_pla(handle.read())
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.pla}: {exc.strerror}")
     if args.blif:
-        with open(args.blif) as handle:
-            return parse_blif(handle.read())
+        try:
+            with open(args.blif) as handle:
+                return parse_blif(handle.read())
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.blif}: {exc.strerror}")
+        except BlifError as exc:
+            raise SystemExit(f"{args.blif}: {exc}")
     name = args.name
     if name is None:
         raise SystemExit("give a benchmark name, --pla or --blif")
     if name.startswith("adder"):
         from repro.arith.adders import adder_function
-        return adder_function(int(name[len("adder"):]))
+        return adder_function(_generator_width(name, "adder"))
     if name.startswith("pm"):
         from repro.arith.multipliers import partial_multiplier_function
-        return partial_multiplier_function(int(name[len("pm"):]))
-    return benchmark(name)
+        return partial_multiplier_function(_generator_width(name, "pm"))
+    try:
+        return benchmark(name)
+    except KeyError:
+        raise SystemExit(
+            f"unknown benchmark {name!r}: run `repro list` for the "
+            f"registered circuits, or use a generator "
+            f"({_GENERATOR_FORMS})")
+
+
+def _source_label(args) -> str:
+    """What was mapped, for the metrics trace."""
+    return args.pla or args.blif or args.name or "?"
+
+
+def _mapping_result_dict(result) -> dict:
+    return {"lut_count": result.lut_count,
+            "clb_count": result.clb_count,
+            "depth": result.depth}
+
+
+def _emit_observability(args, *, command: str, stats, wall_time_s: float,
+                        result: dict, extra: Optional[dict] = None) -> None:
+    """Shared ``--profile`` / ``--metrics-out`` handling."""
+    if getattr(args, "profile", False):
+        print(profile_report(stats, stats.bdd_metrics))
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        doc = run_metrics(command=command, source=_source_label(args),
+                          stats=stats, bdd_metrics=stats.bdd_metrics,
+                          wall_time_s=wall_time_s, result=result,
+                          extra=extra)
+        try:
+            write_metrics(metrics_out, doc)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {metrics_out}: {exc.strerror}")
+        print(f"wrote {metrics_out}")
 
 
 def _cmd_list(args) -> int:
@@ -53,11 +115,17 @@ def _cmd_list(args) -> int:
 
 def _cmd_map(args) -> int:
     func = _load_function(args)
+    start = perf_counter()
     result = map_to_xc3000(func, use_dontcares=not args.no_dc)
+    wall = perf_counter() - start
     mode = "mulopII" if args.no_dc else "mulop-dc"
     print(f"{mode}: {result.summary()}")
     if args.trace:
         print(result.stats.report())
+    _emit_observability(
+        args, command="map", stats=result.stats, wall_time_s=wall,
+        result=_mapping_result_dict(result),
+        extra={"n_lut": 5, "use_dontcares": not args.no_dc})
     if args.blif_out:
         with open(args.blif_out, "w") as handle:
             handle.write(result.network.to_blif())
@@ -67,16 +135,30 @@ def _cmd_map(args) -> int:
 
 def _cmd_gates(args) -> int:
     func = _load_function(args)
+    start = perf_counter()
     net = synthesize_two_input_gates(func, use_dontcares=not args.no_dc)
+    wall = perf_counter() - start
     print(f"{net.gate_count} two-input gates, depth {net.depth()}, "
           f"{net.inverter_count} inverters")
+    _emit_observability(
+        args, command="gates", stats=net.decomposition_stats,
+        wall_time_s=wall,
+        result={"gate_count": net.gate_count, "depth": net.depth(),
+                "inverter_count": net.inverter_count},
+        extra={"use_dontcares": not args.no_dc})
     return 0
 
 
 def _cmd_compare(args) -> int:
     func = _load_function(args)
+    start = perf_counter()
+    func.bdd.reset_counters()
     baseline = map_to_xc3000(func, use_dontcares=False)
+    # Counters are reset between the runs so each stats snapshot (and
+    # the emitted trace) describes one driver, not the sum of both.
+    func.bdd.reset_counters()
     with_dc = map_to_xc3000(func, use_dontcares=True)
+    wall = perf_counter() - start
     delta = baseline.clb_count - with_dc.clb_count
     print(f"{'driver':10s} {'LUTs':>6s} {'CLBs':>6s} {'depth':>6s}")
     print(f"{'mulopII':10s} {baseline.lut_count:6d} "
@@ -84,6 +166,16 @@ def _cmd_compare(args) -> int:
     print(f"{'mulop-dc':10s} {with_dc.lut_count:6d} "
           f"{with_dc.clb_count:6d} {with_dc.depth:6d}")
     print(f"don't-care exploitation saves {delta} CLB(s)")
+    if args.profile:
+        print("--- mulopII ---")
+        print(profile_report(baseline.stats, baseline.stats.bdd_metrics))
+        print("--- mulop-dc ---")
+    _emit_observability(
+        args, command="compare", stats=with_dc.stats, wall_time_s=wall,
+        result={"mulopII": _mapping_result_dict(baseline),
+                "mulop_dc": _mapping_result_dict(with_dc),
+                "clbs_saved": delta},
+        extra={"n_lut": 5})
     return 0
 
 
@@ -124,6 +216,12 @@ def main(argv: Optional[list] = None) -> int:
         p.add_argument("--blif", help="map a BLIF file instead")
         p.add_argument("--no-dc", action="store_true",
                        help="disable don't-care exploitation (mulopII)")
+        if cmd in ("map", "gates", "compare"):
+            p.add_argument("--profile", action="store_true",
+                           help="print the phase/BDD-counter profile")
+            p.add_argument("--metrics-out", metavar="FILE",
+                           help="write a JSON run trace (phase timings, "
+                                "computed-table hit rate, peak nodes)")
         if cmd == "map":
             p.add_argument("--blif-out",
                            help="write the mapped network as BLIF")

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.bdd.manager import BDD
 from repro.bdd.ops import vertex_bits
 from repro.boolfunc.spec import ISF
+from repro.obs.profiler import profile_phase
 
 
 @dataclass
@@ -75,6 +76,12 @@ def vertex_cofactors(bdd: BDD, outputs: Sequence[ISF],
 
     Vertex indices follow :func:`repro.bdd.ops.vertex_bits` (MSB first).
     """
+    with profile_phase("cofactors"):
+        return _vertex_cofactors(bdd, outputs, bound)
+
+
+def _vertex_cofactors(bdd: BDD, outputs: Sequence[ISF],
+                      bound: Sequence[int]) -> List[List[ISF]]:
     per_output: List[List[ISF]] = []
     for isf in outputs:
         los = [isf.lo]
@@ -122,6 +129,12 @@ def compute_classes(bdd: BDD, cofactors: Sequence[Sequence[ISF]],
     the monotonicity the paper's step 2 / step 3 compatibility argument
     needs.
     """
+    with profile_phase("clique_cover"):
+        return _compute_classes(bdd, cofactors, bound)
+
+
+def _compute_classes(bdd: BDD, cofactors: Sequence[Sequence[ISF]],
+                     bound: Sequence[int]) -> Classes:
     num_vertices = len(cofactors)
     # Deduplicate identical vectors; ISFs are hashable (node-id pairs).
     rep_of: dict = {}

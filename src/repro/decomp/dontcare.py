@@ -35,6 +35,7 @@ from repro.decomp.compat import (
     assign_by_classes,
     classes_for,
 )
+from repro.obs.profiler import profile_phase
 from repro.symmetry.groups import assign_for_symmetry_multi
 
 
@@ -58,9 +59,10 @@ def assign_step2_sharing(bdd: BDD, outputs: Sequence[ISF],
     Returns the narrowed outputs and the joint classes (whose ``min_r``
     is the lower bound ``ceil(log2(ncc(f, B)))`` of the paper).
     """
-    joint = classes_for(bdd, outputs, bound)
-    narrowed = assign_by_classes(bdd, outputs, joint)
-    return narrowed, joint
+    with profile_phase("dc_step2_sharing"):
+        joint = classes_for(bdd, outputs, bound)
+        narrowed = assign_by_classes(bdd, outputs, joint)
+        return narrowed, joint
 
 
 def assign_step3_single(bdd: BDD, outputs: Sequence[ISF],
@@ -71,14 +73,15 @@ def assign_step3_single(bdd: BDD, outputs: Sequence[ISF],
     Returns the narrowed outputs and each output's final classes — the
     classes the encoding and common-alpha selection work with.
     """
-    narrowed: List[ISF] = []
-    all_classes: List[Classes] = []
-    for isf in outputs:
-        classes = classes_for(bdd, [isf], bound)
-        [new_isf] = assign_by_classes(bdd, [isf], classes)
-        narrowed.append(new_isf)
-        all_classes.append(classes)
-    return narrowed, all_classes
+    with profile_phase("dc_step3_single"):
+        narrowed: List[ISF] = []
+        all_classes: List[Classes] = []
+        for isf in outputs:
+            classes = classes_for(bdd, [isf], bound)
+            [new_isf] = assign_by_classes(bdd, [isf], classes)
+            narrowed.append(new_isf)
+            all_classes.append(classes)
+        return narrowed, all_classes
 
 
 def assign_all_steps(bdd: BDD, outputs: Sequence[ISF],

@@ -41,6 +41,8 @@ from repro.decomp.dontcare import (
 from repro.decomp.encoding import build_composition_for_output
 from repro.decomp.multi import select_common_alphas
 from repro.mapping.lutnet import CONST0, CONST1, LutNetwork
+from repro.obs.metrics import BddMetrics
+from repro.obs.profiler import PhaseProfiler, activate_profiler, profile_phase
 from repro.symmetry.isf_symmetry import strongly_symmetric
 
 
@@ -72,6 +74,18 @@ class DecompositionStats:
     budget_exhausted: bool = False
     #: Per-step trace (bound set, sharing, ...), in acceptance order.
     steps: List[StepRecord] = field(default_factory=list)
+    #: Exclusive wall-clock seconds per engine phase (see repro.obs).
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    #: Entry counts per engine phase.
+    phase_counts: Dict[str, int] = field(default_factory=dict)
+    #: BDD manager counter snapshot taken when the run finished.
+    bdd_metrics: Optional[BddMetrics] = None
+
+    def phase_profile(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {"time_s": ..., "calls": ...}}`` for this run."""
+        return {name: {"time_s": self.phase_times[name],
+                       "calls": self.phase_counts.get(name, 0)}
+                for name in self.phase_times}
 
     def report(self) -> str:
         """Multi-line human-readable trace of the run."""
@@ -82,6 +96,10 @@ class DecompositionStats:
             f" (sharing saved {self.alphas_shared})",
             f"max recursion depth : {self.max_recursion_depth}",
         ]
+        for name, secs in sorted(self.phase_times.items(),
+                                 key=lambda kv: -kv[1]):
+            lines.append(f"  phase {name:<20s}: {secs:.4f} s "
+                         f"x{self.phase_counts.get(name, 0)}")
         if self.budget_exhausted:
             lines.append("budget exhausted    : yes (MUX fallback used)")
         for i, s in enumerate(self.steps):
@@ -162,6 +180,7 @@ class DecompositionEngine:
         self.time_budget = time_budget
         self.node_budget = node_budget
         self.stats = DecompositionStats()
+        self.profiler = PhaseProfiler()
         self._last_rank_empty = False
         self._deadline: Optional[float] = None
         self._mux_memo: Dict[int, str] = {}
@@ -171,6 +190,7 @@ class DecompositionEngine:
     def run(self, func: MultiFunction) -> LutNetwork:
         """Decompose ``func`` into a LUT network with ``n_lut``-input LUTs."""
         self.stats = DecompositionStats()
+        self.profiler = PhaseProfiler()
         self._mux_memo = {}
         self._deadline = (time.monotonic() + self.time_budget
                           if self.time_budget is not None else None)
@@ -180,9 +200,14 @@ class DecompositionEngine:
             net.add_input(name)
             signal_of[var] = name
         named = list(zip(func.output_names, func.outputs))
-        signals = self._decompose(func.bdd, named, net, signal_of, depth=0)
+        with activate_profiler(self.profiler):
+            signals = self._decompose(func.bdd, named, net, signal_of,
+                                      depth=0)
         for name, _ in named:
             net.set_output(name, signals[name])
+        self.stats.phase_times = dict(self.profiler.times)
+        self.stats.phase_counts = dict(self.profiler.counts)
+        self.stats.bdd_metrics = func.bdd.metrics()
         return net
 
     # ------------------------------------------------------------------
@@ -220,9 +245,8 @@ class DecompositionEngine:
         while pending:
             self.stats.max_recursion_depth = max(
                 self.stats.max_recursion_depth, depth)
-            # The computed table is pure memoisation — cap its memory.
-            if len(bdd._cache) > 2_000_000:
-                bdd.clear_cache()
+            # (The computed table bounds its own memory now — the manager
+            # clears it at BDD.cache_limit and counts the eviction.)
             still: List[Tuple[str, ISF]] = []
             for name, isf in pending:
                 if self.use_dontcares and not isf.is_complete():
@@ -230,10 +254,12 @@ class DecompositionEngine:
                     # admits an extension independent of some variables.
                     # Crucial for composition functions, whose unused-code
                     # upper bound otherwise inflates the measured support.
-                    isf = isf.reduce_support(bdd)
+                    with profile_phase("reduce_support"):
+                        isf = isf.reduce_support(bdd)
                 if len(isf.support(bdd)) <= self.n_lut:
-                    signals[name] = self._emit_leaf(bdd, isf, net,
-                                                    signal_of)
+                    with profile_phase("leaf_emit"):
+                        signals[name] = self._emit_leaf(bdd, isf, net,
+                                                        signal_of)
                 else:
                     still.append((name, isf))
             pending = still
@@ -282,10 +308,12 @@ class DecompositionEngine:
             # don't cares can cost more than the symmetry buys).
             outputs_sym = None
             groups_sym = None
-            groups = self._common_groups(bdd, outputs, support)
+            with profile_phase("symmetry_groups"):
+                groups = self._common_groups(bdd, outputs, support)
             if self.use_symmetry_step:
-                outputs_sym, groups_sym = assign_step1_symmetry(
-                    bdd, outputs, support)
+                with profile_phase("dc_step1_symmetry"):
+                    outputs_sym, groups_sym = assign_step1_symmetry(
+                        bdd, outputs, support)
                 if all(len(g) <= 1 for g in groups_sym):
                     outputs_sym = None  # nothing was symmetrised
 
@@ -348,9 +376,10 @@ class DecompositionEngine:
             next_pending: List[Tuple[str, ISF]] = []
             for idx, (name, original) in enumerate(pending):
                 if idx in step.included:
-                    g_isf = build_composition_for_output(
-                        bdd, step.encodings[idx], output_index=0,
-                        alpha_vars=alpha_vars)
+                    with profile_phase("encoding"):
+                        g_isf = build_composition_for_output(
+                            bdd, step.encodings[idx], output_index=0,
+                            alpha_vars=alpha_vars)
                     next_pending.append((name, g_isf))
                 else:
                     next_pending.append((name, original))
@@ -469,8 +498,9 @@ class DecompositionEngine:
         # alignment makes mulop-dc dominate step-wise.
         ranking_view = [ISF.complete(o.lo) if not o.is_complete() else o
                         for o in outputs]
-        ranked = rank_bound_sets(bdd, ranking_view, support, p, groups,
-                                 max_candidates)
+        with profile_phase("rank_bound_sets"):
+            ranked = rank_bound_sets(bdd, ranking_view, support, p,
+                                     groups, max_candidates)
         self._last_rank_empty = not ranked
         best: Optional[_Step] = None
         best_gain = 0
@@ -507,7 +537,8 @@ class DecompositionEngine:
                           for isf in work]
         if joint_min_r is None:
             joint_min_r = classes_for(bdd, work, bound).min_r
-        pool, encodings = select_common_alphas(bdd, per_output)
+        with profile_phase("encoding"):
+            pool, encodings = select_common_alphas(bdd, per_output)
         bound_set = set(bound)
         included: Set[int] = set()
         gain = 0
@@ -569,21 +600,24 @@ class DecompositionEngine:
         """Fallback: cofactor every output w.r.t. the most shared variable
         and recombine with MUXes.  Always support-reducing."""
         self.stats.shannon_steps += 1
-        counts: Dict[int, int] = {}
-        for isf in outputs:
-            for var in isf.support(bdd):
-                counts[var] = counts.get(var, 0) + 1
-        split = max(sorted(counts), key=lambda v: counts[v])
+        # Only the split/cofactor work is charged to the phase — the
+        # recursive child decompositions account for themselves.
+        with profile_phase("shannon_split"):
+            counts: Dict[int, int] = {}
+            for isf in outputs:
+                for var in isf.support(bdd):
+                    counts[var] = counts.get(var, 0) + 1
+            split = max(sorted(counts), key=lambda v: counts[v])
 
-        lo_named: List[Tuple[str, ISF]] = []
-        hi_named: List[Tuple[str, ISF]] = []
-        passthrough: List[Tuple[str, ISF]] = []
-        for (name, _), isf in zip(pending, outputs):
-            if split in isf.support(bdd):
-                lo_named.append((name, isf.restrict(bdd, split, 0)))
-                hi_named.append((name, isf.restrict(bdd, split, 1)))
-            else:
-                passthrough.append((name, isf))
+            lo_named: List[Tuple[str, ISF]] = []
+            hi_named: List[Tuple[str, ISF]] = []
+            passthrough: List[Tuple[str, ISF]] = []
+            for (name, _), isf in zip(pending, outputs):
+                if split in isf.support(bdd):
+                    lo_named.append((name, isf.restrict(bdd, split, 0)))
+                    hi_named.append((name, isf.restrict(bdd, split, 1)))
+                else:
+                    passthrough.append((name, isf))
 
         signals: Dict[str, str] = {}
         lo_signals = self._decompose(

@@ -364,10 +364,15 @@ def gate_synthesize(func: MultiFunction, use_dontcares: bool = True,
     """Decompose to 3-input blocks, then realise with two-input gates.
 
     Balanced (communication-minimising) bound sets are used by default —
-    this is the mode behind the paper's two-input-gate results.
+    this is the mode behind the paper's two-input-gate results.  The
+    driving engine's :class:`DecompositionStats` (phase timings, BDD
+    counters) are attached to the result as ``decomposition_stats``.
     """
-    from repro.decomp.recursive import decompose
+    from repro.decomp.recursive import DecompositionEngine
     engine_kwargs.setdefault("balanced", True)
-    lut_net = decompose(func, n_lut=3, use_dontcares=use_dontcares,
-                        **engine_kwargs)
-    return to_gates(lut_net)
+    engine = DecompositionEngine(n_lut=3, use_dontcares=use_dontcares,
+                                 **engine_kwargs)
+    lut_net = engine.run(func)
+    gnet = to_gates(lut_net)
+    gnet.decomposition_stats = engine.stats
+    return gnet

@@ -1,0 +1,45 @@
+"""Observability: counters, phase profiling and machine-readable traces.
+
+This package is the measurement substrate the performance roadmap builds
+on.  It has three parts:
+
+* :mod:`repro.obs.profiler` — a stack-based *exclusive-time* phase
+  profiler plus a context-variable hookup so deep library code
+  (:mod:`repro.decomp.compat`, :mod:`repro.decomp.dontcare`) can report
+  into whichever profiler the current engine run activated, without
+  threading a handle through every call;
+* :mod:`repro.obs.metrics` — snapshot dataclasses for the BDD manager's
+  hot-path counters (unique table, computed table, apply/restrict call
+  counts, peak nodes) and for a whole engine run;
+* :func:`repro.obs.metrics.run_metrics_json` — the stable JSON trace
+  schema behind the CLI's ``--metrics-out`` (see ``SCHEMA_VERSION``).
+
+Everything here is import-light (stdlib only) and safe to use from the
+lowest layers of the package.
+"""
+
+from repro.obs.profiler import (
+    PhaseProfiler,
+    activate_profiler,
+    current_profiler,
+    profile_phase,
+)
+from repro.obs.metrics import (
+    SCHEMA_VERSION,
+    BddMetrics,
+    profile_report,
+    run_metrics,
+    write_metrics,
+)
+
+__all__ = [
+    "PhaseProfiler",
+    "activate_profiler",
+    "current_profiler",
+    "profile_phase",
+    "SCHEMA_VERSION",
+    "BddMetrics",
+    "profile_report",
+    "run_metrics",
+    "write_metrics",
+]

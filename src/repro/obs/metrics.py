@@ -1,0 +1,137 @@
+"""Metric snapshots and the machine-readable run-trace schema.
+
+:class:`BddMetrics` is the snapshot the BDD manager fills from its
+hot-path counters; :func:`run_metrics` combines it with an engine's
+:class:`~repro.decomp.recursive.DecompositionStats` into the JSON
+document the CLI's ``--metrics-out`` writes.  The document layout is
+versioned through :data:`SCHEMA_VERSION` — additive changes keep the
+version, renames/removals bump it (the benchmark tooling and any
+external dashboards key on this).
+
+This module is deliberately dependency-free: it reads counters and stats
+duck-typed so the BDD manager can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+#: Version of the ``--metrics-out`` JSON document layout.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class BddMetrics:
+    """Point-in-time snapshot of a BDD manager's hot-path counters."""
+
+    num_vars: int
+    #: Live nodes in the store (terminals included).
+    nodes: int
+    #: High-water mark of the node store over the manager's lifetime.
+    peak_nodes: int
+    unique_table_size: int
+    computed_table_size: int
+    computed_table_capacity: Optional[int]
+    computed_hits: int
+    computed_misses: int
+    #: Number of clear-on-threshold evictions of the computed table.
+    computed_evictions: int
+    ite_calls: int
+    restrict_calls: int
+
+    @property
+    def computed_hit_rate(self) -> float:
+        """Computed-table hit rate in [0, 1] (0 when never queried)."""
+        queries = self.computed_hits + self.computed_misses
+        return self.computed_hits / queries if queries else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form with the derived hit rate included."""
+        data = asdict(self)
+        data["computed_hit_rate"] = round(self.computed_hit_rate, 6)
+        return data
+
+
+def run_metrics(*, command: str, source: str, stats: Any,
+                bdd_metrics: Optional[BddMetrics] = None,
+                wall_time_s: Optional[float] = None,
+                result: Optional[Dict[str, Any]] = None,
+                extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble the versioned metrics document for one engine run.
+
+    ``stats`` is a :class:`DecompositionStats` (duck-typed); ``result``
+    carries the command-specific outcome (LUT/CLB/depth counts, ...).
+    """
+    doc: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "command": command,
+        "source": source,
+    }
+    if wall_time_s is not None:
+        doc["wall_time_s"] = round(wall_time_s, 6)
+    if result is not None:
+        doc["result"] = result
+    doc["engine"] = {
+        "decomposition_steps": stats.decomposition_steps,
+        "shannon_steps": stats.shannon_steps,
+        "alphas_created": stats.alphas_created,
+        "alphas_shared": stats.alphas_shared,
+        "max_recursion_depth": stats.max_recursion_depth,
+        "budget_exhausted": stats.budget_exhausted,
+    }
+    doc["phases"] = {
+        name: {"time_s": round(entry["time_s"], 6),
+               "calls": entry["calls"]}
+        for name, entry in stats.phase_profile().items()
+    }
+    if bdd_metrics is not None:
+        doc["bdd"] = bdd_metrics.as_dict()
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def write_metrics(path: str, doc: Dict[str, Any]) -> None:
+    """Write a metrics document as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def profile_report(stats: Any,
+                   bdd_metrics: Optional[BddMetrics] = None) -> str:
+    """Human-readable ``--profile`` summary: phases sorted by time, then
+    the BDD counter block."""
+    lines = ["phase profile (exclusive time):"]
+    phases = stats.phase_profile()
+    total = sum(entry["time_s"] for entry in phases.values())
+    if not phases:
+        lines.append("  (no phases recorded)")
+    for name, entry in sorted(phases.items(),
+                              key=lambda kv: -kv[1]["time_s"]):
+        share = 100.0 * entry["time_s"] / total if total else 0.0
+        lines.append(f"  {name:<22s} {entry['time_s']:9.4f} s "
+                     f"({share:5.1f}%)  x{entry['calls']}")
+    lines.append(f"  {'total instrumented':<22s} {total:9.4f} s")
+    if bdd_metrics is not None:
+        lines.append("bdd manager:")
+        lines.append(f"  nodes               : {bdd_metrics.nodes}"
+                     f" (peak {bdd_metrics.peak_nodes})")
+        lines.append(f"  unique table        : "
+                     f"{bdd_metrics.unique_table_size}")
+        cap = bdd_metrics.computed_table_capacity
+        lines.append(
+            f"  computed table      : {bdd_metrics.computed_table_size}"
+            + (f" / cap {cap}" if cap else " (unbounded)")
+            + f", {bdd_metrics.computed_evictions} eviction(s)")
+        lines.append(
+            f"  computed hit rate   : "
+            f"{100.0 * bdd_metrics.computed_hit_rate:.1f}% "
+            f"({bdd_metrics.computed_hits} hits / "
+            f"{bdd_metrics.computed_misses} misses)")
+        lines.append(f"  ite calls           : {bdd_metrics.ite_calls}")
+        lines.append(f"  restrict calls      : "
+                     f"{bdd_metrics.restrict_calls}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Exclusive-time phase profiling for the decomposition hot paths.
+
+The profiler keeps a stack of open phases and charges wall-clock time to
+the *innermost* open phase only, so nested sections never double-count:
+when ``rank_bound_sets`` calls into the class computation, the time spent
+computing cofactors is charged to ``"cofactors"``, not to
+``"rank_bound_sets"`` as well.  Phase totals therefore sum to (at most)
+the instrumented wall time.
+
+Deep library code reports through the *current* profiler, installed per
+engine run with :func:`activate_profiler`; when none is active,
+:func:`profile_phase` is a cheap no-op, so the instrumentation costs
+almost nothing outside profiled runs.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional
+
+
+class PhaseProfiler:
+    """Accumulates exclusive wall-clock time and entry counts per phase."""
+
+    def __init__(self) -> None:
+        self.times: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        # Stack of [phase name, timestamp of the last charge point].
+        self._stack: List[list] = []
+
+    # -- phase entry/exit ------------------------------------------------
+
+    def enter(self, name: str) -> None:
+        """Open a phase; the enclosing phase stops accumulating."""
+        now = perf_counter()
+        if self._stack:
+            top = self._stack[-1]
+            self.times[top[0]] = self.times.get(top[0], 0.0) + now - top[1]
+        self._stack.append([name, now])
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def exit(self) -> None:
+        """Close the innermost phase; its parent resumes accumulating."""
+        name, since = self._stack.pop()
+        now = perf_counter()
+        self.times[name] = self.times.get(name, 0.0) + now - since
+        if self._stack:
+            self._stack[-1][1] = now
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager form of :meth:`enter`/:meth:`exit`."""
+        self.enter(name)
+        try:
+            yield
+        finally:
+            self.exit()
+
+    # -- results ---------------------------------------------------------
+
+    def total(self) -> float:
+        """Sum of all phase times (instrumented wall clock)."""
+        return sum(self.times.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {"time_s": ..., "calls": ...}}``, insertion order."""
+        return {name: {"time_s": self.times[name],
+                       "calls": self.counts.get(name, 0)}
+                for name in self.times}
+
+
+#: The profiler deep library code reports into (None = profiling off).
+_CURRENT: contextvars.ContextVar[Optional[PhaseProfiler]] = \
+    contextvars.ContextVar("repro_obs_profiler", default=None)
+
+
+def current_profiler() -> Optional[PhaseProfiler]:
+    """The profiler installed by the innermost :func:`activate_profiler`."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def activate_profiler(profiler: PhaseProfiler) -> Iterator[PhaseProfiler]:
+    """Install ``profiler`` as the reporting target for the dynamic extent."""
+    token = _CURRENT.set(profiler)
+    try:
+        yield profiler
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextmanager
+def profile_phase(name: str) -> Iterator[None]:
+    """Charge the enclosed block to ``name`` on the active profiler.
+
+    No-op (beyond one context-variable read) when profiling is inactive,
+    so library code can use it unconditionally on hot-ish paths.
+    """
+    profiler = _CURRENT.get()
+    if profiler is None:
+        yield
+        return
+    profiler.enter(name)
+    try:
+        yield
+    finally:
+        profiler.exit()

@@ -1,0 +1,101 @@
+"""Bounded computed table and hot-path counters of the BDD manager."""
+
+from repro.bdd.manager import DEFAULT_CACHE_LIMIT, BDD
+
+
+class TestCacheBound:
+    def test_default_limit_installed(self):
+        assert BDD(2).cache_limit == DEFAULT_CACHE_LIMIT
+
+    def test_eviction_at_threshold(self):
+        bdd = BDD(12, cache_limit=50)
+        f = BDD.FALSE
+        for i in range(12):
+            f = bdd.apply_xor(f, bdd.var(i))
+        metrics = bdd.metrics()
+        assert metrics.computed_evictions >= 1
+        assert metrics.computed_table_size <= 50
+
+    def test_unbounded_when_none(self):
+        bdd = BDD(12, cache_limit=None)
+        for i in range(0, 12, 2):
+            bdd.apply_xor(bdd.var(i), bdd.var(i + 1))
+        assert bdd.metrics().computed_evictions == 0
+
+    def test_results_correct_across_evictions(self):
+        """Clearing the memo table must never change function values."""
+        small = BDD(8, cache_limit=8)
+        big = BDD(8, cache_limit=None)
+        fs, fb = BDD.FALSE, BDD.FALSE
+        for i in range(8):
+            fs = small.apply_xor(fs, small.var(i))
+            fb = big.apply_xor(fb, big.var(i))
+        assert small.metrics().computed_evictions > 0
+        for k in range(256):
+            assignment = {i: (k >> i) & 1 for i in range(8)}
+            assert small.eval(fs, assignment) == big.eval(fb, assignment)
+
+    def test_limit_setter_trims_immediately(self):
+        bdd = BDD(10)
+        for i in range(0, 10, 2):
+            bdd.apply_and(bdd.var(i), bdd.var(i + 1))
+        assert len(bdd._cache) > 4
+        bdd.cache_limit = 4
+        assert len(bdd._cache) == 0
+        assert bdd.metrics().computed_evictions == 1
+
+
+class TestCounters:
+    def test_hits_and_misses_counted(self):
+        bdd = BDD(4)
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        before = bdd.metrics()
+        assert before.computed_misses > 0
+        # Same operation again: served from the computed table.
+        assert bdd.apply_and(bdd.var(0), bdd.var(1)) == f
+        after = bdd.metrics()
+        assert after.computed_hits > before.computed_hits
+        assert after.computed_misses == before.computed_misses
+
+    def test_hit_rate_bounds(self):
+        bdd = BDD(4)
+        assert bdd.metrics().computed_hit_rate == 0.0
+        bdd.apply_or(bdd.var(0), bdd.var(1))
+        bdd.apply_or(bdd.var(0), bdd.var(1))
+        assert 0.0 < bdd.metrics().computed_hit_rate <= 1.0
+
+    def test_peak_nodes_monotone(self):
+        bdd = BDD(6)
+        f = BDD.FALSE
+        for i in range(6):
+            f = bdd.apply_xor(f, bdd.var(i))
+        peak = bdd.metrics().peak_nodes
+        assert peak == len(bdd)
+        bdd.clear_cache()
+        assert bdd.metrics().peak_nodes == peak
+
+    def test_restrict_and_ite_call_counts(self):
+        bdd = BDD(3)
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        bdd.restrict(f, 0, 1)
+        metrics = bdd.metrics()
+        assert metrics.ite_calls > 0
+        assert metrics.restrict_calls == 1
+
+    def test_reset_counters(self):
+        bdd = BDD(4)
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        bdd.restrict(f, 0, 0)
+        bdd.reset_counters()
+        metrics = bdd.metrics()
+        assert metrics.ite_calls == 0
+        assert metrics.restrict_calls == 0
+        assert metrics.computed_hits == 0
+        assert metrics.computed_misses == 0
+        assert metrics.peak_nodes == len(bdd)
+
+    def test_metrics_as_dict_has_hit_rate(self):
+        data = BDD(2).metrics().as_dict()
+        assert "computed_hit_rate" in data
+        assert "peak_nodes" in data
+        assert "unique_table_size" in data

@@ -1,0 +1,218 @@
+"""BLIF ``.exdc`` don't-care plane: parsing, writing, round-trips."""
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.blif import BlifError, parse_blif, write_blif
+from repro.boolfunc.spec import ISF, MultiFunction
+from repro.core.api import map_to_xc3000
+
+SIMPLE_EXDC = """\
+.model t
+.inputs a b c
+.outputs y
+.names a b c y
+111 1
+.exdc
+.names a b c y
+110 1
+.end
+"""
+
+
+def _all_points(mf, n):
+    for k in range(1 << n):
+        bits = [(k >> (n - 1 - i)) & 1 for i in range(n)]
+        yield bits, mf.eval(dict(zip(mf.inputs, bits)))
+
+
+class TestExdcParse:
+    def test_exdc_becomes_dc_plane(self):
+        mf = parse_blif(SIMPLE_EXDC)
+        assert not mf.is_complete()
+        # 111 is care-onset, 110 is don't care, everything else is 0.
+        for bits, values in _all_points(mf, 3):
+            if bits == [1, 1, 1]:
+                assert values == [1]
+            elif bits == [1, 1, 0]:
+                assert values == [None]
+            else:
+                assert values == [0]
+
+    def test_exdc_not_merged_into_care_network(self):
+        """The care function must be identical with and without .exdc
+        on every care point (the old parser folded the exdc cover in)."""
+        stripped = SIMPLE_EXDC.split(".exdc")[0] + ".end\n"
+        with_dc = parse_blif(SIMPLE_EXDC)
+        without = parse_blif(stripped)
+        for (bits, v_dc), (_, v_plain) in zip(_all_points(with_dc, 3),
+                                              _all_points(without, 3)):
+            if v_dc != [None]:
+                assert v_dc == v_plain
+
+    def test_exdc_with_internal_nodes(self):
+        text = """\
+.model t
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.exdc
+.names a t
+0 1
+.names t b y
+11 1
+.end
+"""
+        mf = parse_blif(text)
+        # dc = (~a) & b
+        assert mf.eval(dict(zip(mf.inputs, [0, 1]))) == [None]
+        assert mf.eval(dict(zip(mf.inputs, [1, 1]))) == [1]
+        assert mf.eval(dict(zip(mf.inputs, [0, 0]))) == [0]
+
+    def test_exdc_only_affects_named_outputs(self):
+        text = """\
+.model t
+.inputs a
+.outputs y z
+.names a y
+1 1
+.names a z
+0 1
+.exdc
+.names a y
+0 1
+.end
+"""
+        mf = parse_blif(text)
+        assert not mf.outputs[0].is_complete()
+        assert mf.outputs[1].is_complete()
+
+    def test_exdc_internal_collision_rejected(self):
+        text = """\
+.model t
+.inputs a b
+.outputs y
+.names a b t1
+11 1
+.names t1 y
+1 1
+.exdc
+.names a t1
+0 1
+.names t1 y
+1 1
+.end
+"""
+        with pytest.raises(BlifError, match="redefines"):
+            parse_blif(text)
+
+    def test_duplicate_names_rejected(self):
+        text = """\
+.model t
+.inputs a
+.outputs y
+.names a y
+1 1
+.names a y
+0 1
+.end
+"""
+        with pytest.raises(BlifError, match="duplicate"):
+            parse_blif(text)
+
+    def test_nested_exdc_rejected(self):
+        text = (".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n"
+                ".exdc\n.exdc\n.end\n")
+        with pytest.raises(BlifError, match="nested"):
+            parse_blif(text)
+
+    def test_exdc_undefined_signal(self):
+        text = """\
+.model t
+.inputs a b
+.outputs y
+.names a b hidden
+11 1
+.names hidden y
+1 1
+.exdc
+.names hidden y
+1 1
+.end
+"""
+        # `hidden` is internal to the care network — not visible in exdc.
+        with pytest.raises(BlifError, match="exdc"):
+            parse_blif(text)
+
+
+class TestExdcRoundtrip:
+    def test_roundtrip_preserves_dc_set(self):
+        mf = parse_blif(SIMPLE_EXDC)
+        text = write_blif(mf)
+        assert ".exdc" in text
+        mf2 = parse_blif(text)
+        for (bits, v1), (_, v2) in zip(_all_points(mf, 3),
+                                       _all_points(mf2, 3)):
+            assert v1 == v2, bits
+
+    def test_roundtrip_complete_function_has_no_exdc(self):
+        stripped = SIMPLE_EXDC.split(".exdc")[0] + ".end\n"
+        text = write_blif(parse_blif(stripped))
+        assert ".exdc" not in text
+
+    def test_write_wide_function_is_cube_based(self):
+        """A 24-input AND must write instantly (one cube), not via 2^24
+        minterm rows — the old writer hung here."""
+        bdd = BDD(24)
+        f = bdd.conjoin(bdd.var(i) for i in range(24))
+        mf = MultiFunction(bdd, list(range(24)), [ISF.complete(f)])
+        text = write_blif(mf)
+        assert "1" * 24 + " 1" in text
+        assert text.count("\n") < 10
+
+    def test_write_constant_false_output(self):
+        bdd = BDD(2)
+        mf = MultiFunction(bdd, [0, 1], [ISF.complete(BDD.FALSE)])
+        mf2 = parse_blif(write_blif(mf))
+        assert mf2.eval(dict(zip(mf2.inputs, [0, 0]))) == [0]
+        assert mf2.eval(dict(zip(mf2.inputs, [1, 1]))) == [0]
+
+    def test_write_rejects_support_outside_inputs(self):
+        bdd = BDD(3)
+        mf = MultiFunction(bdd, [0, 1],
+                           [ISF.complete(bdd.var(2))],
+                           input_names=["a", "b"], output_names=["y"])
+        with pytest.raises(BlifError, match="outside"):
+            write_blif(mf)
+
+
+class TestExdcExploitation:
+    EXDC_HELPS = """\
+.model t
+.inputs a b c d e f
+.outputs y
+.names a b c d e f y
+111111 1
+.exdc
+.names a b c d e f y
+111110 1
+.end
+"""
+
+    def test_exdc_never_hurts_lut_count(self):
+        """Acceptance criterion: the .exdc version maps to no more LUTs
+        than the stripped version (DCs exploited, not corrupted)."""
+        stripped = self.EXDC_HELPS.split(".exdc")[0] + ".end\n"
+        with_dc = map_to_xc3000(parse_blif(self.EXDC_HELPS))
+        without = map_to_xc3000(parse_blif(stripped))
+        assert with_dc.lut_count <= without.lut_count
+        # For this construction the DC actually shrinks the support
+        # below the LUT width, so the gain is strict.
+        assert with_dc.lut_count < without.lut_count
+
+    def test_mapped_network_extends_the_isf(self):
+        from repro.verify.equiv import check_extension
+        func = parse_blif(self.EXDC_HELPS)
+        result = map_to_xc3000(func)
+        assert check_extension(func, result.network)
