@@ -10,7 +10,17 @@ recursion).
 Absolute counts cannot match the 1997 runs (the netlist-only circuits
 are documented synthetic stand-ins — DESIGN.md §5), but the comparison
 columns are like for like.
+
+Set ``REPRO_TABLE1_JOBS=<N>`` to reproduce the whole table through the
+batch runtime (:mod:`repro.runtime.scheduler`) across N worker
+processes: all rows are decomposed and verified in parallel up front
+(results are bit-identical to the serial path — each worker rebuilds
+its circuit in a fresh manager), and the row tests then tabulate the
+precomputed records.  ``REPRO_TABLE1_CACHE_DIR=<dir>`` additionally
+persists results, so a re-run of the table is nearly free.
 """
+
+import os
 
 import pytest
 
@@ -18,14 +28,19 @@ from repro.bench.registry import BENCHMARKS, TABLE_ORDER
 from repro.bench.registry import benchmark as build_circuit
 from repro.core import map_to_xc3000
 from benchmarks.conftest import (
+    FAST_MODE,
     dump_metrics,
     obs_summary,
     skip_if_fast,
     verify_network,
 )
 
+#: Worker count for the parallel (scheduler) mode; 0 = serial as before.
+PARALLEL_JOBS = int(os.environ.get("REPRO_TABLE1_JOBS", "0") or 0)
+
 _RESULTS = {}
 _HEADER = [False]
+_BATCH = {}
 
 
 def _emit_header(rows):
@@ -43,10 +58,85 @@ def _emit_header(rows):
 HEAVY_BUDGET_S = 150
 
 
+def _max_fanin_from_blif(blif: str) -> int:
+    """Largest .names fanin count in a BLIF dump (records carry BLIF
+    text instead of live networks in the parallel mode)."""
+    worst = 0
+    for line in blif.splitlines():
+        if line.startswith(".names "):
+            worst = max(worst, len(line.split()) - 2)
+    return worst
+
+
+def _engine_config(heavy: bool, use_dontcares: bool) -> dict:
+    config = {"use_dontcares": use_dontcares}
+    if heavy:
+        config["time_budget"] = HEAVY_BUDGET_S
+        config["node_budget"] = 4_000_000
+    return config
+
+
+def _batch_results() -> dict:
+    """Run every table row through the batch scheduler, once.
+
+    One job per (circuit, driver); workers verify the mapped networks
+    themselves, so the row tests only tabulate.
+    """
+    if _BATCH:
+        return _BATCH
+    from repro.runtime import BatchScheduler, ResultCache, make_job
+    jobs = []
+    for name in TABLE_ORDER:
+        spec = BENCHMARKS[name]
+        if FAST_MODE and spec.heavy:
+            continue
+        for use_dc in (False, True):
+            jobs.append(make_job(
+                {"kind": "benchmark", "name": name},
+                job_id=f"{name}:{'dc' if use_dc else 'nodc'}",
+                config=_engine_config(spec.heavy, use_dc)))
+    cache_dir = os.environ.get("REPRO_TABLE1_CACHE_DIR")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    scheduler = BatchScheduler(workers=PARALLEL_JOBS, cache=cache)
+    for res in scheduler.run(jobs):
+        _BATCH[res.job_id] = res
+    return _BATCH
+
+
+def _parallel_row(benchmark, rows, name, num_inputs, num_outputs):
+    def fetch():
+        batch = _batch_results()
+        return batch[f"{name}:nodc"], batch[f"{name}:dc"]
+
+    baseline, with_dc = benchmark.pedantic(fetch, rounds=1, iterations=1)
+    for res in (baseline, with_dc):
+        assert res.status in ("ok", "degraded"), res.error
+        assert res.result.get("verified", True)
+        assert _max_fanin_from_blif(res.result["blif"]) <= 5
+    base, dc = baseline.result, with_dc.result
+
+    fallback = (base["engine"]["budget_exhausted"]
+                or dc["engine"]["budget_exhausted"]
+                or baseline.degraded or with_dc.degraded)
+    _RESULTS[name] = (base["clb_count"], dc["clb_count"], fallback)
+    _emit_header(rows)
+    delta = base["clb_count"] - dc["clb_count"]
+    marker = " *" if fallback else ""
+    hit = "cache" if with_dc.cache_hit else f"{with_dc.exec_s:.1f}s"
+    rows.add("table1",
+             f"{name:9s} {num_inputs:4d} {num_outputs:4d} "
+             f"{base['clb_count']:8d} {dc['clb_count']:9d} "
+             f"{delta:+7d}{marker}  batch {hit}")
+
+
 @pytest.mark.parametrize("name", TABLE_ORDER)
 def test_table1_row(benchmark, rows, name):
     spec = BENCHMARKS[name]
     skip_if_fast(spec.heavy)
+    if PARALLEL_JOBS:
+        _parallel_row(benchmark, rows, name, spec.num_inputs,
+                      spec.num_outputs)
+        return
     func = build_circuit(name)
     budget = HEAVY_BUDGET_S if spec.heavy else None
 

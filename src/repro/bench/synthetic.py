@@ -117,7 +117,8 @@ _BLOCKS: dict = {
 def synthetic_circuit(name: str, num_inputs: int,
                       num_outputs: int,
                       max_block_inputs: int = 7,
-                      stages: int = 2) -> MultiFunction:
+                      stages: int = 2,
+                      seed: "int | str | None" = None) -> MultiFunction:
     """A deterministic synthetic circuit with the given signature.
 
     Built in stages like a real multi-level netlist: stage-1 blocks
@@ -126,8 +127,15 @@ def synthetic_circuit(name: str, num_inputs: int,
     variables and the decomposition recursion runs several levels deep
     (the regime where don't cares arise).  All outputs are completely
     specified, like the originals.
+
+    ``seed=None`` keeps the per-name default instance (the registry's
+    stand-ins); any other value derives a fresh — still reproducible —
+    instance with the same signature, so batch stress runs can sample
+    many circuits per name (``repro batch`` exposes this as
+    ``synth:<name>:<inputs>:<outputs>:<seed>``).
     """
-    rng = random.Random(f"repro-{name}")
+    token = f"repro-{name}" if seed is None else f"repro-{name}-{seed}"
+    rng = random.Random(token)
     bdd = BDD(0)
     variables = [bdd.add_var(f"x{i}") for i in range(num_inputs)]
 

@@ -11,6 +11,8 @@ extension) iff their intervals intersect.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -270,6 +272,76 @@ class MultiFunction:
             [self.outputs[i] for i in indices],
             input_names=self.input_names,
             output_names=[self.output_names[i] for i in indices])
+
+    # -- identity and wire format ----------------------------------------
+
+    def canonical_key(self) -> str:
+        """Stable content hash of the specification.
+
+        The hash covers the input/output names and the shape of every
+        output interval's ``[lo, hi]`` BDDs, with nodes renumbered in a
+        deterministic children-first traversal and variables identified
+        by their position in ``self.inputs`` — so it is independent of
+        manager node ids, of auxiliary variables other code created in
+        the same manager, and of the order cubes were inserted (BDDs are
+        canonical for a fixed variable order, so any insertion order
+        yields the same graphs).  Two specs with the same key denote the
+        same incompletely specified function; this is the function part
+        of the persistent result-cache key (see
+        :mod:`repro.runtime.cache`).
+        """
+        bdd = self.bdd
+        var_label: Dict[int, str] = {
+            var: f"i{pos}" for pos, var in enumerate(self.inputs)}
+        roots: List[int] = []
+        for isf in self.outputs:
+            roots.append(isf.lo)
+            roots.append(isf.hi)
+        index: Dict[int, int] = {BDD.FALSE: 0, BDD.TRUE: 1}
+        nodes: List[List] = []
+        for root in roots:
+            stack = [(root, False)]
+            expanded = set()
+            while stack:
+                node, ready = stack.pop()
+                if node in index:
+                    continue
+                if ready:
+                    index[node] = len(nodes) + 2
+                    var = bdd.var_of(node)
+                    nodes.append([
+                        var_label.get(var, bdd.var_name(var)),
+                        index[bdd.low(node)], index[bdd.high(node)]])
+                elif node not in expanded:
+                    expanded.add(node)
+                    stack.append((node, True))
+                    stack.append((bdd.high(node), False))
+                    stack.append((bdd.low(node), False))
+        payload = {
+            "inputs": list(self.input_names),
+            "outputs": list(self.output_names),
+            "nodes": nodes,
+            "roots": [index[r] for r in roots],
+        }
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def to_wire(self) -> str:
+        """JSON wire form for shipping the spec to another process.
+
+        Round-trips through :meth:`from_wire`; the rebuilt function lives
+        in a fresh manager with the same variable order, so decomposing
+        it yields bit-identical results to decomposing the original.
+        """
+        from repro.bdd.serialize import dump_multifunction
+        return dump_multifunction(self)
+
+    @staticmethod
+    def from_wire(text: str) -> "MultiFunction":
+        """Rebuild a spec serialised with :meth:`to_wire` (fresh manager)."""
+        from repro.bdd.serialize import load_multifunction
+        return load_multifunction(text)
 
     def __repr__(self) -> str:
         kind = "complete" if self.is_complete() else "incomplete"

@@ -8,12 +8,15 @@
     python -m repro map rd84 --profile        # phase/BDD-counter summary
     python -m repro map rd84 --metrics-out m.json   # JSON run trace
     python -m repro gates adder8              # two-input-gate synthesis
+    python -m repro batch --manifest suite.txt --jobs 4 --out r.jsonl
+    python -m repro cache stats               # persistent result cache
     python -m repro list                      # registered benchmarks
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from time import perf_counter
 from typing import Optional
@@ -23,7 +26,13 @@ from repro.boolfunc.blif import BlifError, parse_blif
 from repro.boolfunc.pla import parse_pla
 from repro.boolfunc.spec import MultiFunction
 from repro.core.api import map_to_xc3000, synthesize_two_input_gates
-from repro.obs import profile_report, run_metrics, write_metrics
+from repro.obs import (
+    SCHEMA_VERSION,
+    batch_metrics,
+    profile_report,
+    run_metrics,
+    write_metrics,
+)
 
 #: Shown whenever a generator name fails to parse.
 _GENERATOR_FORMS = ("adderN with N >= 1 (e.g. adder8), "
@@ -113,12 +122,67 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _open_cache(args):
+    """The persistent result cache, or None when not requested."""
+    use_cache = getattr(args, "cache", False) or getattr(
+        args, "cache_dir", None)
+    if getattr(args, "no_cache", False) or not use_cache:
+        return None
+    from repro.runtime.cache import ResultCache
+    return ResultCache(getattr(args, "cache_dir", None) or None)
+
+
+def _emit_cached_observability(args, *, command: str, record: dict,
+                               wall_time_s: float, result: dict) -> None:
+    """``--metrics-out`` for a cache hit (no engine ran, so the document
+    carries the cache provenance instead of a phase profile)."""
+    if getattr(args, "profile", False):
+        print("(cache hit: no engine phases to profile)")
+    metrics_out = getattr(args, "metrics_out", None)
+    if not metrics_out:
+        return
+    doc = {"schema_version": SCHEMA_VERSION, "command": command,
+           "source": _source_label(args),
+           "wall_time_s": round(wall_time_s, 6), "result": result,
+           "cache": {"hit": True},
+           "engine": record.get("engine")}
+    try:
+        write_metrics(metrics_out, doc)
+    except OSError as exc:
+        raise SystemExit(f"cannot write {metrics_out}: {exc.strerror}")
+    print(f"wrote {metrics_out}")
+
+
 def _cmd_map(args) -> int:
     func = _load_function(args)
+    cache = _open_cache(args)
+    mode = "mulopII" if args.no_dc else "mulop-dc"
+    key = None
     start = perf_counter()
+    if cache is not None:
+        from repro.runtime.cache import cache_key
+        key = cache_key(func.canonical_key(), "map",
+                        {"use_dontcares": not args.no_dc})
+        record = cache.get(key)
+        if record is not None:
+            wall = perf_counter() - start
+            print(f"{mode}: {record['lut_count']} LUTs, "
+                  f"{record['clb_count']} CLBs, "
+                  f"depth {record['depth']} (cached)")
+            _emit_cached_observability(
+                args, command="map", record=record, wall_time_s=wall,
+                result={"lut_count": record["lut_count"],
+                        "clb_count": record["clb_count"],
+                        "depth": record["depth"]})
+            if args.blif_out:
+                with open(args.blif_out, "w") as handle:
+                    handle.write(record["blif"])
+                print(f"wrote {args.blif_out}")
+            return 0
     result = map_to_xc3000(func, use_dontcares=not args.no_dc)
     wall = perf_counter() - start
-    mode = "mulopII" if args.no_dc else "mulop-dc"
+    if cache is not None:
+        cache.put(key, result.to_record())
     print(f"{mode}: {result.summary()}")
     if args.trace:
         print(result.stats.report())
@@ -149,9 +213,50 @@ def _cmd_gates(args) -> int:
     return 0
 
 
+def _print_compare_table(base: dict, dc: dict, delta: int,
+                         cached: bool = False) -> None:
+    suffix = "  (cached)" if cached else ""
+    print(f"{'driver':10s} {'LUTs':>6s} {'CLBs':>6s} {'depth':>6s}")
+    print(f"{'mulopII':10s} {base['lut_count']:6d} "
+          f"{base['clb_count']:6d} {base['depth']:6d}{suffix}")
+    print(f"{'mulop-dc':10s} {dc['lut_count']:6d} "
+          f"{dc['clb_count']:6d} {dc['depth']:6d}{suffix}")
+    print(f"don't-care exploitation saves {delta} CLB(s)")
+
+
 def _cmd_compare(args) -> int:
+    from repro.verify.equiv import check_extension
+
     func = _load_function(args)
+    cache = _open_cache(args)
+    key = None
     start = perf_counter()
+    if cache is not None:
+        from repro.runtime.cache import cache_key
+        key = cache_key(func.canonical_key(), "compare", {})
+        record = cache.get(key)
+        if record is not None:
+            wall = perf_counter() - start
+            _print_compare_table(record["mulopII"], record["mulop_dc"],
+                                 record["clbs_saved"], cached=True)
+            verified = record.get("verified")
+            if verified:
+                print("formal verification: EQUIVALENT (cached)")
+            elif verified is None:
+                print("formal verification: skipped when this result "
+                      "was computed")
+                verified = True
+            else:
+                print("formal verification: MISMATCH")
+            _emit_cached_observability(
+                args, command="compare", record=record,
+                wall_time_s=wall,
+                result={"mulopII": {k: record["mulopII"][k] for k in
+                                    ("lut_count", "clb_count", "depth")},
+                        "mulop_dc": {k: record["mulop_dc"][k] for k in
+                                     ("lut_count", "clb_count", "depth")},
+                        "clbs_saved": record["clbs_saved"]})
+            return 0 if verified else 1
     func.bdd.reset_counters()
     baseline = map_to_xc3000(func, use_dontcares=False)
     # Counters are reset between the runs so each stats snapshot (and
@@ -160,12 +265,23 @@ def _cmd_compare(args) -> int:
     with_dc = map_to_xc3000(func, use_dontcares=True)
     wall = perf_counter() - start
     delta = baseline.clb_count - with_dc.clb_count
-    print(f"{'driver':10s} {'LUTs':>6s} {'CLBs':>6s} {'depth':>6s}")
-    print(f"{'mulopII':10s} {baseline.lut_count:6d} "
-          f"{baseline.clb_count:6d} {baseline.depth:6d}")
-    print(f"{'mulop-dc':10s} {with_dc.lut_count:6d} "
-          f"{with_dc.clb_count:6d} {with_dc.depth:6d}")
-    print(f"don't-care exploitation saves {delta} CLB(s)")
+    _print_compare_table(_mapping_result_dict(baseline),
+                         _mapping_result_dict(with_dc), delta)
+    verdict_base = check_extension(func, baseline.network)
+    verdict_dc = check_extension(func, with_dc.network)
+    verified = bool(verdict_base) and bool(verdict_dc)
+    if verified:
+        print("formal verification: EQUIVALENT")
+    else:
+        bad = verdict_base if not verdict_base else verdict_dc
+        driver = "mulopII" if not verdict_base else "mulop-dc"
+        print(f"formal verification: MISMATCH ({driver}) on output "
+              f"{bad.failing_output} at {bad.counterexample}")
+    if cache is not None and verified:
+        record = {"mulopII": baseline.to_record(),
+                  "mulop_dc": with_dc.to_record(),
+                  "clbs_saved": delta, "verified": True}
+        cache.put(key, record)
     if args.profile:
         print("--- mulopII ---")
         print(profile_report(baseline.stats, baseline.stats.bdd_metrics))
@@ -174,9 +290,10 @@ def _cmd_compare(args) -> int:
         args, command="compare", stats=with_dc.stats, wall_time_s=wall,
         result={"mulopII": _mapping_result_dict(baseline),
                 "mulop_dc": _mapping_result_dict(with_dc),
-                "clbs_saved": delta},
+                "clbs_saved": delta, "verified": verified},
         extra={"n_lut": 5})
-    return 0
+    # A verification failure must fail CI batch runs, not just print.
+    return 0 if verified else 1
 
 
 def _cmd_verify(args) -> int:
@@ -192,6 +309,119 @@ def _cmd_verify(args) -> int:
     print(f"formal verification: MISMATCH on output "
           f"{verdict.failing_output} at {verdict.counterexample}")
     return 1
+
+
+def _cmd_batch(args) -> int:
+    from repro.runtime import (
+        BatchScheduler,
+        ResultCache,
+        make_job,
+        parse_manifest,
+        parse_manifest_entry,
+        summarize,
+    )
+
+    jobs = []
+    if args.manifest:
+        try:
+            with open(args.manifest) as handle:
+                jobs.extend(parse_manifest(handle.read()))
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot read {args.manifest}: {exc.strerror}")
+        except ValueError as exc:
+            raise SystemExit(f"{args.manifest}: {exc}")
+    for name in args.names:
+        try:
+            jobs.append(parse_manifest_entry(name))
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    # compare runs both drivers, so its config (and cache key) carries
+    # no use_dontcares — the CLI `compare --cache` keys the same way.
+    config = {} if args.flow == "compare" else {
+        "use_dontcares": not args.no_dc}
+    if args.no_verify:
+        config["verify"] = False
+    for job in jobs:
+        job["flow"] = args.flow
+        job["config"] = dict(config)
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or None)
+    scheduler = BatchScheduler(workers=args.jobs, timeout=args.timeout,
+                               retries=args.retries, cache=cache)
+    total = len(jobs)
+    done = [0]
+
+    def progress(res) -> None:
+        done[0] += 1
+        if res.status == "failed":
+            detail = res.error or "failed"
+        elif res.flow == "compare":
+            detail = (f"saves {res.result['clbs_saved']} CLB(s)")
+        else:
+            detail = (f"{res.result['lut_count']} LUTs, "
+                      f"{res.result['clb_count']} CLBs")
+        notes = []
+        if res.cache_hit:
+            notes.append("cache hit")
+        if res.degraded:
+            notes.append("degraded")
+        if res.retries:
+            notes.append(f"{res.retries} retries")
+        note = f" ({', '.join(notes)})" if notes else ""
+        print(f"[{done[0]}/{total}] {res.job_id}: {res.status} — "
+              f"{detail}{note}")
+
+    start = perf_counter()
+    results = scheduler.run(jobs, on_result=progress)
+    wall = perf_counter() - start
+    totals = summarize(results)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                for res in results:
+                    handle.write(json.dumps(
+                        res.as_dict(include_blif=args.include_blif))
+                        + "\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.out}: {exc.strerror}")
+        print(f"wrote {args.out}")
+    if args.metrics_out:
+        doc = batch_metrics(
+            source=args.manifest or ",".join(args.names),
+            job_rows=[r.as_dict() for r in results], totals=totals,
+            wall_time_s=wall,
+            cache_stats=cache.stats() if cache is not None else None)
+        try:
+            write_metrics(args.metrics_out, doc)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write {args.metrics_out}: {exc.strerror}")
+        print(f"wrote {args.metrics_out}")
+    print(f"batch: {totals['jobs']} job(s) in {wall:.1f}s — "
+          f"{totals['ok']} ok, {totals['degraded']} degraded, "
+          f"{totals['failed']} failed; cache hits "
+          f"{totals['cache_hits']}/{totals['jobs']}, "
+          f"{totals['retries']} retries")
+    return 1 if totals["failed"] else 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runtime.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir or None)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    stats = cache.disk_stats()
+    print(f"cache dir : {cache.root}")
+    print(f"entries   : {stats['entries']}")
+    print(f"size      : {stats['bytes']} bytes")
+    return 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -222,11 +452,67 @@ def main(argv: Optional[list] = None) -> int:
             p.add_argument("--metrics-out", metavar="FILE",
                            help="write a JSON run trace (phase timings, "
                                 "computed-table hit rate, peak nodes)")
+        if cmd in ("map", "compare"):
+            p.add_argument("--cache", action="store_true",
+                           help="reuse/persist results in the on-disk "
+                                "result cache")
+            p.add_argument("--cache-dir", metavar="DIR",
+                           help="result-cache location (implies "
+                                "--cache; default ~/.cache/repro or "
+                                "$REPRO_CACHE_DIR)")
         if cmd == "map":
             p.add_argument("--blif-out",
                            help="write the mapped network as BLIF")
             p.add_argument("--trace", action="store_true",
                            help="print the per-step decomposition trace")
+
+    batch = sub.add_parser(
+        "batch",
+        help="run many circuits through the parallel scheduler")
+    batch.add_argument("names", nargs="*",
+                       help="manifest entries (circuit names, pla:FILE, "
+                            "blif:FILE, synth:name:i:o[:seed])")
+    batch.add_argument("--manifest", metavar="FILE",
+                       help="manifest file (one entry per line, # "
+                            "comments)")
+    batch.add_argument("--flow", choices=("map", "compare"),
+                       default="map",
+                       help="flow to run per circuit (default: map)")
+    batch.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: CPU count)")
+    batch.add_argument("--timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-job wall-clock budget in seconds; a "
+                            "job over budget degrades to the trivial "
+                            "mapping instead of stalling the batch")
+    batch.add_argument("--retries", type=int, default=1, metavar="K",
+                       help="crash retries per job before degrading "
+                            "(default: 1)")
+    batch.add_argument("--no-dc", action="store_true",
+                       help="disable don't-care exploitation (mulopII)")
+    batch.add_argument("--no-verify", action="store_true",
+                       help="skip in-worker verification of mapped "
+                            "networks")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent result cache")
+    batch.add_argument("--cache-dir", metavar="DIR",
+                       help="result-cache location (default "
+                            "~/.cache/repro or $REPRO_CACHE_DIR)")
+    batch.add_argument("--out", metavar="FILE",
+                       help="write one JSON result row per job (JSONL)")
+    batch.add_argument("--include-blif", action="store_true",
+                       help="embed mapped-network BLIF in the JSONL "
+                            "rows")
+    batch.add_argument("--metrics-out", metavar="FILE",
+                       help="write the batch metrics document (per-job "
+                            "queue/exec/cache/retry stats)")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache")
+    cache_p.add_argument("cache_command", choices=("stats", "clear"))
+    cache_p.add_argument("--cache-dir", metavar="DIR",
+                         help="cache location (default ~/.cache/repro "
+                              "or $REPRO_CACHE_DIR)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -239,6 +525,10 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_verify(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return 1
 
 

@@ -45,6 +45,27 @@ class FpgaMappingResult:
                 f"{self.stats.shannon_steps} Shannon steps, "
                 f"{self.stats.alphas_shared} alphas saved by sharing)")
 
+    def to_record(self) -> dict:
+        """JSON-able record of the run: counts, the mapped network as
+        BLIF text, and the engine counters.  This is what the runtime
+        layer ships between processes and persists in the result cache
+        (the live network/BDD objects do not cross process boundaries).
+        """
+        return {
+            "lut_count": self.lut_count,
+            "clb_count": self.clb_count,
+            "depth": self.depth,
+            "blif": self.network.to_blif(),
+            "engine": {
+                "decomposition_steps": self.stats.decomposition_steps,
+                "shannon_steps": self.stats.shannon_steps,
+                "alphas_created": self.stats.alphas_created,
+                "alphas_shared": self.stats.alphas_shared,
+                "max_recursion_depth": self.stats.max_recursion_depth,
+                "budget_exhausted": self.stats.budget_exhausted,
+            },
+        }
+
 
 def decompose_to_luts(func: MultiFunction, n_lut: int = 5,
                       use_dontcares: bool = True,

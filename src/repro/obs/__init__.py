@@ -27,6 +27,7 @@ from repro.obs.profiler import (
 from repro.obs.metrics import (
     SCHEMA_VERSION,
     BddMetrics,
+    batch_metrics,
     profile_report,
     run_metrics,
     write_metrics,
@@ -39,6 +40,7 @@ __all__ = [
     "profile_phase",
     "SCHEMA_VERSION",
     "BddMetrics",
+    "batch_metrics",
     "profile_report",
     "run_metrics",
     "write_metrics",

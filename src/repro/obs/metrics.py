@@ -93,6 +93,36 @@ def run_metrics(*, command: str, source: str, stats: Any,
     return doc
 
 
+def batch_metrics(*, source: str, job_rows: list,
+                  totals: Dict[str, Any],
+                  wall_time_s: Optional[float] = None,
+                  cache_stats: Optional[Dict[str, Any]] = None,
+                  extra: Optional[Dict[str, Any]] = None
+                  ) -> Dict[str, Any]:
+    """The batch-run variant of the metrics document.
+
+    Same versioned envelope as :func:`run_metrics`, but instead of one
+    engine's phase profile it carries per-job observability rows (queue
+    wait, exec time, cache hit, retries, degradation — the dict form of
+    :class:`repro.runtime.scheduler.JobResult`) plus batch totals and
+    the result-cache counters.  Additive relative to schema version 1.
+    """
+    doc: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "command": "batch",
+        "source": source,
+    }
+    if wall_time_s is not None:
+        doc["wall_time_s"] = round(wall_time_s, 6)
+    doc["totals"] = totals
+    if cache_stats is not None:
+        doc["cache"] = cache_stats
+    doc["jobs"] = job_rows
+    if extra:
+        doc.update(extra)
+    return doc
+
+
 def write_metrics(path: str, doc: Dict[str, Any]) -> None:
     """Write a metrics document as pretty-printed JSON."""
     with open(path, "w") as handle:

@@ -1,0 +1,65 @@
+"""Batch-execution runtime: parallel scheduling with a persistent cache.
+
+Three pillars (see ``docs/RUNTIME.md`` for the design discussion):
+
+* :mod:`repro.runtime.scheduler` — a :class:`BatchScheduler` that fans
+  decomposition jobs out over worker processes with per-job wall-clock
+  timeouts, bounded crash retries and graceful degradation to the
+  trivial Shannon/MUX mapping;
+* :mod:`repro.runtime.cache` — a content-addressed on-disk
+  :class:`ResultCache` (``canonical_key`` + flow + engine config + code
+  version) with an in-memory LRU front, behind ``repro cache
+  {stats,clear}``;
+* :mod:`repro.runtime.jobspec` — the JSON-able job wire format, manifest
+  parsing and the worker entry point.
+
+Quickstart::
+
+    from repro.runtime import BatchScheduler, ResultCache, make_job
+    jobs = [make_job({"kind": "benchmark", "name": n})
+            for n in ("rd53", "rd73", "rd84")]
+    results = BatchScheduler(workers=4, timeout=120,
+                             cache=ResultCache("/tmp/repro-cache")).run(jobs)
+"""
+
+from repro.runtime.cache import (
+    CACHE_CODE_VERSION,
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+)
+from repro.runtime.jobspec import (
+    build_function,
+    execute_job,
+    make_job,
+    parse_manifest,
+    parse_manifest_entry,
+    source_from_name,
+    source_label,
+)
+from repro.runtime.scheduler import (
+    BatchScheduler,
+    JobResult,
+    degraded_record,
+    summarize,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "JobResult",
+    "ResultCache",
+    "CACHE_CODE_VERSION",
+    "CACHE_FORMAT_VERSION",
+    "cache_key",
+    "default_cache_dir",
+    "build_function",
+    "execute_job",
+    "make_job",
+    "parse_manifest",
+    "parse_manifest_entry",
+    "source_from_name",
+    "source_label",
+    "degraded_record",
+    "summarize",
+]

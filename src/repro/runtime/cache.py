@@ -1,0 +1,179 @@
+"""Persistent result cache for decomposition jobs.
+
+Results are content-addressed: the key is a SHA-256 over the function's
+:meth:`~repro.boolfunc.spec.MultiFunction.canonical_key` (so renaming a
+benchmark or re-reading the same PLA hits the same entry), the flow and
+engine configuration, and a code-version tag that invalidates the whole
+cache when the algorithms change.  Entries live one-per-file under a
+two-level sharded directory; an in-memory LRU front absorbs repeated
+lookups within a process.
+
+Corruption is treated as a miss, never as data: an entry that fails to
+parse, carries the wrong layout version, or does not match its own key
+is deleted and recounted as ``corrupt`` — a poisoned cache rebuilds
+itself instead of being trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Bump to invalidate every persisted entry (layout changes).
+CACHE_FORMAT_VERSION = 1
+
+#: Tag mixed into every key; bump when engine/mapping output can change
+#: for the same input (a stale hit would silently misreport results).
+CACHE_CODE_VERSION = "repro-1.0.0/runtime-1"
+
+#: Environment override for the default on-disk location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_key(func_key: str, flow: str, config: Dict[str, Any]) -> str:
+    """Combine function content, flow and engine config into one key."""
+    blob = json.dumps({
+        "func": func_key,
+        "flow": flow,
+        "config": config,
+        "code": CACHE_CODE_VERSION,
+    }, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultCache:
+    """On-disk result store with an in-memory LRU front.
+
+    ``memory_limit`` bounds the LRU entry count (0 disables the front
+    entirely); the disk side is unbounded and shared between processes —
+    writes go through a same-directory temp file + ``os.replace`` so a
+    concurrent reader never sees a half-written entry.
+    """
+
+    def __init__(self, root: "Path | str | None" = None,
+                 memory_limit: int = 256) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.memory_limit = memory_limit
+        self._lru: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    # -- paths ---------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- lookup/store ---------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or None on miss/corruption."""
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return cached
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._drop_corrupt(path)
+            self.misses += 1
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("cache_version") != CACHE_FORMAT_VERSION
+                or entry.get("key") != key
+                or not isinstance(entry.get("payload"), dict)):
+            self._drop_corrupt(path)
+            self.misses += 1
+            return None
+        payload = entry["payload"]
+        self._remember(key, payload)
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Persist ``payload`` under ``key`` (atomic on POSIX)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"cache_version": CACHE_FORMAT_VERSION, "key": key,
+                 "payload": payload}
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "w") as handle:
+            json.dump(entry, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+        self._remember(key, payload)
+
+    def _remember(self, key: str, payload: Dict[str, Any]) -> None:
+        if self.memory_limit <= 0:
+            return
+        self._lru[key] = payload
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.memory_limit:
+            self._lru.popitem(last=False)
+
+    def _drop_corrupt(self, path: Path) -> None:
+        self.corrupt += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- maintenance ----------------------------------------------------
+
+    def iter_files(self):
+        """All entry files currently on disk."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path
+
+    def disk_stats(self) -> Dict[str, int]:
+        """Entry count and total bytes on disk."""
+        entries = 0
+        size = 0
+        for path in self.iter_files():
+            entries += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return {"entries": entries, "bytes": size}
+
+    def clear(self) -> int:
+        """Delete every entry on disk; returns the number removed."""
+        removed = 0
+        for path in list(self.iter_files()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._lru.clear()
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Session counters plus the on-disk footprint."""
+        data = self.disk_stats()
+        data.update(hits=self.hits, misses=self.misses,
+                    corrupt=self.corrupt, memory_entries=len(self._lru))
+        return data

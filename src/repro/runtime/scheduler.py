@@ -1,0 +1,417 @@
+"""Parallel batch scheduler with timeouts, retries and degradation.
+
+The scheduler runs decomposition jobs (see :mod:`repro.runtime.jobspec`)
+across a pool of worker *processes* — one process per attempt, so a
+wall-clock timeout or a crashed worker is contained by construction:
+the parent kills/reaps the process and the batch keeps moving.
+
+Failure policy (the "graceful degradation" contract):
+
+* **timeout** — the worker is killed and the job immediately *degrades*:
+  the parent re-runs it through the trivial Shannon/MUX mapping path
+  (``DecompositionEngine`` with a zero time budget), which is bounded by
+  the BDD size and deterministic.  No retry — a search that timed out
+  once will time out again.
+* **worker crash** (process died without a result) — retried with a
+  linear backoff up to ``retries`` times, then degraded.  Crashes are
+  the transient class (OOM kills, signals), so retrying is worth it.
+* **worker exception** (job raised) — deterministic, so no retry: the
+  job degrades when the function can still be built, otherwise it is
+  marked ``failed`` (e.g. an unreadable PLA file).
+
+Results come back in submission order regardless of completion order,
+and each carries its own observability record (queue wait, exec time,
+cache hit, retry count) for the batch metrics document.
+
+With a :class:`~repro.runtime.cache.ResultCache` attached, the parent
+builds each function up front, keys it by content
+(:meth:`MultiFunction.canonical_key` + flow + engine config + code
+version) and skips dispatch entirely on a hit; on a miss the built
+function ships to the worker in wire form so it is not rebuilt.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.runtime import jobspec
+from repro.runtime.cache import ResultCache, cache_key
+
+#: Hard floor for the scheduler's poll interval (seconds).
+_POLL_S = 0.05
+
+
+@dataclass
+class JobResult:
+    """Outcome of one batch job, with its observability record."""
+
+    job_id: str
+    source: str
+    flow: str
+    #: "ok" | "degraded" | "failed".
+    status: str
+    #: The flow's result record (None only when status == "failed").
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cache_hit: bool = False
+    degraded: bool = False
+    #: Seconds between batch start and first dispatch of this job.
+    queue_wait_s: float = 0.0
+    #: Wall-clock seconds of the attempt that produced the outcome.
+    exec_s: float = 0.0
+    #: Crash retries consumed (0 on a clean first attempt).
+    retries: int = 0
+
+    def as_dict(self, include_blif: bool = False) -> Dict[str, Any]:
+        """JSON-able row for the batch JSONL output.
+
+        BLIF text is dropped by default to keep rows one-line small;
+        the full record stays on :attr:`result`.
+        """
+        record = self.result
+        if record is not None and not include_blif:
+            record = {k: v for k, v in record.items() if k != "blif"}
+            for driver in ("mulopII", "mulop_dc"):
+                if isinstance(record.get(driver), dict):
+                    record[driver] = {k: v
+                                      for k, v in record[driver].items()
+                                      if k != "blif"}
+        return {
+            "job_id": self.job_id,
+            "source": self.source,
+            "flow": self.flow,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "degraded": self.degraded,
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "exec_s": round(self.exec_s, 6),
+            "retries": self.retries,
+            "result": record,
+            "error": self.error,
+        }
+
+
+def summarize(results: List[JobResult]) -> Dict[str, Any]:
+    """Batch totals for the metrics document and the CLI summary line."""
+    return {
+        "jobs": len(results),
+        "ok": sum(r.status == "ok" for r in results),
+        "degraded": sum(r.status == "degraded" for r in results),
+        "failed": sum(r.status == "failed" for r in results),
+        "cache_hits": sum(r.cache_hit for r in results),
+        "retries": sum(r.retries for r in results),
+        "total_exec_s": round(sum(r.exec_s for r in results), 6),
+    }
+
+
+@dataclass
+class _Active:
+    """Bookkeeping for one in-flight worker process."""
+
+    index: int
+    attempt: int
+    process: multiprocessing.Process
+    conn: Any
+    started_at: float
+    deadline: Optional[float]
+    payload: Optional[Dict[str, Any]] = None
+    retries: int = 0
+    first_dispatch: float = 0.0
+    #: Parent-side build artefacts (cache mode only).
+    func: Any = None
+    key: Optional[str] = None
+
+
+@dataclass
+class _Pending:
+    index: int
+    attempt: int = 1
+    retries: int = 0
+    #: Earliest dispatch time (crash-retry backoff).
+    not_before: float = 0.0
+    func: Any = None
+    key: Optional[str] = None
+    first_dispatch: Optional[float] = field(default=None)
+
+
+class BatchScheduler:
+    """Run many jobs across a worker pool with bounded failure modes.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent worker processes (default: CPU count, capped at 8).
+    timeout:
+        Per-job wall-clock budget in seconds (None = unbounded).
+    retries:
+        Crash retries per job before degrading.
+    cache:
+        Optional :class:`ResultCache`; hits skip dispatch entirely.
+    degrade:
+        When False, timeouts/crashes mark the job ``failed`` instead of
+        falling back to the trivial mapping.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 timeout: Optional[float] = None, retries: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 degrade: bool = True,
+                 retry_backoff_s: float = 0.25,
+                 mp_context: Optional[str] = None) -> None:
+        self.workers = max(1, workers if workers is not None
+                           else min(os.cpu_count() or 1, 8))
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.cache = cache
+        self.degrade = degrade
+        self.retry_backoff_s = retry_backoff_s
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(mp_context)
+
+    # -- public entry ---------------------------------------------------
+
+    def run(self, jobs: List[Dict[str, Any]],
+            on_result: Optional[Callable[[JobResult], None]] = None
+            ) -> List[JobResult]:
+        """Execute ``jobs``; results are in submission order."""
+        started = time.monotonic()
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        queue: List[_Pending] = []
+
+        def finish(index: int, res: JobResult) -> None:
+            results[index] = res
+            if on_result is not None:
+                on_result(res)
+
+        for index, job in enumerate(jobs):
+            pending = _Pending(index)
+            if self.cache is not None:
+                hit = self._try_cache(job, pending)
+                if hit is not None:
+                    finish(index, hit)
+                    continue
+            queue.append(pending)
+
+        active: List[_Active] = []
+        while queue or active:
+            now = time.monotonic()
+            while len(active) < self.workers:
+                slot = next((p for p in queue if p.not_before <= now),
+                            None)
+                if slot is None:
+                    break
+                queue.remove(slot)
+                active.append(self._dispatch(jobs, slot, started))
+            if active:
+                self._poll(active)
+            elif queue:
+                # Everything is in crash-retry backoff; sleep it off.
+                time.sleep(max(_POLL_S,
+                               min(p.not_before for p in queue) - now))
+            for entry in list(active):
+                outcome = self._settle(jobs, entry, queue)
+                if outcome is not None:
+                    active.remove(entry)
+                    if isinstance(outcome, JobResult):
+                        finish(entry.index, outcome)
+        return [r for r in results if r is not None]
+
+    # -- cache ----------------------------------------------------------
+
+    def _try_cache(self, job: Dict[str, Any],
+                   pending: _Pending) -> Optional[JobResult]:
+        """Cache lookup; on a miss the built function and key stick to
+        the pending entry so the hot path never builds twice."""
+        try:
+            func = jobspec.build_function(job["source"])
+        except Exception as exc:  # noqa: BLE001 — bad source: report it
+            return JobResult(
+                job_id=job["job_id"],
+                source=jobspec.source_label(job["source"]),
+                flow=job["flow"], status="failed",
+                error=f"{type(exc).__name__}: {exc}")
+        key = cache_key(func.canonical_key(), job["flow"], job["config"])
+        pending.func = func
+        pending.key = key
+        record = self.cache.get(key)
+        if record is None:
+            job["wire"] = func.to_wire()
+            return None
+        return JobResult(
+            job_id=job["job_id"],
+            source=jobspec.source_label(job["source"]),
+            flow=job["flow"], status="ok", result=record,
+            cache_hit=True)
+
+    # -- dispatch/poll/settle -------------------------------------------
+
+    def _dispatch(self, jobs: List[Dict[str, Any]], pending: _Pending,
+                  batch_started: float) -> _Active:
+        now = time.monotonic()
+        if pending.first_dispatch is None:
+            pending.first_dispatch = now - batch_started
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=jobspec.worker_entry,
+            args=(child_conn, jobs[pending.index], pending.attempt),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        deadline = now + self.timeout if self.timeout is not None else None
+        return _Active(index=pending.index, attempt=pending.attempt,
+                       process=process, conn=parent_conn,
+                       started_at=now, deadline=deadline,
+                       retries=pending.retries,
+                       first_dispatch=pending.first_dispatch,
+                       func=pending.func, key=pending.key)
+
+    def _poll(self, active: List[_Active]) -> None:
+        """Block briefly until a worker speaks, dies or times out."""
+        if not active:
+            return
+        budget = _POLL_S * 4
+        now = time.monotonic()
+        deadlines = [e.deadline - now for e in active
+                     if e.deadline is not None]
+        if deadlines:
+            budget = min(budget, max(_POLL_S, min(deadlines)))
+        ready = connection_wait([e.conn for e in active],
+                                timeout=max(_POLL_S, budget))
+        for entry in active:
+            if entry.conn in ready and entry.payload is None:
+                try:
+                    entry.payload = entry.conn.recv()
+                except (EOFError, OSError):
+                    pass  # process died mid-send: handled as a crash
+
+    def _settle(self, jobs: List[Dict[str, Any]], entry: _Active,
+                queue: List[_Pending]):
+        """Resolve one in-flight entry.
+
+        Returns a :class:`JobResult` when the job finished (possibly
+        degraded), the string ``"requeued"`` on a crash retry, or None
+        while the worker is still healthy and inside its deadline.
+        """
+        job = jobs[entry.index]
+        now = time.monotonic()
+        exec_s = now - entry.started_at
+        if entry.payload is not None:
+            self._reap(entry)
+            if entry.payload.get("status") == "ok":
+                record = entry.payload["result"]
+                if self.cache is not None and entry.key is not None:
+                    self.cache.put(entry.key, record)
+                return self._result(job, entry, "ok", record=record,
+                                    exec_s=exec_s)
+            # Worker raised: deterministic, degrade rather than retry.
+            return self._fallback(job, entry, exec_s,
+                                  entry.payload.get("error", "job failed"))
+        if entry.deadline is not None and now > entry.deadline:
+            self._kill(entry)
+            return self._fallback(
+                job, entry, exec_s,
+                f"timeout after {self.timeout:.1f}s")
+        if not entry.process.is_alive():
+            # The process may have exited cleanly with its payload still
+            # in the pipe buffer (a fast worker racing the poll) — drain
+            # before declaring a crash.
+            try:
+                if entry.conn.poll():
+                    entry.payload = entry.conn.recv()
+                    return self._settle(jobs, entry, queue)
+            except (EOFError, OSError):
+                pass
+            self._reap(entry)
+            if entry.retries < self.retries:
+                retries = entry.retries + 1
+                queue.append(_Pending(
+                    entry.index, attempt=entry.attempt + 1,
+                    retries=retries,
+                    not_before=now + self.retry_backoff_s * retries,
+                    func=entry.func, key=entry.key,
+                    first_dispatch=entry.first_dispatch))
+                return "requeued"
+            code = entry.process.exitcode
+            return self._fallback(job, entry, exec_s,
+                                  f"worker crashed (exit code {code}), "
+                                  f"retries exhausted")
+        return None
+
+    # -- degradation ----------------------------------------------------
+
+    def _fallback(self, job: Dict[str, Any], entry: _Active,
+                  exec_s: float, reason: str) -> JobResult:
+        if not self.degrade:
+            return self._result(job, entry, "failed", error=reason,
+                                exec_s=exec_s)
+        started = time.monotonic()
+        try:
+            record = degraded_record(job, func=entry.func)
+        except Exception as exc:  # noqa: BLE001 — even fallback failed
+            return self._result(
+                job, entry, "failed",
+                error=f"{reason}; fallback failed: "
+                      f"{type(exc).__name__}: {exc}",
+                exec_s=exec_s)
+        exec_s += time.monotonic() - started
+        return self._result(job, entry, "degraded", record=record,
+                            error=reason, exec_s=exec_s, degraded=True)
+
+    def _result(self, job: Dict[str, Any], entry: _Active, status: str,
+                record: Optional[Dict[str, Any]] = None,
+                error: Optional[str] = None, exec_s: float = 0.0,
+                degraded: bool = False) -> JobResult:
+        return JobResult(
+            job_id=job["job_id"],
+            source=jobspec.source_label(job["source"]),
+            flow=job["flow"], status=status, result=record, error=error,
+            degraded=degraded, queue_wait_s=entry.first_dispatch,
+            exec_s=exec_s, retries=entry.retries)
+
+    # -- process hygiene ------------------------------------------------
+
+    def _reap(self, entry: _Active) -> None:
+        entry.process.join(timeout=1.0)
+        if entry.process.is_alive():
+            self._kill(entry)
+            return
+        entry.conn.close()
+
+    def _kill(self, entry: _Active) -> None:
+        entry.process.terminate()
+        entry.process.join(timeout=1.0)
+        if entry.process.is_alive():
+            entry.process.kill()
+            entry.process.join(timeout=1.0)
+        entry.conn.close()
+
+
+def degraded_record(job: Dict[str, Any],
+                    func=None) -> Dict[str, Any]:
+    """The graceful-degradation result: the trivial Shannon/MUX mapping.
+
+    A :class:`DecompositionEngine` with a zero time budget skips the
+    bound-set search entirely and walks the output BDDs into MUX trees —
+    bounded by BDD size, deterministic, and never subject to the hang
+    the real run may have hit (test hooks only fire inside workers).
+    """
+    from repro.core.api import map_to_xc3000
+    if func is None:
+        func = jobspec.build_function(job["source"])
+    config = job.get("config") or {}
+    fallback = map_to_xc3000(func, use_dontcares=False, time_budget=0.0)
+    record = fallback.to_record()
+    record["degraded"] = True
+    if job.get("flow") == "compare":
+        record = {"mulopII": dict(record), "mulop_dc": dict(record),
+                  "clbs_saved": 0, "degraded": True}
+    elif config.get("verify", True):
+        record["verified"] = jobspec._verify_record(func, fallback)
+    return record

@@ -82,6 +82,23 @@ class TestSynthetic:
             if out.lo not in (BDD.FALSE, BDD.TRUE))
         assert nonconstant >= 4
 
+    def test_seed_reproducible(self):
+        a = synthetic_circuit("demo", 12, 5, seed=7)
+        b = synthetic_circuit("demo", 12, 5, seed=7)
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_seed_varies_instance(self):
+        default = synthetic_circuit("demo", 12, 5)
+        seeded = synthetic_circuit("demo", 12, 5, seed=7)
+        other = synthetic_circuit("demo", 12, 5, seed=8)
+        assert seeded.canonical_key() != default.canonical_key()
+        assert seeded.canonical_key() != other.canonical_key()
+
+    def test_seed_none_is_registry_default(self):
+        explicit = synthetic_circuit("demo", 12, 5, seed=None)
+        default = synthetic_circuit("demo", 12, 5)
+        assert explicit.canonical_key() == default.canonical_key()
+
     def test_cones_are_wide(self):
         # The multi-stage composition must produce some wide output cones
         # (that is what makes the recursion deep enough for DC effects).

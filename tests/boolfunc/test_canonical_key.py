@@ -1,0 +1,80 @@
+"""Tests for the content hash used as the runtime cache key.
+
+The key must depend only on the function (inputs, outputs, intervals),
+not on construction history: the BDD is canonical for a fixed variable
+order, but node *indices* are allocation-ordered, so the hash has to
+renumber before digesting.
+"""
+
+import random
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.pla import parse_pla
+from repro.boolfunc.spec import ISF, MultiFunction
+
+PLA = """\
+.i 4
+.o 2
+.ilb a b c d
+.ob f g
+.type fd
+0-11 10
+1101 11
+01-- 01
+1111 1-
+0000 10
+.e
+"""
+
+
+def _shuffled_pla(seed: int) -> str:
+    lines = PLA.splitlines()
+    head, cubes, tail = lines[:5], lines[5:-1], lines[-1:]
+    random.Random(seed).shuffle(cubes)
+    return "\n".join(head + cubes + tail) + "\n"
+
+
+class TestCanonicalKey:
+    def test_deterministic(self):
+        func = parse_pla(PLA)
+        assert func.canonical_key() == func.canonical_key()
+
+    def test_cube_insertion_order_irrelevant(self):
+        reference = parse_pla(PLA).canonical_key()
+        for seed in range(5):
+            shuffled = parse_pla(_shuffled_pla(seed))
+            assert shuffled.canonical_key() == reference
+
+    def test_fresh_manager_same_key(self):
+        # Same function built in managers with different allocation
+        # histories (extra throwaway nodes) hashes identically.
+        plain = parse_pla(PLA)
+        bdd = BDD(0)
+        noise = [bdd.add_var(f"n{i}") for i in range(3)]
+        bdd.apply_and(noise[0], bdd.apply_or(noise[1], noise[2]))
+        busy = parse_pla(PLA, bdd)
+        assert busy.canonical_key() == plain.canonical_key()
+
+    def test_function_changes_key(self):
+        reference = parse_pla(PLA).canonical_key()
+        altered = parse_pla(PLA.replace("0-11 10", "0-11 11"))
+        assert altered.canonical_key() != reference
+
+    def test_dc_set_changes_key(self):
+        # fr-type reinterprets the output field, shrinking the dc-sets:
+        # same onsets, different intervals, so a different key.
+        as_fd = parse_pla(PLA).canonical_key()
+        as_fr = parse_pla(PLA.replace(".type fd", ".type fr"))
+        assert as_fr.canonical_key() != as_fd
+
+    def test_output_name_changes_key(self):
+        bdd = BDD(2)
+        outs = [ISF.complete(bdd.apply_and(bdd.var(0), bdd.var(1)))]
+        f = MultiFunction(bdd, [0, 1], outs, output_names=["f"])
+        g = MultiFunction(bdd, [0, 1], outs, output_names=["g"])
+        assert f.canonical_key() != g.canonical_key()
+
+    def test_wire_round_trip_preserves_key(self):
+        func = parse_pla(PLA)
+        rebuilt = MultiFunction.from_wire(func.to_wire())
+        assert rebuilt.canonical_key() == func.canonical_key()

@@ -1,0 +1,118 @@
+"""Tests for the persistent result cache."""
+
+import json
+
+from repro.runtime.cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    cache_key,
+)
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        a = cache_key("func", "map", {"use_dontcares": True})
+        b = cache_key("func", "map", {"use_dontcares": True})
+        assert a == b
+
+    def test_config_order_irrelevant(self):
+        a = cache_key("f", "map", {"a": 1, "b": 2})
+        b = cache_key("f", "map", {"b": 2, "a": 1})
+        assert a == b
+
+    def test_distinct_inputs_distinct_keys(self):
+        base = cache_key("f", "map", {"use_dontcares": True})
+        assert cache_key("g", "map", {"use_dontcares": True}) != base
+        assert cache_key("f", "compare", {"use_dontcares": True}) != base
+        assert cache_key("f", "map", {"use_dontcares": False}) != base
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", "map", {})
+        assert cache.get(key) is None
+        cache.put(key, {"lut_count": 7})
+        assert cache.get(key) == {"lut_count": 7}
+
+    def test_persists_across_instances(self, tmp_path):
+        key = cache_key("f", "map", {})
+        ResultCache(tmp_path).put(key, {"clb_count": 3})
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) == {"clb_count": 3}
+
+    def test_memory_front_hits_without_disk(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_limit=4)
+        key = cache_key("f", "map", {})
+        cache.put(key, {"x": 1})
+        for path in cache.iter_files():
+            path.unlink()
+        # The LRU front still answers even though disk is gone.
+        assert cache.get(key) == {"x": 1}
+
+    def test_memory_front_bounded(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_limit=2)
+        keys = [cache_key(f"f{i}", "map", {}) for i in range(5)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"i": i})
+        assert len(cache._lru) == 2
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(cache_key(f"f{i}", "map", {}), {"i": i})
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert cache.clear() == 3
+        assert cache.disk_stats()["entries"] == 0
+
+
+class TestCachePoisoning:
+    """A corrupted cache is detected and rebuilt, never trusted."""
+
+    def _entry_path(self, cache, key):
+        cache.put(key, {"lut_count": 7})
+        [path] = list(cache.iter_files())
+        return path
+
+    def test_garbage_bytes_are_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_limit=0)
+        key = cache_key("f", "map", {})
+        path = self._entry_path(cache, key)
+        path.write_text("{not json at all")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert not path.exists()  # dropped, so the entry gets rebuilt
+        cache.put(key, {"lut_count": 7})
+        assert cache.get(key) == {"lut_count": 7}
+
+    def test_wrong_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_limit=0)
+        key = cache_key("f", "map", {})
+        path = self._entry_path(cache, key)
+        entry = json.loads(path.read_text())
+        entry["cache_version"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_limit=0)
+        key = cache_key("f", "map", {})
+        path = self._entry_path(cache, key)
+        entry = json.loads(path.read_text())
+        entry["key"] = "0" * 64  # entry claims to be someone else
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_payload_not_dict_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_limit=0)
+        key = cache_key("f", "map", {})
+        path = self._entry_path(cache, key)
+        entry = json.loads(path.read_text())
+        entry["payload"] = [1, 2, 3]
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.corrupt == 1

@@ -1,0 +1,99 @@
+"""Tests for job descriptors, the manifest grammar and job execution."""
+
+import pytest
+
+from repro.boolfunc.spec import MultiFunction
+from repro.runtime import jobspec
+
+
+class TestSources:
+    def test_benchmark_source(self):
+        func = jobspec.build_function({"kind": "benchmark",
+                                       "name": "rd53"})
+        assert func.num_inputs == 5
+
+    def test_generator_source(self):
+        func = jobspec.build_function({"kind": "generator",
+                                       "name": "adder3"})
+        assert func.num_outputs == 4
+
+    def test_bad_generator_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            jobspec.build_function({"kind": "generator",
+                                    "name": "adderfoo"})
+
+    def test_synthetic_source_seeded(self):
+        base = {"kind": "synthetic", "name": "s", "inputs": 8,
+                "outputs": 3}
+        f1 = jobspec.build_function(dict(base, seed=1))
+        f1_again = jobspec.build_function(dict(base, seed=1))
+        f2 = jobspec.build_function(dict(base, seed=2))
+        assert f1.canonical_key() == f1_again.canonical_key()
+        assert f1.canonical_key() != f2.canonical_key()
+
+    def test_wire_source_round_trip(self):
+        func = jobspec.build_function({"kind": "benchmark",
+                                       "name": "rd53"})
+        rebuilt = jobspec.build_function({"kind": "wire",
+                                          "data": func.to_wire()})
+        assert isinstance(rebuilt, MultiFunction)
+        assert rebuilt.canonical_key() == func.canonical_key()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown source kind"):
+            jobspec.build_function({"kind": "nope"})
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown circuit"):
+            jobspec.source_from_name("not-a-circuit")
+
+
+class TestManifest:
+    def test_parse_entries(self):
+        jobs = jobspec.parse_manifest(
+            "# suite\n"
+            "rd84\n"
+            "adder4\n"
+            "pla:/tmp/x.pla   # trailing comment\n"
+            "blif:/tmp/y.blif\n"
+            "synth:duke2:22:29:7\n"
+            "\n"
+            "rd53 !hang=5\n")
+        kinds = [j["source"]["kind"] for j in jobs]
+        assert kinds == ["benchmark", "generator", "pla", "blif",
+                        "synthetic", "benchmark"]
+        assert jobs[4]["source"]["seed"] == "7"
+        assert jobs[5]["test_hook"] == "hang:5"
+
+    def test_empty_manifest(self):
+        assert jobspec.parse_manifest("\n# only comments\n") == []
+
+    def test_bad_line_reports_lineno(self):
+        with pytest.raises(ValueError, match="manifest line 2"):
+            jobspec.parse_manifest("rd84\nsynth:broken\n")
+
+    def test_crash_hook_parsed(self):
+        job = jobspec.parse_manifest_entry("rd53 !crash=2")
+        assert job["test_hook"] == "crash:2"
+
+
+class TestExecuteJob:
+    def test_map_flow(self):
+        job = jobspec.make_job({"kind": "benchmark", "name": "rd53"})
+        payload = jobspec.execute_job(job)
+        assert payload["status"] == "ok"
+        record = payload["result"]
+        assert record["lut_count"] > 0
+        assert record["verified"] is True
+        assert ".model" in record["blif"]
+
+    def test_verify_opt_out(self):
+        job = jobspec.make_job({"kind": "benchmark", "name": "rd53"},
+                               config={"verify": False})
+        payload = jobspec.execute_job(job)
+        assert "verified" not in payload["result"]
+
+    def test_bad_flow_rejected(self):
+        with pytest.raises(ValueError, match="unknown flow"):
+            jobspec.make_job({"kind": "benchmark", "name": "rd53"},
+                             flow="nope")
