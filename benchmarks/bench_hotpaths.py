@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Micro-benchmarks for the word-parallel kernel hot paths.
+
+Times the three decomposition hot paths — vertex-cofactor extraction +
+clique cover (``classes_for``), bound-set scoring
+(``reduction_score``) and symmetry-based assignment
+(``assign_for_symmetry``) — twice per case: once with the kernel
+disabled (pure-BDD reference) and once enabled, on identical inputs.
+The kernel is verified elsewhere (tests/kernel/) to be bit-identical;
+this script only measures.
+
+Writes a schema-versioned JSON report (default: repo-root
+``BENCH_hotpaths.json``).  Raw seconds are machine-dependent, so each
+report also carries a calibration constant (time for a fixed
+pure-Python workload) and per-case times normalised by it, making
+reports from different machines roughly comparable.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py \
+        --seeds 1 2 --check-speedup 1.0 --check-nvars 16
+
+``--check-speedup X`` exits non-zero if any case at a width listed in
+``--check-nvars`` ran slower than ``X`` times the BDD reference — the
+CI perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bdd.manager import BDD  # noqa: E402
+from repro.boolfunc.spec import ISF  # noqa: E402
+from repro.decomp.bound_set import reduction_score  # noqa: E402
+from repro.decomp.compat import classes_for  # noqa: E402
+from repro.kernel import reset_kernel_stats  # noqa: E402
+from repro.symmetry.groups import assign_for_symmetry  # noqa: E402
+
+SCHEMA_VERSION = 1
+NVARS = (10, 14, 16)
+DC_DENSITY = 0.3
+REPEATS = 3
+
+
+def calibrate() -> float:
+    """Fixed pure-Python workload; its runtime is the machine constant."""
+    best = math.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(200_000):
+            acc = (acc * 1103515245 + i) & 0xFFFFFFFF
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def random_isf(bdd, rng, variables):
+    lo_bits, hi_bits = [], []
+    for _ in range(1 << len(variables)):
+        if rng.random() < DC_DENSITY:
+            lo_bits.append(0)
+            hi_bits.append(1)
+        else:
+            bit = rng.randint(0, 1)
+            lo_bits.append(bit)
+            hi_bits.append(bit)
+    return ISF.create(bdd,
+                      bdd.from_truth_table(lo_bits, variables),
+                      bdd.from_truth_table(hi_bits, variables))
+
+
+def make_case(seed: int, nvars: int):
+    rng = random.Random(seed * 1000 + nvars)
+    bdd = BDD(nvars)
+    variables = list(range(nvars))
+    outputs = [random_isf(bdd, rng, variables) for _ in range(2)]
+    bound = tuple(rng.sample(variables, 4))
+    return bdd, outputs, variables, bound
+
+
+def time_op(fn) -> float:
+    best = math.inf
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_case(seed: int, nvars: int):
+    bdd, outputs, variables, bound = make_case(seed, nvars)
+    ops = {
+        "classes_for": lambda: classes_for(bdd, outputs, bound),
+        "reduction_score": lambda: reduction_score(bdd, outputs, bound),
+        "symmetry_assign": lambda: assign_for_symmetry(
+            bdd, outputs[0], variables),
+    }
+    rows = []
+    for op, fn in ops.items():
+        os.environ["REPRO_KERNEL"] = "off"
+        bdd_s = time_op(fn)
+        os.environ["REPRO_KERNEL"] = "on"
+        reset_kernel_stats()
+        kernel_s = time_op(fn)
+        rows.append({
+            "op": op,
+            "nvars": nvars,
+            "seed": seed,
+            "bdd_s": bdd_s,
+            "kernel_s": kernel_s,
+            "speedup": bdd_s / kernel_s if kernel_s > 0 else math.inf,
+        })
+    return rows
+
+
+def geomean(values):
+    values = [v for v in values if v > 0 and math.isfinite(v)]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2],
+                        help="benchmark case seeds (default: 1 2)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent /
+                        "BENCH_hotpaths.json",
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--check-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero if any gated case is slower "
+                             "than X times the BDD reference")
+    parser.add_argument("--check-nvars", type=int, nargs="+", default=[16],
+                        help="widths the --check-speedup gate applies to "
+                             "(default: 16)")
+    args = parser.parse_args(argv)
+
+    prior_kernel = os.environ.get("REPRO_KERNEL")
+    calibration_s = calibrate()
+    cases = []
+    for seed in args.seeds:
+        for nvars in NVARS:
+            rows = run_case(seed, nvars)
+            cases.extend(rows)
+            for row in rows:
+                print(f"seed={seed} nvars={nvars:2d} {row['op']:<16s} "
+                      f"bdd {row['bdd_s']*1e3:8.2f} ms   "
+                      f"kernel {row['kernel_s']*1e3:8.2f} ms   "
+                      f"speedup {row['speedup']:6.2f}x")
+    if prior_kernel is None:
+        os.environ.pop("REPRO_KERNEL", None)
+    else:
+        os.environ["REPRO_KERNEL"] = prior_kernel
+
+    for row in cases:
+        row["bdd_norm"] = row["bdd_s"] / calibration_s
+        row["kernel_norm"] = row["kernel_s"] / calibration_s
+
+    by_nvars = {
+        str(n): geomean([r["speedup"] for r in cases if r["nvars"] == n])
+        for n in NVARS
+    }
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "calibration_s": calibration_s,
+        "seeds": args.seeds,
+        "dc_density": DC_DENSITY,
+        "repeats": REPEATS,
+        "cases": cases,
+        "summary": {
+            "geomean_speedup": geomean([r["speedup"] for r in cases]),
+            "geomean_speedup_by_nvars": by_nvars,
+        },
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\ncalibration {calibration_s*1e3:.2f} ms; geomean speedup "
+          f"{doc['summary']['geomean_speedup']:.2f}x -> {args.out}")
+
+    if args.check_speedup is not None:
+        gated = [r for r in cases if r["nvars"] in set(args.check_nvars)]
+        slow = [r for r in gated if r["speedup"] < args.check_speedup]
+        if slow:
+            for r in slow:
+                print(f"GATE FAIL: seed={r['seed']} nvars={r['nvars']} "
+                      f"{r['op']} speedup {r['speedup']:.2f}x < "
+                      f"{args.check_speedup:.2f}x", file=sys.stderr)
+            return 1
+        print(f"gate OK: {len(gated)} cases >= "
+              f"{args.check_speedup:.2f}x at nvars {args.check_nvars}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

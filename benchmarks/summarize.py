@@ -12,6 +12,7 @@ Run after ``pytest benchmarks/ --benchmark-only``:
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -43,7 +44,36 @@ def main(out_dir: Path = None) -> int:
         print()
     if missing:
         print(f"missing: {', '.join(missing)}", file=sys.stderr)
+    print_hotpaths(out_dir.parent.parent / "BENCH_hotpaths.json")
     return 0
+
+
+def print_hotpaths(path: Path) -> None:
+    """Append the kernel hot-path micro-benchmark, when present.
+
+    Written by ``benchmarks/bench_hotpaths.py`` to the repo root —
+    not a paper experiment, so it rides after the table order.
+    """
+    title = "Kernel hot paths — word-parallel vs pure-BDD"
+    print(f"== {title} " + "=" * max(0, 60 - len(title)))
+    if not path.exists():
+        print("(not generated — run benchmarks/bench_hotpaths.py)")
+        print()
+        return
+    doc = json.loads(path.read_text())
+    summary = doc.get("summary", {})
+    print(f"seeds {doc.get('seeds')}; calibration "
+          f"{doc.get('calibration_s', 0) * 1e3:.2f} ms/unit")
+    for row in doc.get("cases", []):
+        print(f"  seed={row['seed']} nvars={row['nvars']:2d} "
+              f"{row['op']:<16s} bdd {row['bdd_s']*1e3:8.2f} ms   "
+              f"kernel {row['kernel_s']*1e3:8.2f} ms   "
+              f"speedup {row['speedup']:6.2f}x")
+    print(f"geomean speedup: {summary.get('geomean_speedup', 0):.2f}x  "
+          f"by nvars: "
+          + "  ".join(f"{n}:{v:.2f}x" for n, v in
+                      summary.get("geomean_speedup_by_nvars", {}).items()))
+    print()
 
 
 if __name__ == "__main__":

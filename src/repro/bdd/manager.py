@@ -67,6 +67,9 @@ class BDD:
         self._cache_limit = cache_limit
         # Per-root support cache (nodes are immutable once created).
         self._support_cache: Dict[int, frozenset] = {}
+        # BDD <-> packed-truth-table conversion cache, owned by
+        # repro.kernel.convert (kept here so set_order can invalidate it).
+        self._kernel_cache: Dict = {}
         # Hot-path counters (see metrics()).
         self._cache_hits = 0
         self._cache_misses = 0
@@ -136,6 +139,7 @@ class BDD:
         self._unique.clear()
         self._cache.clear()
         self._support_cache.clear()
+        self._kernel_cache.clear()
 
     # ------------------------------------------------------------------
     # Node construction

@@ -24,19 +24,46 @@ from repro.bdd.ops import cofactor2
 
 
 def symmetric_in(bdd: BDD, f: int, var_i: int, var_j: int) -> bool:
-    """Nonequivalence (classical) symmetry: ``f|01 == f|10``."""
+    """Nonequivalence (classical) symmetry: ``f|01 == f|10``.
+
+    Memoised in the manager's computed table: candidate bound-set
+    ranking asks the same ``(f, var_i, var_j)`` question many times
+    across overlapping windows, so repeated checks are one dict lookup
+    (counted under the existing ``computed_hits``/``computed_misses``).
+    """
     if var_i == var_j:
         return True
-    return (cofactor2(bdd, f, var_i, var_j, 0, 1)
-            == cofactor2(bdd, f, var_i, var_j, 1, 0))
+    if var_j < var_i:
+        var_i, var_j = var_j, var_i
+    key = ("sym1", f, var_i, var_j)
+    cached = bdd._cache.get(key)
+    if cached is not None:
+        bdd._cache_hits += 1
+        return bool(cached)
+    bdd._cache_misses += 1
+    res = (cofactor2(bdd, f, var_i, var_j, 0, 1)
+           == cofactor2(bdd, f, var_i, var_j, 1, 0))
+    bdd._cache_put(key, int(res))
+    return res
 
 
 def equivalence_symmetric_in(bdd: BDD, f: int, var_i: int, var_j: int) -> bool:
-    """Equivalence symmetry: ``f|00 == f|11``."""
+    """Equivalence symmetry: ``f|00 == f|11`` (memoised like
+    :func:`symmetric_in`)."""
     if var_i == var_j:
         return True
-    return (cofactor2(bdd, f, var_i, var_j, 0, 0)
-            == cofactor2(bdd, f, var_i, var_j, 1, 1))
+    if var_j < var_i:
+        var_i, var_j = var_j, var_i
+    key = ("sym2", f, var_i, var_j)
+    cached = bdd._cache.get(key)
+    if cached is not None:
+        bdd._cache_hits += 1
+        return bool(cached)
+    bdd._cache_misses += 1
+    res = (cofactor2(bdd, f, var_i, var_j, 0, 0)
+           == cofactor2(bdd, f, var_i, var_j, 1, 1))
+    bdd._cache_put(key, int(res))
+    return res
 
 
 def symmetric_pairs(bdd: BDD, f: int,

@@ -76,3 +76,27 @@ def iter_assignments(nvars: int) -> Iterator[Tuple[int, ...]]:
     """All assignments in table order (MSB first)."""
     for k in range(1 << nvars):
         yield tuple((k >> (nvars - 1 - i)) & 1 for i in range(nvars))
+
+
+def pack64(table: Sequence[int]) -> List[int]:
+    """Pack a 0/1 table into 64-bit words, minterm ``k`` at word
+    ``k // 64``, bit ``k % 64``.
+
+    Pure-Python reference for the packed layout used by
+    :mod:`repro.kernel.bitset` — the kernel's numpy packing must produce
+    identical words on every platform, and the differential tests pin
+    that with this function.  Tables shorter than a multiple of 64 are
+    zero-padded in the final word.
+    """
+    words = [0] * ((len(table) + 63) // 64)
+    for k, bit in enumerate(table):
+        if bit:
+            words[k >> 6] |= 1 << (k & 63)
+    return words
+
+
+def unpack64(words: Sequence[int], nbits: int) -> List[int]:
+    """Inverse of :func:`pack64` for the first ``nbits`` minterms."""
+    if nbits > 64 * len(words):
+        raise ValueError("nbits exceeds the packed capacity")
+    return [(words[k >> 6] >> (k & 63)) & 1 for k in range(nbits)]

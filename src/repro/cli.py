@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from time import perf_counter
 from typing import Optional
@@ -447,6 +448,10 @@ def main(argv: Optional[list] = None) -> int:
         p.add_argument("--no-dc", action="store_true",
                        help="disable don't-care exploitation (mulopII)")
         if cmd in ("map", "gates", "compare"):
+            p.add_argument("--no-kernel", action="store_true",
+                           help="disable the word-parallel truth-table "
+                                "kernel (pure-BDD hot paths; same as "
+                                "REPRO_KERNEL=off)")
             p.add_argument("--profile", action="store_true",
                            help="print the phase/BDD-counter profile")
             p.add_argument("--metrics-out", metavar="FILE",
@@ -515,6 +520,8 @@ def main(argv: Optional[list] = None) -> int:
                               "or $REPRO_CACHE_DIR)")
 
     args = parser.parse_args(argv)
+    if getattr(args, "no_kernel", False):
+        os.environ["REPRO_KERNEL"] = "off"
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "map":

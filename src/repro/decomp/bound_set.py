@@ -25,6 +25,11 @@ from repro.bdd.manager import BDD
 from repro.boolfunc.spec import ISF
 from repro.decomp.compat import classes_for, min_r
 
+try:
+    from repro.kernel.compat import kernel_reduction_score
+except ImportError:  # pragma: no cover - numpy unavailable
+    kernel_reduction_score = None
+
 
 def candidate_bound_sets(variables: Sequence[int], p: int,
                          groups: Optional[Sequence[Sequence[int]]] = None,
@@ -101,7 +106,15 @@ def reduction_score(bdd: BDD, outputs: Sequence[ISF],
     step removes across all outputs under the paper's per-output
     ``r_i = ceil(log2 ncc_i)`` rule; ties break on the joint lower bound
     (more sharing potential) and the joint ``ncc``.
+
+    This is the hottest scoring path of the ranking; when the live
+    support fits, the kernel computes the class *counts* without
+    materialising a single BDD node.
     """
+    if kernel_reduction_score is not None:
+        hit = kernel_reduction_score(bdd, outputs, bound)
+        if hit is not None:
+            return hit
     from repro.decomp.compat import compute_classes, vertex_cofactors
     vectors = vertex_cofactors(bdd, outputs, bound)
     bound_set = set(bound)

@@ -30,6 +30,15 @@ from repro.bdd.ops import vertex_bits
 from repro.boolfunc.spec import ISF
 from repro.obs.profiler import profile_phase
 
+try:
+    from repro.kernel.compat import (
+        kernel_assign_by_classes,
+        kernel_classes_for,
+    )
+except ImportError:  # pragma: no cover - numpy unavailable
+    kernel_assign_by_classes = None
+    kernel_classes_for = None
+
 
 @dataclass
 class Classes:
@@ -61,6 +70,32 @@ class Classes:
     def num_outputs(self) -> int:
         """Output arity of the merged cofactor vectors."""
         return len(self.merged[0]) if self.merged else 0
+
+
+class LazyClasses(Classes):
+    """A :class:`Classes` whose merged intervals materialise on demand.
+
+    The kernel cover computes ``classes``/``class_of`` from packed
+    masks; most callers (the bound-set scoring loops) only read ``ncc``
+    and ``min_r``, so the mask-to-BDD conversion of the merged intervals
+    is deferred behind a thunk and paid at most once, on first
+    ``merged`` access.
+    """
+
+    def __init__(self, bound: Tuple[int, ...], classes: List[List[int]],
+                 class_of: List[int], thunk) -> None:
+        self.bound = bound
+        self.classes = classes
+        self.class_of = class_of
+        self._thunk = thunk
+        self._materialised: Optional[List[List[ISF]]] = None
+
+    @property
+    def merged(self) -> List[List[ISF]]:
+        if self._materialised is None:
+            self._materialised = self._thunk()
+            self._thunk = None
+        return self._materialised
 
 
 def min_r(num_classes: int) -> int:
@@ -233,7 +268,17 @@ def _compute_classes(bdd: BDD, cofactors: Sequence[Sequence[ISF]],
 
 def classes_for(bdd: BDD, outputs: Sequence[ISF],
                 bound: Sequence[int]) -> Classes:
-    """Convenience: cofactors + clique cover in one call."""
+    """Convenience: cofactors + clique cover in one call.
+
+    Served by the word-parallel kernel when the live support fits its
+    cap (see :mod:`repro.kernel`); the result is bit-identical to the
+    BDD path either way.
+    """
+    if kernel_classes_for is not None:
+        hit = kernel_classes_for(bdd, outputs, bound)
+        if hit is not None:
+            bound_t, classes, class_of, thunk = hit
+            return LazyClasses(bound_t, classes, class_of, thunk)
     return compute_classes(bdd, vertex_cofactors(bdd, outputs, bound), bound)
 
 
@@ -257,6 +302,10 @@ def assign_by_classes(bdd: BDD, outputs: Sequence[ISF],
     """
     if all(isf.is_complete() for isf in outputs):
         return list(outputs)
+    if kernel_assign_by_classes is not None:
+        hit = kernel_assign_by_classes(bdd, outputs, classes)
+        if hit is not None:
+            return hit
     p = len(classes.bound)
     new_outputs = []
     for k in range(len(outputs)):

@@ -25,6 +25,7 @@ from repro.decomp.compat import (
     compute_classes,
     vertex_cofactors,
 )
+from repro.obs.profiler import record_event
 
 
 def _dedupe(cofactors: Sequence[Sequence[ISF]]):
@@ -128,5 +129,8 @@ def classes_for_exact(bdd: BDD, outputs: Sequence[ISF],
     cofactors = vertex_cofactors(bdd, outputs, bound)
     result = exact_cover(bdd, cofactors, bound)
     if result is None:
+        # Surfaced through DecompositionStats.exact_cover_fallbacks and
+        # the --profile report — the greedy degradation used to be silent.
+        record_event("exact_cover_fallback")
         return compute_classes(bdd, cofactors, bound)
     return result

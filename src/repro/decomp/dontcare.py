@@ -22,6 +22,12 @@ cannot increase the step-2 lower bound.  Step 1's strong symmetries
 survive steps 2/3 whenever each symmetry group lies entirely inside the
 bound set or entirely inside the free set (the paper's condition), which
 the bound-set search maintains.
+
+All three steps ride the word-parallel kernel transparently when the
+functions fit (:mod:`repro.kernel`): step 1 through the symmetry ops
+adapter in :mod:`repro.symmetry.groups`, steps 2/3 through the class
+computation in :mod:`repro.decomp.compat`.  No dispatch logic lives
+here — the narrowings are bit-identical either way.
 """
 
 from __future__ import annotations

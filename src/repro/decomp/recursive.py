@@ -40,10 +40,12 @@ from repro.decomp.dontcare import (
 )
 from repro.decomp.encoding import build_composition_for_output
 from repro.decomp.multi import select_common_alphas
+from repro.kernel import STATS as KERNEL_STATS
+from repro.kernel import kernel_metrics, reset_kernel_stats
 from repro.mapping.lutnet import CONST0, CONST1, LutNetwork
 from repro.obs.metrics import BddMetrics
 from repro.obs.profiler import PhaseProfiler, activate_profiler, profile_phase
-from repro.symmetry.isf_symmetry import strongly_symmetric
+from repro.symmetry.groups import symmetry_domain
 
 
 @dataclass
@@ -80,6 +82,11 @@ class DecompositionStats:
     phase_counts: Dict[str, int] = field(default_factory=dict)
     #: BDD manager counter snapshot taken when the run finished.
     bdd_metrics: Optional[BddMetrics] = None
+    #: Word-parallel kernel dispatch snapshot (see repro.kernel).
+    kernel_metrics: Optional[Dict] = None
+    #: Times the exact clique cover hit its node budget and silently
+    #: degraded to the greedy cover (repro.decomp.cover).
+    exact_cover_fallbacks: int = 0
 
     def phase_profile(self) -> Dict[str, Dict[str, float]]:
         """``{phase: {"time_s": ..., "calls": ...}}`` for this run."""
@@ -192,6 +199,7 @@ class DecompositionEngine:
         self.stats = DecompositionStats()
         self.profiler = PhaseProfiler()
         self._mux_memo = {}
+        reset_kernel_stats()
         self._deadline = (time.monotonic() + self.time_budget
                           if self.time_budget is not None else None)
         net = LutNetwork()
@@ -208,6 +216,9 @@ class DecompositionEngine:
         self.stats.phase_times = dict(self.profiler.times)
         self.stats.phase_counts = dict(self.profiler.counts)
         self.stats.bdd_metrics = func.bdd.metrics()
+        self.stats.kernel_metrics = kernel_metrics()
+        self.stats.exact_cover_fallbacks = \
+            self.profiler.events.get("exact_cover_fallback", 0)
         return net
 
     # ------------------------------------------------------------------
@@ -453,8 +464,13 @@ class DecompositionEngine:
 
         Budgeted: each pair check costs one cofactor comparison per
         output, so wide bundles stop early (remaining variables become
-        singleton groups — a heuristic degradation only).
+        singleton groups — a heuristic degradation only).  Runs in the
+        word-parallel kernel domain when the support fits (identical
+        decisions either way — only the predicate evaluation changes).
         """
+        ops, handles = symmetry_domain(bdd, outputs, support,
+                                       "symmetry_groups")
+        start = time.perf_counter()
         merged: List[List[int]] = []
         checks = 0
         for var in support:
@@ -465,13 +481,16 @@ class DecompositionEngine:
                     checks += 1
                     if checks >= max_checks:
                         break
-                    if all(strongly_symmetric(bdd, isf, rep, var)
-                           for isf in outputs):
+                    if all(ops.strongly_symmetric(f, rep, var)
+                           for f in handles):
                         group.append(var)
                         placed = True
                         break
             if not placed:
                 merged.append([var])
+        if ops.domain == "kernel":
+            KERNEL_STATS.record_hit("symmetry_groups",
+                                    time.perf_counter() - start)
         return merged
 
     def _find_step(self, bdd: BDD, outputs: List[ISF],

@@ -1,0 +1,151 @@
+"""Word-parallel truth-table kernel for the decomposition hot paths.
+
+The ``--profile`` data in ``docs/PERFORMANCE.md`` shows the engine
+spending most of its time in three phases — ``dc_step1_symmetry``,
+``cofactors`` and ``clique_cover`` — all of which walk the pure-Python
+ROBDD store one restrict/ITE call at a time, even though at the
+recursion depths where they fire the live support is small.  This
+package re-expresses those phases over *packed truth tables*
+(``numpy.uint64`` words, 64 minterms per word):
+
+* :mod:`repro.kernel.bitset` — the packed representation and the
+  pack/unpack primitives (:class:`~repro.kernel.bitset.Bits`, row
+  packing, mask integers);
+* :mod:`repro.kernel.convert` — lossless, canonical ``BDD <-> bitset``
+  conversion (equal functions convert to byte-identical tables and
+  back to the *same* node ids, which is what makes the kernel results
+  bit-identical to the BDD path);
+* :mod:`repro.kernel.compat` — bound-set vertex cofactor extraction as
+  strided slicing plus the ISF compatibility / running-intersection /
+  greedy-cover pipeline as bitwise AND/OR over ``(lo, hi)`` mask pairs;
+* :mod:`repro.kernel.symmetry` — (non)equivalence symmetry checks and
+  the ``make_symmetric`` narrowing as shifted mask algebra against
+  precomputed cofactor-plane selectors.
+
+Dispatch is transparent: the call sites in :mod:`repro.decomp.compat`,
+:mod:`repro.decomp.bound_set` and :mod:`repro.symmetry.groups` route
+through the kernel when the live support fits :func:`kernel_max_vars`
+(default 16, override with ``REPRO_KERNEL_MAX_VARS``) and fall back to
+the BDD path otherwise.  ``REPRO_KERNEL=off`` disables the kernel
+entirely (escape hatch; the differential test suite in
+``tests/kernel/`` proves both paths produce identical results).
+
+Every dispatch decision is counted in a module-level
+:class:`KernelStats` (reset per engine run); the snapshot lands in the
+versioned metrics document under ``"kernel"``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+try:  # numpy is a declared dependency, but the BDD path works without it.
+    import numpy  # noqa: F401
+    AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    AVAILABLE = False
+
+#: Default live-support cap for kernel dispatch (2**16 minterm tables).
+DEFAULT_MAX_VARS = 16
+
+_OFF_VALUES = {"off", "0", "false", "no"}
+
+
+def kernel_enabled() -> bool:
+    """Is kernel dispatch enabled?  (``REPRO_KERNEL=off`` disables it.)
+
+    The environment is read on every call so tests and the CLI's
+    ``--no-kernel`` can flip the switch mid-process.
+    """
+    if not AVAILABLE:
+        return False
+    return os.environ.get("REPRO_KERNEL", "").strip().lower() \
+        not in _OFF_VALUES
+
+
+def kernel_max_vars() -> int:
+    """Live-support cap for dispatch (``REPRO_KERNEL_MAX_VARS`` override)."""
+    raw = os.environ.get("REPRO_KERNEL_MAX_VARS", "").strip()
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return DEFAULT_MAX_VARS
+
+
+@dataclass
+class KernelStats:
+    """Dispatch counters and per-operation kernel time.
+
+    ``hits`` counts calls served by the kernel, ``misses`` calls that
+    fell back to the BDD path while the kernel was enabled (support too
+    wide).  ``ops`` breaks hits and wall time down by operation
+    (``classes_for``, ``reduction_score``, ``assign_by_classes``,
+    ``symmetry_assign``, ``symmetry_groups``).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    op_time: Dict[str, float] = field(default_factory=dict)
+    op_hits: Dict[str, int] = field(default_factory=dict)
+    op_misses: Dict[str, int] = field(default_factory=dict)
+
+    def record_hit(self, op: str, seconds: float) -> None:
+        self.hits += 1
+        self.op_hits[op] = self.op_hits.get(op, 0) + 1
+        self.op_time[op] = self.op_time.get(op, 0.0) + seconds
+
+    def record_miss(self, op: str) -> None:
+        self.misses += 1
+        self.op_misses[op] = self.op_misses.get(op, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict form for the metrics document (additive, schema 1)."""
+        ops = {}
+        for op in sorted(set(self.op_hits) | set(self.op_misses)):
+            ops[op] = {
+                "time_s": round(self.op_time.get(op, 0.0), 6),
+                "hits": self.op_hits.get(op, 0),
+                "misses": self.op_misses.get(op, 0),
+            }
+        return {
+            "enabled": kernel_enabled(),
+            "max_vars": kernel_max_vars(),
+            "kernel_hits": self.hits,
+            "kernel_misses": self.misses,
+            "ops": ops,
+        }
+
+
+#: Module-level stats instance the dispatch sites report into (reset per
+#: engine run by DecompositionEngine.run).
+STATS = KernelStats()
+
+
+def reset_kernel_stats() -> None:
+    """Zero the dispatch counters (engine does this at run start)."""
+    STATS.hits = 0
+    STATS.misses = 0
+    STATS.op_time.clear()
+    STATS.op_hits.clear()
+    STATS.op_misses.clear()
+
+
+def kernel_metrics() -> Dict[str, Any]:
+    """Snapshot of the current dispatch counters."""
+    return STATS.snapshot()
+
+
+__all__ = [
+    "AVAILABLE",
+    "DEFAULT_MAX_VARS",
+    "KernelStats",
+    "STATS",
+    "kernel_enabled",
+    "kernel_max_vars",
+    "kernel_metrics",
+    "reset_kernel_stats",
+]

@@ -80,7 +80,11 @@ def run_metrics(*, command: str, source: str, stats: Any,
         "alphas_shared": stats.alphas_shared,
         "max_recursion_depth": stats.max_recursion_depth,
         "budget_exhausted": stats.budget_exhausted,
+        "exact_cover_fallbacks": getattr(stats, "exact_cover_fallbacks", 0),
     }
+    kernel = getattr(stats, "kernel_metrics", None)
+    if kernel is not None:
+        doc["kernel"] = kernel
     doc["phases"] = {
         name: {"time_s": round(entry["time_s"], 6),
                "calls": entry["calls"]}
@@ -164,4 +168,21 @@ def profile_report(stats: Any,
         lines.append(f"  ite calls           : {bdd_metrics.ite_calls}")
         lines.append(f"  restrict calls      : "
                      f"{bdd_metrics.restrict_calls}")
+    kernel = getattr(stats, "kernel_metrics", None)
+    if kernel is not None:
+        state = "on" if kernel.get("enabled", True) else "off"
+        lines.append(
+            f"kernel (word-parallel, {state}, "
+            f"<= {kernel.get('max_vars')} vars):")
+        lines.append(f"  dispatch            : {kernel['kernel_hits']} hits"
+                     f" / {kernel['kernel_misses']} misses")
+        for op, entry in kernel.get("ops", {}).items():
+            lines.append(f"  {op:<20s}: {entry['time_s']:9.4f} s "
+                         f"x{entry['hits']}"
+                         + (f" (+{entry['misses']} fallback)"
+                            if entry.get("misses") else ""))
+    fallbacks = getattr(stats, "exact_cover_fallbacks", 0)
+    if fallbacks:
+        lines.append(f"exact-cover fallbacks : {fallbacks} "
+                     f"(node budget hit, greedy cover used)")
     return "\n".join(lines)

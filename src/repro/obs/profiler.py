@@ -27,6 +27,9 @@ class PhaseProfiler:
     def __init__(self) -> None:
         self.times: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
+        # Named event counters (e.g. "exact_cover_fallback") — things
+        # worth surfacing that are occurrences, not durations.
+        self.events: Dict[str, int] = {}
         # Stack of [phase name, timestamp of the last charge point].
         self._stack: List[list] = []
 
@@ -57,6 +60,10 @@ class PhaseProfiler:
             yield
         finally:
             self.exit()
+
+    def event(self, name: str, count: int = 1) -> None:
+        """Bump a named event counter."""
+        self.events[name] = self.events.get(name, 0) + count
 
     # -- results ---------------------------------------------------------
 
@@ -107,3 +114,10 @@ def profile_phase(name: str) -> Iterator[None]:
         yield
     finally:
         profiler.exit()
+
+
+def record_event(name: str, count: int = 1) -> None:
+    """Bump a named event on the active profiler (no-op when inactive)."""
+    profiler = _CURRENT.get()
+    if profiler is not None:
+        profiler.event(name, count)

@@ -20,9 +20,10 @@ committing assignment making the pair strongly symmetric.
 from __future__ import annotations
 
 import enum
-from typing import Tuple
+from typing import Set, Tuple
 
 from repro.bdd.manager import BDD
+from repro.bdd.symmetry import equivalence_symmetric_in, symmetric_in
 from repro.boolfunc.spec import ISF
 
 
@@ -52,6 +53,12 @@ def strongly_symmetric(bdd: BDD, isf: ISF, var_i: int, var_j: int,
     """Are both interval ends symmetric in the pair?"""
     if var_i == var_j:
         return True
+    if isf.lo == isf.hi:
+        # Complete function: one memoised check instead of four
+        # restrict-chains (see repro.bdd.symmetry).
+        if kind is SymmetryKind.NONEQUIVALENCE:
+            return symmetric_in(bdd, isf.lo, var_i, var_j)
+        return equivalence_symmetric_in(bdd, isf.lo, var_i, var_j)
     (ai, aj), (bi, bj) = _merged_cofactors(kind)
     return (_cof(bdd, isf.lo, var_i, var_j, ai, aj)
             == _cof(bdd, isf.lo, var_i, var_j, bi, bj)
@@ -109,3 +116,42 @@ def make_symmetric(bdd: BDD, isf: ISF, var_i: int, var_j: int,
         return pieces
 
     return ISF.create(bdd, rebuild(isf.lo, lo_m), rebuild(isf.hi, hi_m))
+
+
+class BddIsfOps:
+    """BDD-domain adapter for the generic step-1 machinery.
+
+    :mod:`repro.symmetry.groups` runs its algorithms against this
+    interface; :class:`repro.kernel.symmetry.BitsIsfOps` is the
+    word-parallel twin.  Handles here are plain :class:`ISF` objects, so
+    lift/lower are the identity.
+    """
+
+    domain = "bdd"
+
+    def __init__(self, bdd: BDD) -> None:
+        self.bdd = bdd
+
+    def lift(self, isf: ISF) -> ISF:
+        return isf
+
+    def lower(self, isf: ISF) -> ISF:
+        return isf
+
+    def support(self, isf: ISF) -> Set[int]:
+        return isf.support(self.bdd)
+
+    def strongly_symmetric(self, isf: ISF, var_i: int, var_j: int,
+                           kind: SymmetryKind = SymmetryKind.NONEQUIVALENCE
+                           ) -> bool:
+        return strongly_symmetric(self.bdd, isf, var_i, var_j, kind)
+
+    def potentially_symmetric(self, isf: ISF, var_i: int, var_j: int,
+                              kind: SymmetryKind = SymmetryKind.NONEQUIVALENCE
+                              ) -> bool:
+        return potentially_symmetric(self.bdd, isf, var_i, var_j, kind)
+
+    def make_symmetric(self, isf: ISF, var_i: int, var_j: int,
+                       kind: SymmetryKind = SymmetryKind.NONEQUIVALENCE
+                       ) -> ISF:
+        return make_symmetric(self.bdd, isf, var_i, var_j, kind)

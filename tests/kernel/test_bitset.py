@@ -1,0 +1,101 @@
+"""Packed-table primitives vs the pure-Python reference layout."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.boolfunc.truthtable import pack64, unpack64
+from repro.kernel.bitset import (
+    Bits,
+    mask_rows,
+    mask_to_bools,
+    pack_bools,
+    pack_rows,
+    popcount_words,
+    unpack_words,
+)
+
+
+def random_table(rng, nbits):
+    return [rng.randint(0, 1) for _ in range(nbits)]
+
+
+class TestPack64Reference:
+    @pytest.mark.parametrize("nbits", [1, 7, 63, 64, 65, 128, 200, 1024])
+    def test_numpy_packing_matches_pure_python(self, nbits):
+        rng = random.Random(nbits)
+        table = random_table(rng, nbits)
+        words = pack_bools(table)
+        assert [int(w) for w in words] == pack64(table)
+
+    def test_unpack_roundtrip(self):
+        rng = random.Random(5)
+        table = random_table(rng, 300)
+        words = pack_bools(table)
+        assert unpack_words(words, 300).astype(int).tolist() == table
+        assert unpack64(pack64(table), 300) == table
+
+    def test_unpack64_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            unpack64([0], 65)
+
+    def test_popcount(self):
+        rng = random.Random(9)
+        table = random_table(rng, 500)
+        assert popcount_words(pack_bools(table)) == sum(table)
+
+
+class TestMaskIntegers:
+    @pytest.mark.parametrize("nbits", [1, 8, 64, 100])
+    def test_mask_rows_matches_pack64(self, nbits):
+        rng = random.Random(nbits + 1)
+        rows = [random_table(rng, nbits) for _ in range(4)]
+        masks = mask_rows(np.array(rows, dtype=bool))
+        for row, mask in zip(rows, masks):
+            words = pack64(row)
+            assert mask == sum(w << (64 * i) for i, w in enumerate(words))
+
+    def test_mask_to_bools_roundtrip(self):
+        rng = random.Random(3)
+        row = random_table(rng, 77)
+        mask = mask_rows(np.array([row], dtype=bool))[0]
+        assert mask_to_bools(mask, 77).astype(int).tolist() == row
+
+
+class TestBits:
+    def test_algebra(self):
+        rng = random.Random(11)
+        a_t = random_table(rng, 130)
+        b_t = random_table(rng, 130)
+        a = Bits.from_bools(a_t)
+        b = Bits.from_bools(b_t)
+        assert (a & b).to_bools().astype(int).tolist() == \
+            [x & y for x, y in zip(a_t, b_t)]
+        assert (a | b).to_bools().astype(int).tolist() == \
+            [x | y for x, y in zip(a_t, b_t)]
+        assert a.invert().to_bools().astype(int).tolist() == \
+            [1 - x for x in a_t]
+        assert a.popcount() == sum(a_t)
+
+    def test_invert_keeps_tail_zero(self):
+        a = Bits.from_bools([1, 0, 1])  # nbits not a multiple of 64
+        inv = a.invert()
+        assert int(inv.words[0]) == 0b010
+        assert inv.invert() == a
+
+    def test_subset_and_key(self):
+        a = Bits.from_bools([1, 0, 1, 0])
+        b = Bits.from_bools([1, 1, 1, 0])
+        assert a.subset_of(b)
+        assert not b.subset_of(a)
+        assert a.key() != b.key()
+        assert Bits.from_bools([1, 0, 1, 0]) == a
+        assert hash(Bits.from_bools([1, 0, 1, 0])) == hash(a)
+
+    def test_pack_rows_matches_pack_bools(self):
+        rng = random.Random(2)
+        rows = [random_table(rng, 70) for _ in range(3)]
+        packed = pack_rows(np.array(rows, dtype=bool))
+        for i, row in enumerate(rows):
+            assert packed[i].tolist() == pack_bools(row).tolist()

@@ -1,0 +1,195 @@
+"""Differential tests: kernel compatible-class pipeline == BDD path.
+
+The kernel must be *bit-identical*: same classes, same vertex
+assignment, same merged-interval node ids, across DC densities and on
+either side of the support threshold.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.decomp.bound_set import reduction_score
+from repro.decomp.compat import (
+    LazyClasses,
+    _intersect_vectors,
+    assign_by_classes,
+    classes_for,
+    vertex_cofactors,
+)
+from repro.kernel import STATS, reset_kernel_stats
+
+
+def random_isf(bdd, rng, variables, dc_density):
+    lo_bits, hi_bits = [], []
+    for _ in range(1 << len(variables)):
+        if rng.random() < dc_density:
+            lo_bits.append(0)
+            hi_bits.append(1)
+        else:
+            bit = rng.randint(0, 1)
+            lo_bits.append(bit)
+            hi_bits.append(bit)
+    return ISF.create(bdd,
+                      bdd.from_truth_table(lo_bits, variables),
+                      bdd.from_truth_table(hi_bits, variables))
+
+
+def isf_pairs(classes):
+    return [[(isf.lo, isf.hi) for isf in row] for row in classes.merged]
+
+
+@pytest.mark.parametrize("density", [0.0, 0.25, 0.75, 1.0])
+def test_classes_for_differential(density, monkeypatch):
+    rng = random.Random(int(density * 100) + 7)
+    bdd = BDD(7)
+    variables = list(range(7))
+    for _ in range(4):
+        outputs = [random_isf(bdd, rng, variables, density)
+                   for _ in range(2)]
+        for p in (2, 3):
+            bound = tuple(rng.sample(variables, p))  # unsorted on purpose
+            monkeypatch.setenv("REPRO_KERNEL", "off")
+            ref = classes_for(bdd, outputs, bound)
+            monkeypatch.setenv("REPRO_KERNEL", "on")
+            hit = classes_for(bdd, outputs, bound)
+            assert isinstance(hit, LazyClasses)
+            assert not isinstance(ref, LazyClasses)
+            assert hit.bound == ref.bound
+            assert hit.classes == ref.classes
+            assert hit.class_of == ref.class_of
+            assert isf_pairs(hit) == isf_pairs(ref)
+
+
+@pytest.mark.parametrize("density", [0.25, 0.75])
+def test_assign_by_classes_differential(density, monkeypatch):
+    rng = random.Random(int(density * 100) + 13)
+    bdd = BDD(6)
+    variables = list(range(6))
+    for _ in range(4):
+        outputs = [random_isf(bdd, rng, variables, density)
+                   for _ in range(2)]
+        bound = tuple(rng.sample(variables, 2))
+        monkeypatch.setenv("REPRO_KERNEL", "off")
+        ref_cls = classes_for(bdd, outputs, bound)
+        ref = assign_by_classes(bdd, outputs, ref_cls)
+        monkeypatch.setenv("REPRO_KERNEL", "on")
+        hit_cls = classes_for(bdd, outputs, bound)
+        hit = assign_by_classes(bdd, outputs, hit_cls)
+        assert [(i.lo, i.hi) for i in hit] == [(i.lo, i.hi) for i in ref]
+        # The narrowing refines every output's interval.
+        for before, after in zip(outputs, hit):
+            assert after.refines(bdd, before)
+
+
+@pytest.mark.parametrize("density", [0.25, 0.75])
+def test_cover_satisfies_running_intersection(density):
+    # Clique validity: pairwise compatibility is NOT enough for ISFs;
+    # each class's running interval intersection must be non-empty and
+    # equal the merged interval the kernel reports.
+    rng = random.Random(int(density * 100) + 29)
+    bdd = BDD(6)
+    variables = list(range(6))
+    for _ in range(4):
+        outputs = [random_isf(bdd, rng, variables, density)
+                   for _ in range(2)]
+        bound = tuple(rng.sample(variables, 3))
+        cls = classes_for(bdd, outputs, bound)
+        assert isinstance(cls, LazyClasses)
+        cofactors = vertex_cofactors(bdd, outputs, bound)
+        for c, members in enumerate(cls.classes):
+            running = list(cofactors[members[0]])
+            for v in members[1:]:
+                running = _intersect_vectors(bdd, running,
+                                             list(cofactors[v]))
+                assert running is not None, "cover built an invalid clique"
+            assert [(i.lo, i.hi) for i in running] == \
+                [(i.lo, i.hi) for i in cls.merged[c]]
+
+
+def test_reduction_score_differential(monkeypatch):
+    rng = random.Random(41)
+    bdd = BDD(7)
+    variables = list(range(7))
+    for density in (0.0, 0.5):
+        outputs = [random_isf(bdd, rng, variables, density)
+                   for _ in range(3)]
+        for p in (2, 3):
+            bound = tuple(rng.sample(variables, p))
+            monkeypatch.setenv("REPRO_KERNEL", "off")
+            ref = reduction_score(bdd, outputs, bound)
+            monkeypatch.setenv("REPRO_KERNEL", "on")
+            assert reduction_score(bdd, outputs, bound) == ref
+
+
+def sparse_full_support_isf(bdd, rng, variables, with_dc):
+    """Cube-built ISF whose support covers all ``variables`` (small BDD
+    even for wide supports, so the threshold tests stay fast)."""
+    n = len(variables)
+    lo = BDD.FALSE
+    for i in range(0, n, 3):
+        cube = {variables[(i + k) % n]: rng.randint(0, 1) for k in range(5)}
+        lo = bdd.apply_or(lo, bdd.cube(cube))
+    parity = BDD.FALSE
+    for v in variables:  # parity term forces every variable live
+        parity = bdd.apply_xor(parity, bdd.var(v))
+    lo = bdd.apply_and(lo, parity)
+    hi = lo
+    if with_dc:
+        dc = bdd.cube({variables[0]: 1, variables[-1]: 0})
+        hi = bdd.apply_or(lo, dc)
+    isf = ISF.create(bdd, lo, hi)
+    assert isf.support(bdd) == set(variables)
+    return isf
+
+
+@pytest.mark.parametrize("nvars,served", [(15, True), (16, True),
+                                          (17, False)])
+def test_support_threshold_straddle(nvars, served, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "on")
+    monkeypatch.delenv("REPRO_KERNEL_MAX_VARS", raising=False)
+    rng = random.Random(nvars)
+    bdd = BDD(nvars)
+    variables = list(range(nvars))
+    isf = sparse_full_support_isf(bdd, rng, variables, with_dc=True)
+    bound = tuple(variables[:3])
+    reset_kernel_stats()
+    monkeypatch.setenv("REPRO_KERNEL", "off")
+    ref = classes_for(bdd, [isf], bound)
+    monkeypatch.setenv("REPRO_KERNEL", "on")
+    hit = classes_for(bdd, [isf], bound)
+    assert isinstance(hit, LazyClasses) == served
+    if served:
+        assert STATS.hits > 0 and STATS.misses == 0
+    else:
+        assert STATS.hits == 0 and STATS.misses > 0
+    assert hit.classes == ref.classes
+    assert hit.class_of == ref.class_of
+    assert isf_pairs(hit) == isf_pairs(ref)
+
+
+def test_max_vars_override(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "on")
+    monkeypatch.setenv("REPRO_KERNEL_MAX_VARS", "4")
+    rng = random.Random(51)
+    bdd = BDD(6)
+    variables = list(range(6))
+    isf = random_isf(bdd, rng, variables, 0.5)
+    reset_kernel_stats()
+    cls = classes_for(bdd, [isf], (0, 1))
+    assert not isinstance(cls, LazyClasses)
+    assert STATS.misses > 0
+
+
+def test_escape_hatch_disables_kernel(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "off")
+    rng = random.Random(61)
+    bdd = BDD(5)
+    isf = random_isf(bdd, rng, list(range(5)), 0.5)
+    reset_kernel_stats()
+    cls = classes_for(bdd, [isf], (0, 1))
+    assert not isinstance(cls, LazyClasses)
+    # Disabled (as opposed to too-wide) dispatch is not counted a miss.
+    assert STATS.hits == 0 and STATS.misses == 0

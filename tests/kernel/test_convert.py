@@ -1,0 +1,117 @@
+"""Canonicity of the BDD <-> truth-table conversions."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.bdd.reorder import rebuild
+from repro.kernel.convert import bdd_to_bools, bools_to_bdd
+
+
+def random_node(bdd, rng, variables):
+    table = [rng.randint(0, 1) for _ in range(1 << len(variables))]
+    return bdd.from_truth_table(table, variables), table
+
+
+class TestBddToBools:
+    def test_matches_to_truth_table(self):
+        bdd = BDD(5)
+        rng = random.Random(1)
+        variables = [0, 1, 2, 3, 4]
+        f, table = random_node(bdd, rng, variables)
+        assert bdd_to_bools(bdd, f, variables).astype(int).tolist() == table
+        assert bdd.to_truth_table(f, variables) == table
+
+    def test_non_identity_variable_order(self):
+        bdd = BDD(4)
+        rng = random.Random(2)
+        f, _ = random_node(bdd, rng, [0, 1, 2, 3])
+        shuffled = [2, 0, 3, 1]
+        got = bdd_to_bools(bdd, f, shuffled).astype(int).tolist()
+        assert got == bdd.to_truth_table(f, shuffled)
+
+    def test_variables_superset_of_support(self):
+        bdd = BDD(4)
+        f = bdd.apply_and(bdd.var(1), bdd.var(3))
+        got = bdd_to_bools(bdd, f, [0, 1, 2, 3]).astype(int).tolist()
+        assert got == bdd.to_truth_table(f, [0, 1, 2, 3])
+
+    def test_rejects_uncovered_support(self):
+        bdd = BDD(3)
+        f = bdd.apply_or(bdd.var(0), bdd.var(2))
+        with pytest.raises(ValueError):
+            bdd_to_bools(bdd, f, [0, 1])
+
+    def test_terminals(self):
+        bdd = BDD(3)
+        assert bdd_to_bools(bdd, BDD.FALSE, [0, 1]).sum() == 0
+        assert bdd_to_bools(bdd, BDD.TRUE, [0, 1]).sum() == 4
+
+    def test_cached_and_read_only(self):
+        bdd = BDD(3)
+        f = bdd.var(1)
+        a = bdd_to_bools(bdd, f, (0, 1, 2))
+        b = bdd_to_bools(bdd, f, (0, 1, 2))
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0] = True
+
+
+class TestBoolsToBdd:
+    def test_canonical_node_ids(self):
+        bdd = BDD(5)
+        rng = random.Random(3)
+        variables = [0, 1, 2, 3, 4]
+        for _ in range(10):
+            table = [rng.randint(0, 1) for _ in range(32)]
+            ref = bdd.from_truth_table(table, variables)
+            assert bools_to_bdd(bdd, table, variables) == ref
+
+    def test_roundtrip(self):
+        bdd = BDD(4)
+        rng = random.Random(4)
+        f, _ = random_node(bdd, rng, [0, 1, 2, 3])
+        table = bdd_to_bools(bdd, f, [0, 1, 2, 3])
+        assert bools_to_bdd(bdd, table, [0, 1, 2, 3]) == f
+
+    def test_non_identity_order(self):
+        bdd = BDD(4)
+        rng = random.Random(5)
+        variables = [3, 1, 0, 2]
+        table = [rng.randint(0, 1) for _ in range(16)]
+        assert bools_to_bdd(bdd, table, variables) == \
+            bdd.from_truth_table(table, variables)
+
+    def test_wide_table_uses_numpy_levels(self):
+        # > 2048 entries exercises the np.unique level loop.
+        bdd = BDD(12)
+        rng = random.Random(6)
+        variables = list(range(12))
+        table = [rng.randint(0, 1) for _ in range(1 << 12)]
+        f = bools_to_bdd(bdd, table, variables)
+        got = bdd_to_bools(bdd, f, variables).astype(int).tolist()
+        assert got == table
+
+    def test_rejects_bad_length(self):
+        bdd = BDD(3)
+        with pytest.raises(ValueError):
+            bools_to_bdd(bdd, [0, 1, 0], [0, 1])
+
+
+class TestCacheInvalidation:
+    def test_set_order_clears_kernel_cache(self):
+        bdd = BDD(3)
+        f = bdd.apply_or(bdd.var(0), bdd.var(1))
+        bdd_to_bools(bdd, f, (0, 1, 2))
+        assert bdd._kernel_cache
+        bdd.set_order([2, 1, 0])
+        assert not bdd._kernel_cache
+
+    def test_conversion_correct_after_reorder(self):
+        bdd = BDD(3)
+        f = bdd.apply_or(bdd.apply_and(bdd.var(0), bdd.var(1)), bdd.var(2))
+        before = bdd_to_bools(bdd, f, (0, 1, 2)).astype(int).tolist()
+        [f2] = rebuild(bdd, [f], [1, 2, 0])
+        after = bdd_to_bools(bdd, f2, (0, 1, 2)).astype(int).tolist()
+        assert after == before
