@@ -23,6 +23,25 @@ from repro.bdd.manager import BDD
 from repro.bdd.ops import cofactor2
 
 
+def _trivial_by_support(bdd: BDD, f: int, var_i: int, var_j: int):
+    """Decide symmetry by support membership alone, or ``None``.
+
+    Both kinds compare a pair of double cofactors that differ only in
+    the assignments to ``var_i``/``var_j``; when neither variable is in
+    ``f``'s support all four cofactors equal ``f`` (symmetric), and when
+    exactly one is, the compared cofactors are that variable's two
+    opposite single cofactors (not symmetric, since it is genuinely in
+    the support).  ``support`` is cached per root, so wide multi-output
+    scans skip most cofactor work: each output touches few of the
+    candidate variables.
+    """
+    supp = bdd.support(f)
+    in_i, in_j = var_i in supp, var_j in supp
+    if in_i and in_j:
+        return None
+    return in_i == in_j
+
+
 def symmetric_in(bdd: BDD, f: int, var_i: int, var_j: int) -> bool:
     """Nonequivalence (classical) symmetry: ``f|01 == f|10``.
 
@@ -41,8 +60,10 @@ def symmetric_in(bdd: BDD, f: int, var_i: int, var_j: int) -> bool:
         bdd._cache_hits += 1
         return bool(cached)
     bdd._cache_misses += 1
-    res = (cofactor2(bdd, f, var_i, var_j, 0, 1)
-           == cofactor2(bdd, f, var_i, var_j, 1, 0))
+    res = _trivial_by_support(bdd, f, var_i, var_j)
+    if res is None:
+        res = (cofactor2(bdd, f, var_i, var_j, 0, 1)
+               == cofactor2(bdd, f, var_i, var_j, 1, 0))
     bdd._cache_put(key, int(res))
     return res
 
@@ -60,8 +81,10 @@ def equivalence_symmetric_in(bdd: BDD, f: int, var_i: int, var_j: int) -> bool:
         bdd._cache_hits += 1
         return bool(cached)
     bdd._cache_misses += 1
-    res = (cofactor2(bdd, f, var_i, var_j, 0, 0)
-           == cofactor2(bdd, f, var_i, var_j, 1, 1))
+    res = _trivial_by_support(bdd, f, var_i, var_j)
+    if res is None:
+        res = (cofactor2(bdd, f, var_i, var_j, 0, 0)
+               == cofactor2(bdd, f, var_i, var_j, 1, 1))
     bdd._cache_put(key, int(res))
     return res
 

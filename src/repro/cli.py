@@ -452,6 +452,11 @@ def main(argv: Optional[list] = None) -> int:
                            help="disable the word-parallel truth-table "
                                 "kernel (pure-BDD hot paths; same as "
                                 "REPRO_KERNEL=off)")
+            p.add_argument("--kernel-max-vars", type=int, metavar="N",
+                           help="serve kernel ops up to N live support "
+                                "variables (default 24: bignum tier to "
+                                "16, numpy word-array tier above; same "
+                                "as REPRO_KERNEL_MAX_VARS=N)")
             p.add_argument("--profile", action="store_true",
                            help="print the phase/BDD-counter profile")
             p.add_argument("--metrics-out", metavar="FILE",
@@ -522,6 +527,8 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "no_kernel", False):
         os.environ["REPRO_KERNEL"] = "off"
+    if getattr(args, "kernel_max_vars", None) is not None:
+        os.environ["REPRO_KERNEL_MAX_VARS"] = str(args.kernel_max_vars)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "map":

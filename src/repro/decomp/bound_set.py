@@ -19,16 +19,19 @@ shrink; the driver falls back to a Shannon step when none exists.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bdd.manager import BDD
 from repro.boolfunc.spec import ISF
 from repro.decomp.compat import classes_for, min_r
+from repro.kernel import STATS as KERNEL_STATS
 
 try:
     from repro.kernel.compat import kernel_reduction_score
+    from repro.kernel.refine import PartitionCache
 except ImportError:  # pragma: no cover - numpy unavailable
     kernel_reduction_score = None
+    PartitionCache = None
 
 
 def candidate_bound_sets(variables: Sequence[int], p: int,
@@ -45,10 +48,20 @@ def candidate_bound_sets(variables: Sequence[int], p: int,
         raise ValueError("bound set must be a strict subset of the support")
     layout: List[int] = []
     if groups:
+        # Single seen-set pass: a variable in two groups lands once (at
+        # its first, largest group) and the dedup is linear, not the
+        # old per-element set(layout)/set(variables) rebuild.
+        placed: Set[int] = set(variables)
         order = sorted((g for g in groups if g), key=len, reverse=True)
         for g in order:
-            layout.extend(v for v in g if v in set(variables))
-        layout.extend(v for v in variables if v not in set(layout))
+            for v in g:
+                if v in placed:
+                    placed.discard(v)
+                    layout.append(v)
+        for v in variables:
+            if v in placed:
+                placed.discard(v)
+                layout.append(v)
     else:
         layout = variables
 
@@ -68,12 +81,13 @@ def candidate_bound_sets(variables: Sequence[int], p: int,
             return candidates
     # Group-aligned combinations: fill a window with whole groups first.
     if groups:
+        layout_set = set(layout)
         order = sorted((list(g) for g in groups if g), key=len, reverse=True)
         for i, g in enumerate(order):
             cand: List[int] = []
             for h in order[i:] + order[:i]:
                 for v in h:
-                    if len(cand) < p and v in set(layout):
+                    if len(cand) < p and v in layout_set:
                         cand.append(v)
             if len(cand) == p:
                 add(cand)
@@ -140,6 +154,12 @@ def greedy_bound_set(bdd: BDD, outputs: Sequence[ISF],
     plain windows miss — e.g. for parity-dominated circuits (C499-style)
     it collects variables whose contribution patterns are linearly
     dependent, where ``ncc`` stays at ``2^rank`` instead of ``2^p``.
+
+    When the kernel serves the support, each candidate ``B ∪ {v}`` is
+    scored by *one* partition refinement of the cached partition of the
+    current ``B`` (see :mod:`repro.kernel.refine`) instead of a full
+    ``classes_for`` recomputation — identical ``ncc``, so the grown set
+    is bit-identical either way.
     """
     variables = list(variables)
     if p >= len(variables):
@@ -153,6 +173,10 @@ def greedy_bound_set(bdd: BDD, outputs: Sequence[ISF],
     # only consulted by the caller's scoring).
     if len(outputs) > 8:
         outputs = list(outputs)[:8]
+    cache = None
+    if PartitionCache is not None:
+        cache = PartitionCache.for_call(bdd, outputs, variables,
+                                        "classes_for")
     current: List[int] = []
     for _ in range(p):
         best_var = None
@@ -161,8 +185,12 @@ def greedy_bound_set(bdd: BDD, outputs: Sequence[ISF],
             if var in current:
                 continue
             cand = current + [var]
-            joint = classes_for(bdd, outputs, cand)
-            key = (joint.ncc, var)
+            if cache is not None:
+                ncc = cache.ncc_for(tuple(cand))
+            else:
+                KERNEL_STATS.record_scratch()
+                ncc = classes_for(bdd, outputs, cand).ncc
+            key = (ncc, var)
             if best_key is None or key < best_key:
                 best_key = key
                 best_var = var
@@ -175,7 +203,9 @@ def greedy_bound_set(bdd: BDD, outputs: Sequence[ISF],
 def rank_bound_sets(bdd: BDD, outputs: Sequence[ISF],
                     variables: Sequence[int], p: int,
                     groups: Optional[Sequence[Sequence[int]]] = None,
-                    max_candidates: int = 24
+                    max_candidates: int = 24,
+                    score_memo: Optional[Dict] = None,
+                    memo_key: Optional[Tuple] = None
                     ) -> List[Tuple[Tuple[int, ...], Tuple[int, int, int]]]:
     """Candidates with positive total support reduction, best first.
 
@@ -183,14 +213,36 @@ def rank_bound_sets(bdd: BDD, outputs: Sequence[ISF],
     candidate (see :func:`greedy_bound_set`).  The driver still verifies
     the actual per-output reductions after the don't-care steps and moves
     down the list when a candidate falls short.
+
+    Candidates are sorted tuples, so when the kernel serves the support
+    they are scored through one :class:`repro.kernel.refine.PartitionCache`
+    — overlapping windows extend each other's longest shared sorted
+    prefix instead of recomputing from scratch.  ``score_memo`` (keyed
+    by ``(memo_key, candidate)``) lets the engine reuse scores across
+    repeated rankings of the same outputs within one run.
     """
     candidates = candidate_bound_sets(variables, p, groups, max_candidates)
     greedy = greedy_bound_set(bdd, outputs, variables, p)
     if greedy is not None and greedy not in candidates:
         candidates.insert(0, greedy)
+    cache = None
+    need_scores = score_memo is None or any(
+        (memo_key, cand) not in score_memo for cand in candidates)
+    if PartitionCache is not None and need_scores:
+        cache = PartitionCache.for_call(bdd, outputs, variables,
+                                        "reduction_score")
     ranked = []
     for cand in candidates:
-        score = reduction_score(bdd, outputs, cand)
+        full_key = (memo_key, cand)
+        if score_memo is not None and full_key in score_memo:
+            score = score_memo[full_key]
+        elif cache is not None:
+            score = cache.score_for(cand)
+        else:
+            KERNEL_STATS.record_scratch()
+            score = reduction_score(bdd, outputs, cand)
+        if score_memo is not None:
+            score_memo[full_key] = score
         if score[0] >= 0:
             continue  # removes nothing
         ranked.append((cand, score))

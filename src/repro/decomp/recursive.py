@@ -191,6 +191,11 @@ class DecompositionEngine:
         self._last_rank_empty = False
         self._deadline: Optional[float] = None
         self._mux_memo: Dict[int, str] = {}
+        #: Bound-set score memo shared across the recursion: sibling
+        #: branches re-rank identical (outputs, p) queries after a
+        #: Shannon split or shared-step regrouping; keyed by the
+        #: ranking view's (lo, hi) node pairs the scores are exact.
+        self._score_memo: Dict = {}
 
     # ------------------------------------------------------------------
 
@@ -199,6 +204,7 @@ class DecompositionEngine:
         self.stats = DecompositionStats()
         self.profiler = PhaseProfiler()
         self._mux_memo = {}
+        self._score_memo = {}
         reset_kernel_stats()
         self._deadline = (time.monotonic() + self.time_budget
                           if self.time_budget is not None else None)
@@ -517,9 +523,14 @@ class DecompositionEngine:
         # alignment makes mulop-dc dominate step-wise.
         ranking_view = [ISF.complete(o.lo) if not o.is_complete() else o
                         for o in outputs]
+        if len(self._score_memo) > 50000:
+            self._score_memo.clear()
+        memo_key = (tuple((o.lo, o.hi) for o in ranking_view), p)
         with profile_phase("rank_bound_sets"):
             ranked = rank_bound_sets(bdd, ranking_view, support, p,
-                                     groups, max_candidates)
+                                     groups, max_candidates,
+                                     score_memo=self._score_memo,
+                                     memo_key=memo_key)
         self._last_rank_empty = not ranked
         best: Optional[_Step] = None
         best_gain = 0

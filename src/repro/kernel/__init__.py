@@ -22,13 +22,24 @@ package re-expresses those phases over *packed truth tables*
   the ``make_symmetric`` narrowing as shifted mask algebra against
   precomputed cofactor-plane selectors.
 
-Dispatch is transparent: the call sites in :mod:`repro.decomp.compat`,
-:mod:`repro.decomp.bound_set` and :mod:`repro.symmetry.groups` route
-through the kernel when the live support fits :func:`kernel_max_vars`
-(default 16, override with ``REPRO_KERNEL_MAX_VARS``) and fall back to
-the BDD path otherwise.  ``REPRO_KERNEL=off`` disables the kernel
-entirely (escape hatch; the differential test suite in
-``tests/kernel/`` proves both paths produce identical results).
+Dispatch is transparent and *tiered*: the call sites in
+:mod:`repro.decomp.compat`, :mod:`repro.decomp.bound_set` and
+:mod:`repro.symmetry.groups` route through the kernel when the live
+support fits :func:`kernel_max_vars` (default 24, override with
+``REPRO_KERNEL_MAX_VARS``) and fall back to the BDD path otherwise.
+Within the kernel, supports up to :func:`kernel_tier1_max_vars`
+(default 16) use Python bignum masks (tier 1 — CPython's C bignum ops
+beat numpy call overhead on small tables) and wider supports use
+multi-word ``numpy.uint64`` arrays (tier 2, :mod:`repro.kernel.bitset2`)
+— both tiers run the *same* cover/predicate code, so results are
+bit-identical by construction.  ``REPRO_KERNEL=off`` disables the
+kernel entirely (escape hatch; the differential test suite in
+``tests/kernel/`` proves all paths produce identical results).
+
+The symmetry ops additionally apply a *measured crossover*
+(:func:`kernel_symmetry_min_vars`, default 16): below it the BDD path
+is faster (the table<->BDD conversion at the wrapper boundary dominates
+the predicate algebra), so dispatch declines without counting a miss.
 
 Every dispatch decision is counted in a module-level
 :class:`KernelStats` (reset per engine run); the snapshot lands in the
@@ -47,10 +58,41 @@ try:  # numpy is a declared dependency, but the BDD path works without it.
 except ImportError:  # pragma: no cover - exercised only on broken installs
     AVAILABLE = False
 
-#: Default live-support cap for kernel dispatch (2**16 minterm tables).
-DEFAULT_MAX_VARS = 16
+#: Default live-support cap for kernel dispatch (2**24 minterm tables,
+#: served by the tier-2 numpy word arrays past the tier-1 boundary).
+DEFAULT_MAX_VARS = 24
+
+#: Default tier-1 (bignum mask) boundary; wider supports go tier-2.
+DEFAULT_TIER1_MAX_VARS = 16
+
+#: Measured crossover for the symmetry ops: below this live-support
+#: width the BDD path is faster than lift/predicate/lower through the
+#: kernel (the conversion at the wrapper boundary dominates), so
+#: symmetry dispatch declines without counting a miss.
+DEFAULT_SYMMETRY_MIN_VARS = 16
+
+#: Tier-2 profitability factor: a tier-2 dispatch is served only when
+#: ``node_count * DEFAULT_COST_FACTOR >= table_words * num_outputs``.
+#: BDD-path cost scales with the operands' node counts while table cost
+#: scales with 2**n regardless of sparsity, so wide-but-sparse functions
+#: (duke2's 22-input outputs are ~727 joint nodes) stay on the BDD path
+#: where they are orders of magnitude cheaper, and wide dense functions
+#: (where the BDD path is the catastrophe the benchmarks show) go word-
+#: parallel.  64 approximates the measured per-node/per-word cost ratio
+#: (~0.24 ms/knode BDD vs ~5.5 us/kword numpy on 20-var scoring).
+DEFAULT_COST_FACTOR = 64
 
 _OFF_VALUES = {"off", "0", "false", "no"}
+
+
+def _env_int(name: str) -> int:
+    raw = os.environ.get(name, "").strip()
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return -1
 
 
 def kernel_enabled() -> bool:
@@ -67,13 +109,49 @@ def kernel_enabled() -> bool:
 
 def kernel_max_vars() -> int:
     """Live-support cap for dispatch (``REPRO_KERNEL_MAX_VARS`` override)."""
-    raw = os.environ.get("REPRO_KERNEL_MAX_VARS", "").strip()
-    if raw:
-        try:
-            return int(raw)
-        except ValueError:
-            pass
-    return DEFAULT_MAX_VARS
+    value = _env_int("REPRO_KERNEL_MAX_VARS")
+    return value if value >= 0 else DEFAULT_MAX_VARS
+
+
+def kernel_tier1_max_vars() -> int:
+    """Tier-1 (bignum) boundary; ``REPRO_KERNEL_TIER1_MAX_VARS`` override.
+
+    Never exceeds :func:`kernel_max_vars`, so lowering the overall cap
+    (e.g. ``REPRO_KERNEL_MAX_VARS=4``) keeps its historical meaning.
+    Setting the override to ``0`` forces every dispatch onto tier 2 —
+    the lever the three-way differential tests use.
+    """
+    value = _env_int("REPRO_KERNEL_TIER1_MAX_VARS")
+    if value < 0:
+        value = DEFAULT_TIER1_MAX_VARS
+    return min(value, kernel_max_vars())
+
+
+def kernel_symmetry_min_vars() -> int:
+    """Measured symmetry-op crossover
+    (``REPRO_KERNEL_SYMMETRY_MIN_VARS`` override; ``0`` = always kernel).
+    """
+    value = _env_int("REPRO_KERNEL_SYMMETRY_MIN_VARS")
+    return value if value >= 0 else DEFAULT_SYMMETRY_MIN_VARS
+
+
+def kernel_cost_model() -> bool:
+    """Is the tier-2 profitability model active?
+    (``REPRO_KERNEL_COST_MODEL=off`` serves every fitting support —
+    the lever the forced-tier-2 differential tests use.)
+    """
+    return os.environ.get("REPRO_KERNEL_COST_MODEL", "").strip().lower() \
+        not in _OFF_VALUES
+
+
+def tier_for(num_live_vars: int) -> int:
+    """Kernel tier serving a live support: ``1`` (bignum masks), ``2``
+    (numpy word arrays) or ``0`` (too wide — BDD fallback)."""
+    if num_live_vars <= kernel_tier1_max_vars():
+        return 1
+    if num_live_vars <= kernel_max_vars():
+        return 2
+    return 0
 
 
 @dataclass
@@ -89,6 +167,9 @@ class KernelStats:
 
     hits: int = 0
     misses: int = 0
+    #: Bound-set scores recomputed from scratch (full ``classes_for``)
+    #: because the incremental partition refinement could not serve.
+    scratch: int = 0
     op_time: Dict[str, float] = field(default_factory=dict)
     op_hits: Dict[str, int] = field(default_factory=dict)
     op_misses: Dict[str, int] = field(default_factory=dict)
@@ -102,6 +183,9 @@ class KernelStats:
         self.misses += 1
         self.op_misses[op] = self.op_misses.get(op, 0) + 1
 
+    def record_scratch(self) -> None:
+        self.scratch += 1
+
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict form for the metrics document (additive, schema 1)."""
         ops = {}
@@ -114,8 +198,13 @@ class KernelStats:
         return {
             "enabled": kernel_enabled(),
             "max_vars": kernel_max_vars(),
+            "tier1_max_vars": kernel_tier1_max_vars(),
+            "symmetry_min_vars": kernel_symmetry_min_vars(),
+            "cost_model": kernel_cost_model(),
             "kernel_hits": self.hits,
             "kernel_misses": self.misses,
+            "kernel_refine": self.op_hits.get("kernel_refine", 0),
+            "classes_from_scratch": self.scratch,
             "ops": ops,
         }
 
@@ -129,6 +218,7 @@ def reset_kernel_stats() -> None:
     """Zero the dispatch counters (engine does this at run start)."""
     STATS.hits = 0
     STATS.misses = 0
+    STATS.scratch = 0
     STATS.op_time.clear()
     STATS.op_hits.clear()
     STATS.op_misses.clear()
@@ -141,11 +231,18 @@ def kernel_metrics() -> Dict[str, Any]:
 
 __all__ = [
     "AVAILABLE",
+    "DEFAULT_COST_FACTOR",
     "DEFAULT_MAX_VARS",
+    "DEFAULT_SYMMETRY_MIN_VARS",
+    "DEFAULT_TIER1_MAX_VARS",
     "KernelStats",
     "STATS",
+    "kernel_cost_model",
     "kernel_enabled",
     "kernel_max_vars",
     "kernel_metrics",
+    "kernel_symmetry_min_vars",
+    "kernel_tier1_max_vars",
     "reset_kernel_stats",
+    "tier_for",
 ]

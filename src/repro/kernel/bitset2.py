@@ -1,0 +1,226 @@
+"""Tier-2 packed truth tables: multi-word ``numpy.uint64`` bitsets.
+
+Tier 1 (:mod:`repro.kernel.bitset`) holds a truth-table mask as one
+Python bignum — unbeatable up to ~2**16 bits, where CPython's C-level
+bignum AND/OR outruns numpy's per-call overhead.  Past that the bignum
+shift/invert costs grow superlinearly (every operation copies the whole
+integer), so tier 2 holds the same mask as a ``uint64`` word array and
+:class:`Words` gives it *bignum-compatible operator semantics*: ``&``,
+``|``, ``^``, ``~`` (tail-masked), ``<<``/``>>`` by arbitrary bit
+counts, truthiness, equality and hashing.  The clique cover and the
+symmetry predicates are written against exactly that operator set, so
+one code path serves both tiers and the results are identical by
+construction.
+
+Bit layout matches :func:`repro.kernel.bitset.pack_bools`: minterm ``k``
+is bit ``k % 64`` of word ``k // 64`` (little-endian within the word),
+so a :class:`Words` and the tier-1 mask of the same table agree bit for
+bit.  Bits at or above ``nbits`` are kept zero by every operation
+(canonical padding — equal tables hash equal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernel.bitset import pack_bools, popcount_words, unpack_words
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: ``width ->`` word-constant selecting ``width`` ones every ``2*width``
+#: bits (the field masks of the sub-word gather in :func:`split_words`).
+_FIELD_MASKS = {
+    w: np.uint64(((1 << w) - 1)
+                 * (((1 << 64) - 1) // ((1 << (2 * w)) - 1)))
+    for w in (1, 2, 4, 8, 16, 32)
+}
+
+
+class Words:
+    """A truth-table mask as ``uint64`` words with bignum-like operators.
+
+    Instances are value objects: operations return new arrays, the
+    wrapped array is never mutated (several may share memory with a
+    packed row matrix).
+    """
+
+    __slots__ = ("nbits", "words", "_hash")
+
+    def __init__(self, nbits: int, words: np.ndarray) -> None:
+        self.nbits = nbits
+        self.words = words
+        self._hash = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_bools(cls, arr) -> "Words":
+        arr = np.asarray(arr, dtype=bool).reshape(-1)
+        return cls(arr.size, pack_bools(arr))
+
+    @classmethod
+    def from_int(cls, mask: int, nbits: int) -> "Words":
+        """A tier-1 bignum mask as tier-2 words (used for selectors)."""
+        nwords = max(1, (nbits + 63) >> 6)
+        raw = mask.to_bytes(nwords * 8, "little")
+        # "<u8" pins little-endian regardless of platform; astype lands
+        # on the native dtype the operators expect.
+        return cls(nbits, np.frombuffer(raw, dtype="<u8").astype(np.uint64))
+
+    def to_bools(self) -> np.ndarray:
+        return unpack_words(self.words, self.nbits)
+
+    def to_int(self) -> int:
+        return int.from_bytes(
+            self.words.astype("<u8").tobytes(), "little")
+
+    # -- helpers ---------------------------------------------------------
+
+    def _tail_masked(self, words: np.ndarray) -> np.ndarray:
+        tail = self.nbits & 63
+        if tail:
+            words[-1] &= np.uint64((1 << tail) - 1)
+        return words
+
+    # -- operators (the contract shared with tier-1 bignums) -------------
+
+    def __and__(self, other: "Words") -> "Words":
+        return Words(self.nbits, self.words & other.words)
+
+    def __or__(self, other: "Words") -> "Words":
+        return Words(self.nbits, self.words | other.words)
+
+    def __xor__(self, other: "Words") -> "Words":
+        return Words(self.nbits, self.words ^ other.words)
+
+    def __invert__(self) -> "Words":
+        # Bignum ~x has infinite leading ones; every use site ANDs the
+        # result with an in-range mask, so truncating at nbits is exact.
+        return Words(self.nbits, self._tail_masked(self.words ^ _ALL_ONES))
+
+    def __rshift__(self, n: int) -> "Words":
+        if n <= 0:
+            return self if n == 0 else NotImplemented
+        word_shift, bit_shift = divmod(n, 64)
+        w = self.words
+        if word_shift >= w.size:
+            return Words(self.nbits, np.zeros_like(w))
+        if word_shift:
+            out = np.zeros_like(w)
+            out[:w.size - word_shift] = w[word_shift:]
+        else:
+            out = w.copy()
+        if bit_shift:
+            carry = out[1:] << np.uint64(64 - bit_shift)
+            out >>= np.uint64(bit_shift)
+            out[:-1] |= carry
+        return Words(self.nbits, out)
+
+    def __lshift__(self, n: int) -> "Words":
+        # Bignum x << n grows; here bits past nbits drop.  Exact for the
+        # use sites: every `x << n` is ANDed against an in-range mask or
+        # ORed into one (the partner plane of a selector), and the table
+        # is 2**nvars bits, so nothing meaningful crosses the top.
+        if n <= 0:
+            return self if n == 0 else NotImplemented
+        word_shift, bit_shift = divmod(n, 64)
+        w = self.words
+        if word_shift >= w.size:
+            return Words(self.nbits, np.zeros_like(w))
+        if word_shift:
+            out = np.zeros_like(w)
+            out[word_shift:] = w[:w.size - word_shift]
+        else:
+            out = w.copy()
+        if bit_shift:
+            carry = out[:-1] >> np.uint64(64 - bit_shift)
+            out <<= np.uint64(bit_shift)
+            out[1:] |= carry
+        return Words(self.nbits, self._tail_masked(out))
+
+    def __bool__(self) -> bool:
+        return bool(self.words.any())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Words):
+            return NotImplemented
+        return self.nbits == other.nbits and \
+            bool(np.array_equal(self.words, other.words))
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = self._hash = hash((self.nbits, self.words.tobytes()))
+        return h
+
+    # -- queries ---------------------------------------------------------
+
+    def popcount(self) -> int:
+        return popcount_words(self.words)
+
+    def __repr__(self) -> str:
+        return f"<Words nbits={self.nbits} popcount={self.popcount()}>"
+
+
+def words_rows(packed: np.ndarray, nbits: int) -> list:
+    """Wrap each row of a :func:`repro.kernel.bitset.pack_rows` matrix.
+
+    The rows share the matrix's memory (no copy); :class:`Words` never
+    mutates, so sharing is safe.
+    """
+    return [Words(nbits, packed[v]) for v in range(packed.shape[0])]
+
+
+def split_words(mask: Words, stride: int) -> tuple:
+    """Cofactor halves of a packed table along one variable axis.
+
+    ``stride`` is the variable's bit stride in the table (``2**k`` for
+    the ``k``-th axis from the right, MSB-first layout): entries come in
+    alternating blocks of ``stride`` bits with the variable 0 then 1.
+    Returns ``(mask0, mask1)``, each compacted to ``nbits // 2`` —
+    exactly the tables a fresh extraction over the reduced variable
+    tuple would produce.
+    """
+    half = mask.nbits >> 1
+    if stride >= 64:
+        swords = stride >> 6
+        blocks = mask.words.reshape(-1, 2, swords)
+        return (Words(half, np.ascontiguousarray(blocks[:, 0, :]).reshape(-1)),
+                Words(half, np.ascontiguousarray(blocks[:, 1, :]).reshape(-1)))
+    # Sub-word strides: gather the alternating stride-blocks with a
+    # log-step field compaction (each step merges adjacent fields), then
+    # splice the compacted low halves of word pairs.  A round-trip
+    # through unpacked bools costs ~13x more at tier-2 table sizes.
+    out = []
+    w = mask.words
+    for phase in (0, 1):
+        t = w & _FIELD_MASKS[stride] if phase == 0 \
+            else (w >> np.uint64(stride)) & _FIELD_MASKS[stride]
+        width = stride
+        while width < 32:
+            t = (t | (t >> np.uint64(width))) & _FIELD_MASKS[2 * width]
+            width <<= 1
+        low = t & np.uint64(0xFFFFFFFF)
+        if w.size == 1:
+            out.append(Words(half, low))
+        else:
+            out.append(Words(half,
+                             low[0::2] | (low[1::2] << np.uint64(32))))
+    return out[0], out[1]
+
+
+def split_int(mask: int, nbits: int, stride: int) -> tuple:
+    """Tier-1 counterpart of :func:`split_words` over a bignum mask."""
+    # Round-trip through numpy: gathering alternating stride-blocks of a
+    # bignum has no O(n) pure-Python form, and tier-1 tables are tiny
+    # (<= 2**16 bits), so pack/unpack cost is negligible.
+    nbytes = max(1, (nbits + 7) >> 3)
+    raw = np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=np.uint8)
+    arr = np.unpackbits(raw, bitorder="little")[:nbits].reshape(-1, 2, stride)
+    lo = np.packbits(arr[:, 0, :].reshape(-1), bitorder="little")
+    hi = np.packbits(arr[:, 1, :].reshape(-1), bitorder="little")
+    return (int.from_bytes(lo.tobytes(), "little"),
+            int.from_bytes(hi.tobytes(), "little"))
+
+
+__all__ = ["Words", "split_int", "split_words", "words_rows"]

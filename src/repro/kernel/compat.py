@@ -25,31 +25,68 @@ from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.boolfunc.spec import ISF
-from repro.kernel import AVAILABLE, STATS, kernel_enabled, kernel_max_vars
+from repro.kernel import (
+    AVAILABLE,
+    DEFAULT_COST_FACTOR,
+    STATS,
+    kernel_cost_model,
+    kernel_enabled,
+    tier_for,
+)
 from repro.obs.profiler import profile_phase
 
 if AVAILABLE:
     import numpy as np
 
-    from repro.kernel.bitset import mask_rows, mask_to_bools
+    from repro.kernel.bitset import mask_rows, mask_to_bools, pack_rows
+    from repro.kernel.bitset2 import words_rows
     from repro.kernel.convert import (
-        CACHE_LIMIT,
         _conversion_cache,
         bdd_to_bools,
         bools_to_bdd,
+        cache_put,
     )
 
 #: A vertex's cofactor vector: ``[(lo_mask, hi_mask)] * outputs``.
+#: Masks are bignums (tier 1) or :class:`repro.kernel.bitset2.Words`
+#: (tier 2); both carry the operator set the cover relies on.
 MaskVector = List[Tuple[int, int]]
 
 #: Deferred mask->ISF conversion of the merged class intervals.
 MergedThunk = Callable[[], List[List[ISF]]]
 
 
-def _fit_variables(bdd, outputs: Sequence[ISF],
-                   bound: Sequence[int], op: str) -> Optional[Tuple[int, ...]]:
-    """Table variables for the call, or ``None`` (miss counted) when the
-    kernel is off or the live support is too wide."""
+def tier2_profitable(bdd, outputs: Sequence[ISF], num_live: int) -> bool:
+    """Should a tier-2-wide call actually go word-parallel?
+
+    BDD-path cost scales with the operands' node counts; table cost
+    scales with ``2**num_live`` regardless of sparsity.  Wide-but-sparse
+    functions (small BDDs) therefore stay on the BDD path — serving them
+    densely would be orders of magnitude *slower* — while wide dense
+    functions (the 16-var cliff the benchmarks show) go tier 2.
+    ``REPRO_KERNEL_COST_MODEL=off`` always serves (test lever).
+    """
+    if not kernel_cost_model():
+        return True
+    roots = set()
+    for isf in outputs:
+        roots.add(isf.lo)
+        roots.add(isf.hi)
+    cache = _conversion_cache(bdd)
+    key = ("nodes", tuple(sorted(roots)))
+    nodes = cache.get(key)
+    if nodes is None:
+        nodes = bdd.node_count(*roots)
+        cache_put(cache, key, nodes)
+    words = 1 << max(0, num_live - 6)
+    return nodes * DEFAULT_COST_FACTOR >= words * max(1, len(outputs))
+
+
+def _fit_variables(bdd, outputs: Sequence[ISF], bound: Sequence[int],
+                   op: str) -> Optional[Tuple[Tuple[int, ...], int]]:
+    """``(table_vars, tier)`` for the call, or ``None`` (miss counted)
+    when the kernel is off, the live support is too wide, or a tier-2
+    width is predicted cheaper on the BDD path."""
     if not kernel_enabled():
         return None
     live = set(bound)
@@ -57,14 +94,24 @@ def _fit_variables(bdd, outputs: Sequence[ISF],
         live |= bdd.support(isf.lo)
         if isf.hi != isf.lo:
             live |= bdd.support(isf.hi)
-    if len(live) > kernel_max_vars():
+    tier = tier_for(len(live))
+    if tier == 0 or (tier == 2
+                     and not tier2_profitable(bdd, outputs, len(live))):
         STATS.record_miss(op)
         return None
-    return tuple(sorted(live))
+    return tuple(sorted(live)), tier
+
+
+def _as_bools(mask, nbits: int):
+    """Boolean table of a tier-1 bignum or tier-2 ``Words`` mask."""
+    if isinstance(mask, int):
+        return mask_to_bools(mask, nbits)
+    return mask.to_bools()
 
 
 def _vertex_masks(bdd, outputs: Sequence[ISF], bound: Sequence[int],
-                  table_vars: Tuple[int, ...]) -> List[MaskVector]:
+                  table_vars: Tuple[int, ...], tier: int
+                  ) -> List[MaskVector]:
     """Per-vertex cofactor mask vectors, vertex order = ``vertex_bits``.
 
     Row ``v`` of each output's sliced table is the cofactor of bound-set
@@ -78,19 +125,23 @@ def _vertex_masks(bdd, outputs: Sequence[ISF], bound: Sequence[int],
     bound_t = tuple(bound)
     cache = _conversion_cache(bdd)
 
-    def rows(node: int) -> List[int]:
-        # Keyed alongside the bdd_to_bools entries (4-tuples vs their
+    def rows(node: int) -> list:
+        # Keyed alongside the bdd_to_bools entries (5-tuples vs their
         # 2-tuples); re-scored bound sets reuse the packed rows.
-        key = ("rows", node, table_vars, bound_t)
+        key = ("rows", node, table_vars, bound_t, tier)
         hit = cache.get(key)
         if hit is not None:
             return hit
         arr = bdd_to_bools(bdd, node, table_vars).reshape((2,) * nvars)
-        arr = np.moveaxis(arr, positions, range(p))
-        packed = mask_rows(arr.reshape(1 << p, -1))
-        if len(cache) >= CACHE_LIMIT:
-            cache.clear()
-        cache[key] = packed
+        flat = np.moveaxis(arr, positions, range(p)).reshape(1 << p, -1)
+        if tier == 1:
+            packed = mask_rows(flat)
+            nbytes = (1 << p) * max(1, flat.shape[1] >> 3)
+        else:
+            matrix = pack_rows(flat)
+            packed = words_rows(matrix, flat.shape[1])
+            nbytes = matrix.nbytes
+        cache_put(cache, key, packed, nbytes)
         return packed
 
     per_output: List[Tuple[List[int], List[int]]] = []
@@ -120,12 +171,16 @@ def _intersect(a: MaskVector, b: MaskVector) -> Optional[MaskVector]:
     return out
 
 
-def _cover(vectors: List[MaskVector]
-           ) -> Tuple[List[List[int]], List[int], List[MaskVector]]:
-    """The clique cover of :func:`repro.decomp.compat._compute_classes`,
-    step for step, over mask vectors.  Returns
-    ``(classes, class_of, merged_mask_vectors)``."""
-    num_vertices = len(vectors)
+def _dedup(vectors: List[MaskVector]
+           ) -> Tuple[List[MaskVector], List[List[int]], bool]:
+    """First-occurrence dedup of the vertex cofactor vectors.
+
+    Returns ``(unique_vectors, members, all_complete)`` — the partition
+    the cover (and the incremental refinement in
+    :mod:`repro.kernel.refine`) operates on.  Group order is by first
+    occurrence, which equals ascending minimum member; members are
+    appended in ascending vertex order.
+    """
     rep_of: dict = {}
     unique_vectors: List[MaskVector] = []
     members: List[List[int]] = []
@@ -140,7 +195,25 @@ def _cover(vectors: List[MaskVector]
             members.append([v])
             if all_complete and any(lo != hi for lo, hi in vec):
                 all_complete = False
+    return unique_vectors, members, all_complete
 
+
+def _cover(vectors: List[MaskVector]
+           ) -> Tuple[List[List[int]], List[int], List[MaskVector]]:
+    """The clique cover of :func:`repro.decomp.compat._compute_classes`,
+    step for step, over mask vectors.  Returns
+    ``(classes, class_of, merged_mask_vectors)``."""
+    unique_vectors, members, all_complete = _dedup(vectors)
+    return _cover_from_partition(unique_vectors, members, all_complete,
+                                 len(vectors))
+
+
+def _cover_from_partition(unique_vectors: List[MaskVector],
+                          members: List[List[int]], all_complete: bool,
+                          num_vertices: int
+                          ) -> Tuple[List[List[int]], List[int],
+                                     List[MaskVector]]:
+    """Clique cover over an already-deduplicated vertex partition."""
     if all_complete:
         pairs = sorted(zip(members, unique_vectors),
                        key=lambda pair: min(pair[0]))
@@ -219,12 +292,13 @@ def kernel_classes_for(bdd, outputs: Sequence[ISF], bound: Sequence[int]
     few callers that narrow or encode pay for it exactly once (see
     :class:`repro.decomp.compat.LazyClasses`).
     """
-    table_vars = _fit_variables(bdd, outputs, bound, "classes_for")
-    if table_vars is None:
+    fit = _fit_variables(bdd, outputs, bound, "classes_for")
+    if fit is None:
         return None
+    table_vars, tier = fit
     start = perf_counter()
     with profile_phase("cofactors"):
-        vectors = _vertex_masks(bdd, outputs, bound, table_vars)
+        vectors = _vertex_masks(bdd, outputs, bound, table_vars, tier)
     with profile_phase("clique_cover"):
         classes, class_of, merged_masks = _cover(vectors)
     STATS.record_hit("classes_for", perf_counter() - start)
@@ -240,9 +314,9 @@ def kernel_classes_for(bdd, outputs: Sequence[ISF], bound: Sequence[int]
                 row = []
                 for lo_mask, hi_mask in vec:
                     lo = bools_to_bdd(
-                        bdd, mask_to_bools(lo_mask, nfree_bits), free)
+                        bdd, _as_bools(lo_mask, nfree_bits), free)
                     hi = lo if hi_mask == lo_mask else bools_to_bdd(
-                        bdd, mask_to_bools(hi_mask, nfree_bits), free)
+                        bdd, _as_bools(hi_mask, nfree_bits), free)
                     row.append(ISF(lo, hi))
                 merged.append(row)
         STATS.record_hit("merged_convert", perf_counter() - begin)
@@ -256,12 +330,13 @@ def kernel_reduction_score(bdd, outputs: Sequence[ISF],
                            ) -> Optional[Tuple[int, int, int]]:
     """The ranking score of :func:`repro.decomp.bound_set.reduction_score`
     without any BDD materialisation (class *counts* only)."""
-    table_vars = _fit_variables(bdd, outputs, bound, "reduction_score")
-    if table_vars is None:
+    fit = _fit_variables(bdd, outputs, bound, "reduction_score")
+    if fit is None:
         return None
+    table_vars, tier = fit
     start = perf_counter()
     with profile_phase("cofactors"):
-        vectors = _vertex_masks(bdd, outputs, bound, table_vars)
+        vectors = _vertex_masks(bdd, outputs, bound, table_vars, tier)
     with profile_phase("clique_cover"):
         bound_set = set(bound)
         reduction = 0
@@ -293,10 +368,11 @@ def kernel_assign_by_classes(bdd, outputs: Sequence[ISF],
     The caller handles the all-complete early return.
     """
     merged_isfs = [isf for row in classes.merged for isf in row]
-    table_vars = _fit_variables(bdd, list(outputs) + merged_isfs,
-                                classes.bound, "assign_by_classes")
-    if table_vars is None:
+    fit = _fit_variables(bdd, list(outputs) + merged_isfs,
+                         classes.bound, "assign_by_classes")
+    if fit is None:
         return None
+    table_vars, _ = fit
     nvars = len(table_vars)
     p = len(classes.bound)
     bound_set = set(classes.bound)

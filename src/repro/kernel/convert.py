@@ -25,9 +25,16 @@ import numpy as np
 from repro.bdd.manager import BDD
 
 #: Entry cap for the per-manager conversion cache (clear-on-threshold,
-#: like the manager's computed table).  Entries are up to 2**max_vars
-#: bools, so the cap also bounds memory.
+#: like the manager's computed table).
 CACHE_LIMIT = 512
+
+#: Byte budget for the same cache.  Tier-1 entries are at most 2**16
+#: bools so the entry cap alone bounded memory; tier-2 tables reach
+#: 2**24 bools (16 MB each), so the cache also tracks payload bytes and
+#: clears on whichever threshold trips first.
+CACHE_BYTES_LIMIT = 256 * 1024 * 1024
+
+_BYTES_KEY = "__bytes__"
 
 _FALSE1 = np.zeros(1, dtype=bool)
 _TRUE1 = np.ones(1, dtype=bool)
@@ -40,6 +47,16 @@ def _conversion_cache(bdd: BDD) -> dict:
     if cache is None:
         cache = bdd._kernel_cache = {}
     return cache
+
+
+def cache_put(cache: dict, key, value, nbytes: int = 0) -> None:
+    """Insert with clear-on-threshold on both entry count and bytes."""
+    total = cache.get(_BYTES_KEY, 0) + nbytes
+    if len(cache) >= CACHE_LIMIT or total > CACHE_BYTES_LIMIT:
+        cache.clear()
+        total = nbytes
+    cache[key] = value
+    cache[_BYTES_KEY] = total
 
 
 def bdd_to_bools(bdd: BDD, f: int, variables: Sequence[int]) -> np.ndarray:
@@ -87,9 +104,7 @@ def bdd_to_bools(bdd: BDD, f: int, variables: Sequence[int]) -> np.ndarray:
         arr = arr.reshape((2,) * nvars).transpose(perm).reshape(-1)
     arr = np.ascontiguousarray(arr)
     arr.setflags(write=False)
-    if len(cache) >= CACHE_LIMIT:
-        cache.clear()
-    cache[key] = arr
+    cache_put(cache, key, arr, arr.nbytes)
     return arr
 
 

@@ -21,7 +21,19 @@ predicate is a handful of word-wide shift/AND/XOR operations against
 Functions are lifted once per dispatch (through the cached, canonical
 :func:`repro.kernel.convert.bdd_to_bools`) and lowered back to
 node-identical ISFs at the wrapper boundary, so the narrowed outputs
-and the group structure are bit-identical to the BDD path.
+and the group structure are bit-identical to the BDD path.  Masks and
+mask->node results are memoised in the manager's conversion cache, so
+an assignment pass that changes nothing (the common case) lowers by
+dictionary lookup instead of rebuilding the BDD bottom-up — profiling
+showed that rebuild dominating the whole dispatch at small supports.
+
+Past :func:`repro.kernel.kernel_tier1_max_vars` live variables the
+masks are tier-2 :class:`repro.kernel.bitset2.Words` arrays instead of
+bignums; the selector/shift algebra is written against the operator set
+both share, so the predicate code below is tier-blind.  Below
+:func:`repro.kernel.kernel_symmetry_min_vars` (the measured crossover)
+the wrapper-level dispatch declines entirely — the BDD path is faster
+there — without counting a miss.
 """
 
 from __future__ import annotations
@@ -29,15 +41,27 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.boolfunc.spec import ISF
-from repro.kernel import AVAILABLE, STATS, kernel_enabled, kernel_max_vars
+from repro.kernel import AVAILABLE, STATS, kernel_enabled, tier_for
 from repro.symmetry.isf_symmetry import SymmetryKind
 
 if AVAILABLE:
-    from repro.kernel.bitset import mask_rows, mask_to_bools
-    from repro.kernel.convert import bdd_to_bools, bools_to_bdd
+    import numpy as np
+
+    from repro.kernel.bitset import mask_rows, mask_to_bools, pack_bools
+    from repro.kernel.bitset2 import Words
+    from repro.kernel.compat import tier2_profitable
+    from repro.kernel.convert import (
+        _conversion_cache,
+        bdd_to_bools,
+        bools_to_bdd,
+        cache_put,
+    )
 
 #: ``(nvars, axis) -> `` selector mask of the entries with ``x_axis = 0``.
 _SEL_CACHE: Dict[Tuple[int, int], int] = {}
+
+#: Tier-2 (``Words``) form of the same selectors.
+_SEL2_CACHE: Dict[Tuple[int, int], "Words"] = {}
 
 
 def _sel0(nvars: int, axis: int) -> int:
@@ -51,6 +75,35 @@ def _sel0(nvars: int, axis: int) -> int:
         # Repeat `block` every `period` bits, `reps` times (repunit).
         sel = block * (((1 << (period * reps)) - 1) // ((1 << period) - 1))
         _SEL_CACHE[(nvars, axis)] = sel
+    return sel
+
+
+def _sel2(nvars: int, axis: int) -> "Words":
+    """Tier-2 form of :func:`_sel0` (same bits, word-array carrier).
+
+    Built directly in word space — the bignum repunit division of
+    :func:`_sel0` is quadratic in the table size, which at tier-2 widths
+    (multi-megabit tables) would take minutes.
+    """
+    sel = _SEL2_CACHE.get((nvars, axis))
+    if sel is None:
+        nbits = 1 << nvars
+        stride = 1 << (nvars - 1 - axis)
+        if nbits < 64:
+            sel = Words.from_int(_sel0(nvars, axis), nbits)
+        elif stride >= 64:
+            swords = stride >> 6
+            block = np.zeros(2 * swords, dtype=np.uint64)
+            block[:swords] = np.uint64(0xFFFFFFFFFFFFFFFF)
+            sel = Words(nbits, np.tile(block, nbits // (stride << 1)))
+        else:
+            # The period divides 64, so every word carries the same
+            # pattern: `stride` ones every `2*stride` bits.
+            period = stride << 1
+            word = ((1 << stride) - 1) * \
+                (((1 << 64) - 1) // ((1 << period) - 1))
+            sel = Words(nbits, np.full(nbits >> 6, np.uint64(word)))
+        _SEL2_CACHE[(nvars, axis)] = sel
     return sel
 
 
@@ -73,19 +126,53 @@ class BitsIsfOps:
 
     domain = "kernel"
 
-    def __init__(self, bdd, variables: Sequence[int]) -> None:
+    def __init__(self, bdd, variables: Sequence[int], tier: int = 1) -> None:
         self.bdd = bdd
         self.variables = tuple(variables)
         self.axis = {v: i for i, v in enumerate(self.variables)}
         self.nvars = len(self.variables)
+        self.nbits = 1 << self.nvars
+        self.tier = tier
         self._pair_cache: Dict[Tuple[int, int, SymmetryKind],
-                               Tuple[int, int]] = {}
+                               Tuple[object, int]] = {}
+
+    def _sel(self, axis: int):
+        return _sel0(self.nvars, axis) if self.tier == 1 \
+            else _sel2(self.nvars, axis)
 
     # -- conversion ------------------------------------------------------
 
-    def _mask(self, node: int) -> int:
+    def _mask(self, node: int):
+        cache = _conversion_cache(self.bdd)
+        key = ("mask", node, self.variables, self.tier)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
         arr = bdd_to_bools(self.bdd, node, self.variables)
-        return mask_rows(arr.reshape(1, -1))[0]
+        if self.tier == 1:
+            mask = mask_rows(arr.reshape(1, -1))[0]
+            nbytes = max(1, self.nbits >> 3)
+        else:
+            mask = Words(self.nbits, pack_bools(arr))
+            nbytes = mask.words.nbytes
+        cache_put(cache, key, mask, nbytes)
+        # Reverse entry: lowering an unchanged mask (the common case for
+        # assignment passes that narrow nothing) becomes a dict lookup
+        # instead of a bottom-up BDD rebuild.
+        cache_put(cache, ("node", self.variables, mask), node)
+        return mask
+
+    def _node_of(self, mask) -> int:
+        cache = _conversion_cache(self.bdd)
+        key = ("node", self.variables, mask)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        bools = mask_to_bools(mask, self.nbits) if self.tier == 1 \
+            else mask.to_bools()
+        node = bools_to_bdd(self.bdd, bools, self.variables)
+        cache_put(cache, key, node)
+        return node
 
     def lift(self, isf: ISF) -> BitsISF:
         lo = self._mask(isf.lo)
@@ -93,17 +180,14 @@ class BitsIsfOps:
         return BitsISF(lo, hi)
 
     def lower(self, f: BitsISF) -> ISF:
-        nbits = 1 << self.nvars
-        lo = bools_to_bdd(self.bdd, mask_to_bools(f.lo, nbits),
-                          self.variables)
-        hi = lo if f.hi == f.lo else bools_to_bdd(
-            self.bdd, mask_to_bools(f.hi, nbits), self.variables)
+        lo = self._node_of(f.lo)
+        hi = lo if f.hi == f.lo else self._node_of(f.hi)
         return ISF.create(self.bdd, lo, hi)
 
     # -- plane algebra ---------------------------------------------------
 
     def _pair(self, var_i: int, var_j: int,
-              kind: SymmetryKind) -> Tuple[int, int]:
+              kind: SymmetryKind) -> Tuple[object, int]:
         """``(sel, delta)``: selector of the first merged cofactor's
         entries and the bit distance to each entry's merge partner."""
         ai, aj = self.axis[var_i], self.axis[var_j]
@@ -116,11 +200,11 @@ class BitsIsfOps:
         sj = 1 << (self.nvars - 1 - aj)
         if kind is SymmetryKind.NONEQUIVALENCE:
             # (0, 1) entries; partner (1, 0) is +si - sj away.
-            sel = _sel0(self.nvars, ai) & (_sel0(self.nvars, aj) << sj)
+            sel = self._sel(ai) & (self._sel(aj) << sj)
             delta = si - sj
         else:
             # (0, 0) entries; partner (1, 1) is +si + sj away.
-            sel = _sel0(self.nvars, ai) & _sel0(self.nvars, aj)
+            sel = self._sel(ai) & self._sel(aj)
             delta = si + sj
         self._pair_cache[(ai, aj, kind)] = (sel, delta)
         return sel, delta
@@ -132,7 +216,7 @@ class BitsIsfOps:
         for var in self.variables:
             ax = self.axis[var]
             stride = 1 << (self.nvars - 1 - ax)
-            sel = _sel0(self.nvars, ax)
+            sel = self._sel(ax)
             if (f.lo ^ (f.lo >> stride)) & sel:
                 supp.add(var)
             elif f.hi != f.lo and (f.hi ^ (f.hi >> stride)) & sel:
@@ -184,10 +268,17 @@ class BitsIsfOps:
 
 
 def bits_domain(bdd, isfs: Sequence[ISF], variables: Sequence[int],
-                op: str) -> Optional[Tuple[BitsIsfOps, List[BitsISF]]]:
+                op: str, min_vars: int = 0
+                ) -> Optional[Tuple[BitsIsfOps, List[BitsISF]]]:
     """Kernel ops + lifted handles when the live support fits, else
     ``None`` (miss counted under ``op``).  ``variables`` and every ISF
-    support are covered by the table axes."""
+    support are covered by the table axes.
+
+    ``min_vars`` is the measured BDD/kernel crossover: below it the
+    caller's BDD path is faster than lifting through the kernel, so the
+    dispatch declines *without* counting a miss (the kernel could serve;
+    it just should not).
+    """
     if not kernel_enabled():
         return None
     live = set(variables)
@@ -195,8 +286,12 @@ def bits_domain(bdd, isfs: Sequence[ISF], variables: Sequence[int],
         live |= bdd.support(isf.lo)
         if isf.hi != isf.lo:
             live |= bdd.support(isf.hi)
-    if len(live) > kernel_max_vars():
+    if min_vars and len(live) < min_vars:
+        return None
+    tier = tier_for(len(live))
+    if tier == 0 or (tier == 2
+                     and not tier2_profitable(bdd, isfs, len(live))):
         STATS.record_miss(op)
         return None
-    ops = BitsIsfOps(bdd, sorted(live))
+    ops = BitsIsfOps(bdd, sorted(live), tier)
     return ops, [ops.lift(isf) for isf in isfs]

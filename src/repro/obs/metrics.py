@@ -171,11 +171,22 @@ def profile_report(stats: Any,
     kernel = getattr(stats, "kernel_metrics", None)
     if kernel is not None:
         state = "on" if kernel.get("enabled", True) else "off"
-        lines.append(
-            f"kernel (word-parallel, {state}, "
-            f"<= {kernel.get('max_vars')} vars):")
+        tier1 = kernel.get("tier1_max_vars")
+        max_vars = kernel.get("max_vars")
+        if tier1 is not None and tier1 < max_vars:
+            tiers = f"tier-1 <= {tier1} / tier-2 <= {max_vars} vars"
+            if kernel.get("cost_model", True):
+                tiers += ", cost model"
+        else:
+            tiers = f"<= {max_vars} vars"
+        lines.append(f"kernel (word-parallel, {state}, {tiers}):")
         lines.append(f"  dispatch            : {kernel['kernel_hits']} hits"
                      f" / {kernel['kernel_misses']} misses")
+        refines = kernel.get("kernel_refine", 0)
+        scratch = kernel.get("classes_from_scratch", 0)
+        if refines or scratch:
+            lines.append(f"  bound-set scoring   : {refines} partition "
+                         f"refinements / {scratch} from-scratch")
         for op, entry in kernel.get("ops", {}).items():
             lines.append(f"  {op:<20s}: {entry['time_s']:9.4f} s "
                          f"x{entry['hits']}"

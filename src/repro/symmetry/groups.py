@@ -32,6 +32,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.bdd.manager import BDD
 from repro.boolfunc.spec import ISF
 from repro.kernel import STATS as KERNEL_STATS
+from repro.kernel import kernel_symmetry_min_vars
 from repro.symmetry.isf_symmetry import (
     BddIsfOps,
     SymmetryKind,
@@ -51,11 +52,15 @@ def symmetry_domain(bdd: BDD, isfs: Sequence[ISF],
 
     Returns ``(ops, handles)``: the kernel adapter with lifted handles
     when the live support of ``isfs`` plus ``variables`` fits the
-    kernel's cap, otherwise the BDD adapter with the ISFs unchanged.
-    Misses are counted under ``op``; hits are timed by the caller.
+    kernel's cap *and* clears the measured crossover
+    (:func:`repro.kernel.kernel_symmetry_min_vars` — below it the BDD
+    path wins because the lift/lower conversion dominates), otherwise
+    the BDD adapter with the ISFs unchanged.  Misses are counted under
+    ``op``; declining below the crossover is not a miss.
     """
     if bits_domain is not None:
-        domain = bits_domain(bdd, isfs, variables, op)
+        domain = bits_domain(bdd, isfs, variables, op,
+                             min_vars=kernel_symmetry_min_vars())
         if domain is not None:
             return domain
     return BddIsfOps(bdd), list(isfs)

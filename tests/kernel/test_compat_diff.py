@@ -146,10 +146,19 @@ def sparse_full_support_isf(bdd, rng, variables, with_dc):
 
 
 @pytest.mark.parametrize("nvars,served", [(15, True), (16, True),
-                                          (17, False)])
+                                          (17, True), (24, True),
+                                          (25, False)])
 def test_support_threshold_straddle(nvars, served, monkeypatch):
+    """15/16 hit tier 1, 17/24 hit tier 2, 25 exceeds the cap.
+
+    The cost model is pinned off: these sparse cube functions have tiny
+    BDDs, so profitability (tested separately below) would keep the
+    wide rows on the BDD path regardless of the width boundary.
+    """
     monkeypatch.setenv("REPRO_KERNEL", "on")
+    monkeypatch.setenv("REPRO_KERNEL_COST_MODEL", "off")
     monkeypatch.delenv("REPRO_KERNEL_MAX_VARS", raising=False)
+    monkeypatch.delenv("REPRO_KERNEL_TIER1_MAX_VARS", raising=False)
     rng = random.Random(nvars)
     bdd = BDD(nvars)
     variables = list(range(nvars))
@@ -165,6 +174,32 @@ def test_support_threshold_straddle(nvars, served, monkeypatch):
         assert STATS.hits > 0 and STATS.misses == 0
     else:
         assert STATS.hits == 0 and STATS.misses > 0
+    assert hit.classes == ref.classes
+    assert hit.class_of == ref.class_of
+    assert isf_pairs(hit) == isf_pairs(ref)
+
+
+def test_cost_model_declines_sparse_wide(monkeypatch):
+    """A 20-var function with a tiny BDD stays on the BDD path (tier-2
+    tables would be orders of magnitude slower), counted as a miss;
+    ``REPRO_KERNEL_COST_MODEL=off`` forces dense service."""
+    monkeypatch.setenv("REPRO_KERNEL", "on")
+    monkeypatch.delenv("REPRO_KERNEL_MAX_VARS", raising=False)
+    rng = random.Random(20)
+    bdd = BDD(20)
+    variables = list(range(20))
+    isf = sparse_full_support_isf(bdd, rng, variables, with_dc=True)
+    bound = tuple(variables[:3])
+    reset_kernel_stats()
+    monkeypatch.setenv("REPRO_KERNEL_COST_MODEL", "on")
+    ref = classes_for(bdd, [isf], bound)
+    assert not isinstance(ref, LazyClasses)
+    assert STATS.misses > 0
+    reset_kernel_stats()
+    monkeypatch.setenv("REPRO_KERNEL_COST_MODEL", "off")
+    hit = classes_for(bdd, [isf], bound)
+    assert isinstance(hit, LazyClasses)
+    assert STATS.misses == 0
     assert hit.classes == ref.classes
     assert hit.class_of == ref.class_of
     assert isf_pairs(hit) == isf_pairs(ref)

@@ -51,7 +51,7 @@ class TestKernelStats:
         monkeypatch.setenv("REPRO_KERNEL_MAX_VARS", "9")
         assert kernel_max_vars() == 9
         monkeypatch.setenv("REPRO_KERNEL_MAX_VARS", "junk")
-        assert kernel_max_vars() == 16
+        assert kernel_max_vars() == 24
 
 
 class TestMetricsDocument:

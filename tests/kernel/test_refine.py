@@ -1,0 +1,146 @@
+"""Property tests: incremental partition refinement == from-scratch.
+
+The bound-set search derives ``B ∪ {v}`` partitions by splitting the
+cached partition of ``B`` (one ``kernel_refine`` op per new variable)
+instead of re-extracting the full table.  These tests pin the refined
+partition *equal* to a from-scratch dedup across DC densities, pin the
+search results identical kernel on/off, and pin the profiler counters:
+a served greedy search performs O(1) refinements per candidate and zero
+``classes_from_scratch`` fallbacks.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.boolfunc.spec import ISF
+from repro.decomp.bound_set import (
+    greedy_bound_set,
+    rank_bound_sets,
+    reduction_score,
+)
+from repro.kernel import STATS, reset_kernel_stats
+from repro.kernel.compat import _dedup, _fit_variables, _vertex_masks
+from repro.kernel.refine import PartitionCache
+
+
+def random_isf(bdd, rng, variables, dc_density):
+    lo_bits, hi_bits = [], []
+    for _ in range(1 << len(variables)):
+        if rng.random() < dc_density:
+            lo_bits.append(0)
+            hi_bits.append(1)
+        else:
+            bit = rng.randint(0, 1)
+            lo_bits.append(bit)
+            hi_bits.append(bit)
+    return ISF.create(bdd,
+                      bdd.from_truth_table(lo_bits, variables),
+                      bdd.from_truth_table(hi_bits, variables))
+
+
+def scratch_partition(bdd, outputs, bound, variables):
+    """From-scratch dedup over the same table the cache refines."""
+    fit = _fit_variables(bdd, outputs, variables, "test")
+    assert fit is not None
+    table_vars, tier = fit
+    vectors = _vertex_masks(bdd, outputs, tuple(bound), table_vars, tier)
+    return _dedup(vectors)
+
+
+@pytest.mark.parametrize("density", [0.0, 0.3, 0.7])
+@pytest.mark.parametrize("tier1_max", ["16", "0"])
+def test_refined_partition_equals_scratch(density, tier1_max, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "on")
+    monkeypatch.setenv("REPRO_KERNEL_TIER1_MAX_VARS", tier1_max)
+    monkeypatch.setenv("REPRO_KERNEL_COST_MODEL", "off")
+    rng = random.Random(int(density * 100) + int(tier1_max))
+    bdd = BDD(7)
+    variables = list(range(7))
+    for _ in range(3):
+        outputs = [random_isf(bdd, rng, variables, density)
+                   for _ in range(2)]
+        cache = PartitionCache.for_call(bdd, outputs, variables, "test")
+        assert cache is not None
+        for p in (1, 2, 3, 4):
+            bound = tuple(rng.sample(variables, p))
+            part = cache.partition_for(bound)
+            uniq, mem, complete = scratch_partition(
+                bdd, outputs, bound, variables)
+            assert part.members == mem
+            assert part.unique_vectors == uniq
+            assert part.all_complete == complete
+
+
+@pytest.mark.parametrize("density", [0.0, 0.3, 0.7])
+def test_refined_scores_equal_reduction_score(density, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "on")
+    rng = random.Random(int(density * 100) + 59)
+    bdd = BDD(6)
+    variables = list(range(6))
+    outputs = [random_isf(bdd, rng, variables, density) for _ in range(2)]
+    cache = PartitionCache.for_call(bdd, outputs, variables, "test")
+    monkeypatch.setenv("REPRO_KERNEL", "off")
+    for _ in range(6):
+        bound = tuple(rng.sample(variables, rng.randint(2, 4)))
+        assert cache.score_for(bound) == \
+            reduction_score(bdd, outputs, bound)
+
+
+@pytest.mark.parametrize("density", [0.2, 0.6])
+def test_greedy_bound_set_differential(density, monkeypatch):
+    rng = random.Random(int(density * 100) + 67)
+    bdd = BDD(7)
+    variables = list(range(7))
+    for _ in range(3):
+        outputs = [random_isf(bdd, rng, variables, density)
+                   for _ in range(2)]
+        monkeypatch.setenv("REPRO_KERNEL", "off")
+        ref = greedy_bound_set(bdd, outputs, variables, 4)
+        ref_rank = rank_bound_sets(bdd, outputs, variables, 3)
+        monkeypatch.setenv("REPRO_KERNEL", "on")
+        assert greedy_bound_set(bdd, outputs, variables, 4) == ref
+        assert rank_bound_sets(bdd, outputs, variables, 3) == ref_rank
+
+
+def test_served_search_counts_refines_not_scratch(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "on")
+    rng = random.Random(73)
+    bdd = BDD(7)
+    variables = list(range(7))
+    outputs = [random_isf(bdd, rng, variables, 0.3) for _ in range(2)]
+    reset_kernel_stats()
+    bound = greedy_bound_set(bdd, outputs, variables, 4)
+    assert bound is not None
+    refines = STATS.op_hits.get("kernel_refine", 0)
+    assert refines > 0
+    assert STATS.scratch == 0
+    # O(1) refinements per candidate evaluation: the greedy search
+    # scores at most |pool| candidates per growth round, each candidate
+    # one refinement off its round's shared prefix, plus the prefix
+    # itself — never the O(p) rebuild a from-scratch call would do.
+    rounds = len(bound)
+    candidates = rounds * len(variables)
+    assert refines <= candidates + rounds
+
+
+def test_score_memo_short_circuits_ranking(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "on")
+    rng = random.Random(79)
+    bdd = BDD(6)
+    variables = list(range(6))
+    outputs = [random_isf(bdd, rng, variables, 0.4) for _ in range(2)]
+    memo = {}
+    key = (tuple((o.lo, o.hi) for o in outputs), 3)
+    first = rank_bound_sets(bdd, outputs, variables, 3,
+                            score_memo=memo, memo_key=key)
+    assert memo
+    reset_kernel_stats()
+    second = rank_bound_sets(bdd, outputs, variables, 3,
+                             score_memo=memo, memo_key=key)
+    assert second == first
+    # Every score came out of the memo; the only remaining table work
+    # is the greedy candidate's own ncc growth (not score-memoizable —
+    # its intermediate prefixes never produce ranking scores).
+    assert STATS.op_hits.get("reduction_score", 0) == 0

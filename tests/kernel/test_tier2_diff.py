@@ -1,0 +1,146 @@
+"""Differential tests pinning tier 2 against tier 1 and the BDD path.
+
+Tier 2 (``repro.kernel.bitset2.Words``) exists for supports past the
+bignum cliff, but its correctness contract is checked where exhaustive
+comparison is cheap: forcing ``REPRO_KERNEL_TIER1_MAX_VARS=0`` routes
+*every* served support through the word-array representation, so small
+circuits and random ISFs exercise the identical code path tier-2 uses
+at 17-24 variables — and must match the tier-1 and BDD answers bit for
+bit.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.bench.registry import benchmark
+from repro.boolfunc.spec import ISF
+from repro.core.api import map_to_xc3000
+from repro.decomp.bound_set import reduction_score
+from repro.decomp.compat import LazyClasses, assign_by_classes, classes_for
+from repro.kernel import STATS, reset_kernel_stats
+from repro.kernel.symmetry import bits_domain
+from repro.symmetry.isf_symmetry import BddIsfOps, SymmetryKind
+
+#: Table 1 circuits small enough for a three-way end-to-end run but wide
+#: enough that decomposition does real work.
+THREE_WAY_CIRCUITS = ["rd73", "misex1", "5xp1"]
+
+
+def force_tier2(monkeypatch):
+    """Route every served support through the tier-2 word path."""
+    monkeypatch.setenv("REPRO_KERNEL", "on")
+    monkeypatch.setenv("REPRO_KERNEL_TIER1_MAX_VARS", "0")
+    monkeypatch.setenv("REPRO_KERNEL_COST_MODEL", "off")
+
+
+def random_isf(bdd, rng, variables, dc_density):
+    lo_bits, hi_bits = [], []
+    for _ in range(1 << len(variables)):
+        if rng.random() < dc_density:
+            lo_bits.append(0)
+            hi_bits.append(1)
+        else:
+            bit = rng.randint(0, 1)
+            lo_bits.append(bit)
+            hi_bits.append(bit)
+    return ISF.create(bdd,
+                      bdd.from_truth_table(lo_bits, variables),
+                      bdd.from_truth_table(hi_bits, variables))
+
+
+def isf_pairs(classes):
+    return [[(isf.lo, isf.hi) for isf in row] for row in classes.merged]
+
+
+@pytest.mark.parametrize("name", THREE_WAY_CIRCUITS)
+def test_three_way_blif_identical(name, monkeypatch):
+    func = benchmark(name)
+    monkeypatch.setenv("REPRO_KERNEL", "off")
+    ref = map_to_xc3000(func)
+    ref_blif = ref.network.to_blif()
+
+    monkeypatch.setenv("REPRO_KERNEL", "on")
+    monkeypatch.delenv("REPRO_KERNEL_TIER1_MAX_VARS", raising=False)
+    tier1 = map_to_xc3000(func)
+    assert tier1.stats.kernel_metrics["kernel_hits"] > 0
+    assert tier1.network.to_blif() == ref_blif
+
+    force_tier2(monkeypatch)
+    tier2 = map_to_xc3000(func)
+    assert tier2.stats.kernel_metrics["kernel_hits"] > 0
+    assert tier2.network.to_blif() == ref_blif
+    assert (tier2.lut_count, tier2.clb_count, tier2.depth) == \
+        (ref.lut_count, ref.clb_count, ref.depth)
+
+
+@pytest.mark.parametrize("density", [0.0, 0.3, 0.8])
+def test_tier2_classes_and_assign(density, monkeypatch):
+    rng = random.Random(int(density * 100) + 71)
+    bdd = BDD(7)
+    variables = list(range(7))
+    for _ in range(3):
+        outputs = [random_isf(bdd, rng, variables, density)
+                   for _ in range(2)]
+        bound = tuple(rng.sample(variables, 3))
+        monkeypatch.setenv("REPRO_KERNEL", "off")
+        ref_cls = classes_for(bdd, outputs, bound)
+        ref = assign_by_classes(bdd, outputs, ref_cls)
+        force_tier2(monkeypatch)
+        reset_kernel_stats()
+        hit_cls = classes_for(bdd, outputs, bound)
+        # TIER1_MAX_VARS=0 means a served call *is* a tier-2 call.
+        assert isinstance(hit_cls, LazyClasses)
+        assert STATS.hits > 0 and STATS.misses == 0
+        hit = assign_by_classes(bdd, outputs, hit_cls)
+        assert hit_cls.classes == ref_cls.classes
+        assert hit_cls.class_of == ref_cls.class_of
+        assert isf_pairs(hit_cls) == isf_pairs(ref_cls)
+        assert [(i.lo, i.hi) for i in hit] == [(i.lo, i.hi) for i in ref]
+
+
+def test_tier2_reduction_score(monkeypatch):
+    rng = random.Random(83)
+    bdd = BDD(7)
+    variables = list(range(7))
+    for density in (0.0, 0.5):
+        outputs = [random_isf(bdd, rng, variables, density)
+                   for _ in range(3)]
+        for p in (2, 3):
+            bound = tuple(rng.sample(variables, p))
+            monkeypatch.setenv("REPRO_KERNEL", "off")
+            ref = reduction_score(bdd, outputs, bound)
+            force_tier2(monkeypatch)
+            assert reduction_score(bdd, outputs, bound) == ref
+
+
+@pytest.mark.parametrize("density", [0.0, 0.4])
+def test_tier2_symmetry_predicates(density, monkeypatch):
+    force_tier2(monkeypatch)
+    rng = random.Random(int(density * 10) + 11)
+    bdd = BDD(5)
+    variables = list(range(5))
+    bops = BddIsfOps(bdd)
+    kinds = (SymmetryKind.NONEQUIVALENCE, SymmetryKind.EQUIVALENCE)
+    for _ in range(3):
+        isf = random_isf(bdd, rng, variables, density)
+        domain = bits_domain(bdd, [isf], variables, "test")
+        assert domain is not None
+        kops, (f,) = domain
+        assert kops.tier == 2
+        assert kops.support(f) == isf.support(bdd)
+        lowered = kops.lower(f)
+        assert (lowered.lo, lowered.hi) == (isf.lo, isf.hi)
+        for kind in kinds:
+            for i, j in itertools.combinations(variables, 2):
+                assert kops.strongly_symmetric(f, i, j, kind) == \
+                    bops.strongly_symmetric(isf, i, j, kind), (kind, i, j)
+                pot = kops.potentially_symmetric(f, i, j, kind)
+                assert pot == \
+                    bops.potentially_symmetric(isf, i, j, kind), (kind, i, j)
+                if pot:
+                    m_k = kops.lower(kops.make_symmetric(f, i, j, kind))
+                    m_b = bops.make_symmetric(isf, i, j, kind)
+                    assert (m_k.lo, m_k.hi) == (m_b.lo, m_b.hi)
