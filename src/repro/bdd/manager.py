@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.obs.metrics import BddMetrics
 
 #: Default cap on computed-table entries (clear-on-threshold).  Each
@@ -77,6 +78,9 @@ class BDD:
         self._ite_calls = 0
         self._restrict_calls = 0
         self._peak_nodes = 2
+        # Chaos site, cached at construction: None (the production
+        # default) keeps the hot ite() path at one extra pointer test.
+        self._fault_ite = faults.hook("bdd.ite")
         # Variable order bookkeeping.
         self._level_of_var: List[int] = []
         self._var_at_level: List[int] = []
@@ -200,6 +204,8 @@ class BDD:
     def ite(self, f: int, g: int, h: int) -> int:
         """``if f then g else h`` — the universal ternary operator."""
         self._ite_calls += 1
+        if self._fault_ite is not None:
+            self._fault_ite()  # chaos site: bdd.ite
         if f == self.TRUE:
             return g
         if f == self.FALSE:

@@ -9,6 +9,9 @@
     python -m repro map rd84 --metrics-out m.json   # JSON run trace
     python -m repro gates adder8              # two-input-gate synthesis
     python -m repro batch --manifest suite.txt --jobs 4 --out r.jsonl
+    python -m repro batch --manifest suite.txt --journal b.jnl --out r.jsonl
+    python -m repro batch --resume b.jnl --out r.jsonl   # after a crash
+    python -m repro batch rd84 --inject worker.start:crash:1:1  # chaos
     python -m repro cache stats               # persistent result cache
     python -m repro list                      # registered benchmarks
 """
@@ -312,15 +315,9 @@ def _cmd_verify(args) -> int:
     return 1
 
 
-def _cmd_batch(args) -> int:
-    from repro.runtime import (
-        BatchScheduler,
-        ResultCache,
-        make_job,
-        parse_manifest,
-        parse_manifest_entry,
-        summarize,
-    )
+def _parse_batch_jobs(args) -> list:
+    """Manifest + positional entries -> job dicts with flow/config."""
+    from repro.runtime import parse_manifest, parse_manifest_entry
 
     jobs = []
     if args.manifest:
@@ -346,17 +343,82 @@ def _cmd_batch(args) -> int:
     for job in jobs:
         job["flow"] = args.flow
         job["config"] = dict(config)
+    return jobs
+
+
+def _cmd_batch(args) -> int:
+    from repro.runtime import (
+        BatchJournal,
+        BatchScheduler,
+        JournalError,
+        ResultCache,
+        journal_binding,
+        load_journal,
+        summarize_rows,
+    )
+
+    journal = None
+    done_rows = {}
+    if args.resume:
+        if args.journal:
+            raise SystemExit("--resume appends to the journal it is "
+                             "given; do not pass --journal as well")
+        try:
+            header, done_rows, started, corrupt = load_journal(args.resume)
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.resume}: {exc.strerror}")
+        except JournalError as exc:
+            raise SystemExit(str(exc))
+        jobs = [dict(job) for job in header["jobs"]]
+        if args.manifest or args.names:
+            # A manifest given alongside --resume must describe the same
+            # workload the journal recorded — mixing rows from different
+            # job lists would be silent garbage.
+            if journal_binding(_parse_batch_jobs(args)) \
+                    != header["binding"]:
+                raise SystemExit(
+                    f"{args.resume}: journal does not match the given "
+                    f"manifest/entries; resume without them (the journal "
+                    f"is self-contained) or rerun from scratch")
+        in_flight = sorted(i for i in started if i not in done_rows)
+        if corrupt:
+            print(f"warning: {args.resume}: skipped {corrupt} corrupt "
+                  f"journal line(s)")
+        print(f"resuming {args.resume}: {len(done_rows)} job(s) already "
+              f"done, {len(in_flight)} in-flight replayed, "
+              f"{len(jobs) - len(done_rows)} to run")
+        journal = BatchJournal.resume(args.resume)
+    else:
+        jobs = _parse_batch_jobs(args)
+
+    remaining = [i for i in range(len(jobs)) if i not in done_rows]
+    sub_jobs = [jobs[i] for i in remaining]
 
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or None)
     scheduler = BatchScheduler(workers=args.jobs, timeout=args.timeout,
-                               retries=args.retries, cache=cache)
+                               retries=args.retries, cache=cache,
+                               heartbeat_s=args.heartbeat,
+                               hang_grace_s=args.hang_grace)
+    if journal is None and args.journal:
+        journal = BatchJournal.create(args.journal, jobs)
     total = len(jobs)
-    done = [0]
+    done = [len(done_rows)]
+    fresh_rows = {}
+
+    def on_dispatch(index: int, attempt: int) -> None:
+        if journal is not None:
+            journal.record_start(remaining[index],
+                                 sub_jobs[index]["job_id"], attempt)
 
     def progress(res) -> None:
         done[0] += 1
+        row = res.as_dict(include_blif=args.include_blif)
+        row["index"] = remaining[res.index]
+        fresh_rows[remaining[res.index]] = row
+        if journal is not None:
+            journal.record_done(remaining[res.index], row)
         if res.status == "failed":
             detail = res.error or "failed"
         elif res.flow == "compare":
@@ -369,6 +431,8 @@ def _cmd_batch(args) -> int:
             notes.append("cache hit")
         if res.degraded:
             notes.append("degraded")
+        if res.hung:
+            notes.append("hung")
         if res.retries:
             notes.append(f"{res.retries} retries")
         note = f" ({', '.join(notes)})" if notes else ""
@@ -376,23 +440,32 @@ def _cmd_batch(args) -> int:
               f"{detail}{note}")
 
     start = perf_counter()
-    results = scheduler.run(jobs, on_result=progress)
+    try:
+        scheduler.run(sub_jobs, on_result=progress,
+                      on_dispatch=on_dispatch)
+    finally:
+        if journal is not None:
+            journal.close()
     wall = perf_counter() - start
-    totals = summarize(results)
+    # Merged view in submission order: journal-replayed rows verbatim,
+    # fresh rows for everything else (identical modulo timing fields to
+    # an uninterrupted run — the resume contract).
+    rows = [done_rows.get(i, fresh_rows.get(i)) for i in range(len(jobs))]
+    rows = [row for row in rows if row is not None]
+    totals = summarize_rows(rows)
     if args.out:
         try:
             with open(args.out, "w") as handle:
-                for res in results:
-                    handle.write(json.dumps(
-                        res.as_dict(include_blif=args.include_blif))
-                        + "\n")
+                for row in rows:
+                    handle.write(json.dumps(row) + "\n")
         except OSError as exc:
             raise SystemExit(f"cannot write {args.out}: {exc.strerror}")
         print(f"wrote {args.out}")
     if args.metrics_out:
         doc = batch_metrics(
-            source=args.manifest or ",".join(args.names),
-            job_rows=[r.as_dict() for r in results], totals=totals,
+            source=args.manifest or ",".join(args.names) or args.resume
+            or "?",
+            job_rows=rows, totals=totals,
             wall_time_s=wall,
             cache_stats=cache.stats() if cache is not None else None)
         try:
@@ -401,11 +474,17 @@ def _cmd_batch(args) -> int:
             raise SystemExit(
                 f"cannot write {args.metrics_out}: {exc.strerror}")
         print(f"wrote {args.metrics_out}")
+    chaos = ""
+    if totals.get("hung"):
+        chaos += f", {totals['hung']} hung"
+    if totals.get("quarantined_outputs"):
+        chaos += (f", {totals['quarantined_outputs']} quarantined "
+                  f"output(s)")
     print(f"batch: {totals['jobs']} job(s) in {wall:.1f}s — "
           f"{totals['ok']} ok, {totals['degraded']} degraded, "
           f"{totals['failed']} failed; cache hits "
           f"{totals['cache_hits']}/{totals['jobs']}, "
-          f"{totals['retries']} retries")
+          f"{totals['retries']} retries{chaos}")
     return 1 if totals["failed"] else 0
 
 
@@ -462,6 +541,13 @@ def main(argv: Optional[list] = None) -> int:
             p.add_argument("--metrics-out", metavar="FILE",
                            help="write a JSON run trace (phase timings, "
                                 "computed-table hit rate, peak nodes)")
+        p.add_argument("--inject", action="append", metavar="SPEC",
+                       help="arm a fault site: site:kind:prob[:nth] "
+                            "(repeatable; same grammar as REPRO_FAULTS)")
+        p.add_argument("--fault-seed", type=int, default=None,
+                       metavar="N",
+                       help="seed for the injected-fault probability "
+                            "streams (same as REPRO_FAULTS_SEED)")
         if cmd in ("map", "compare"):
             p.add_argument("--cache", action="store_true",
                            help="reuse/persist results in the on-disk "
@@ -500,6 +586,14 @@ def main(argv: Optional[list] = None) -> int:
                             "(default: 1)")
     batch.add_argument("--no-dc", action="store_true",
                        help="disable don't-care exploitation (mulopII)")
+    batch.add_argument("--inject", action="append", metavar="SPEC",
+                       help="arm a fault site: site:kind:prob[:nth] "
+                            "(repeatable; inherited by workers; same "
+                            "grammar as REPRO_FAULTS)")
+    batch.add_argument("--fault-seed", type=int, default=None,
+                       metavar="N",
+                       help="seed for the injected-fault probability "
+                            "streams (same as REPRO_FAULTS_SEED)")
     batch.add_argument("--no-verify", action="store_true",
                        help="skip in-worker verification of mapped "
                             "networks")
@@ -516,6 +610,22 @@ def main(argv: Optional[list] = None) -> int:
     batch.add_argument("--metrics-out", metavar="FILE",
                        help="write the batch metrics document (per-job "
                             "queue/exec/cache/retry stats)")
+    batch.add_argument("--journal", metavar="FILE",
+                       help="write a crash-safe write-ahead journal; a "
+                            "killed batch resumes with --resume FILE")
+    batch.add_argument("--resume", metavar="FILE",
+                       help="resume a journaled batch: completed jobs "
+                            "are replayed from the journal, in-flight "
+                            "and unstarted ones are (re)run")
+    batch.add_argument("--heartbeat", type=float, default=1.0,
+                       metavar="S",
+                       help="worker liveness beat interval in seconds "
+                            "(default: 1.0; 0 disables beats)")
+    batch.add_argument("--hang-grace", type=float, default=None,
+                       metavar="S",
+                       help="kill a worker silent for S seconds and "
+                            "degrade its job without retry (default: "
+                            "off — only --timeout applies)")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache")
@@ -529,6 +639,14 @@ def main(argv: Optional[list] = None) -> int:
         os.environ["REPRO_KERNEL"] = "off"
     if getattr(args, "kernel_max_vars", None) is not None:
         os.environ["REPRO_KERNEL_MAX_VARS"] = str(args.kernel_max_vars)
+    if getattr(args, "inject", None):
+        from repro import faults
+        try:
+            # Armed via the environment so worker processes inherit it.
+            faults.arm(",".join(args.inject),
+                       seed=getattr(args, "fault_seed", None))
+        except faults.FaultSpecError as exc:
+            raise SystemExit(str(exc))
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "map":

@@ -63,6 +63,8 @@ class FpgaMappingResult:
                 "alphas_shared": self.stats.alphas_shared,
                 "max_recursion_depth": self.stats.max_recursion_depth,
                 "budget_exhausted": self.stats.budget_exhausted,
+                "quarantined_outputs": list(
+                    self.stats.quarantined_outputs),
             },
         }
 

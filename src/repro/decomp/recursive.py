@@ -25,10 +25,13 @@ MUX) guarantees termination.
 
 from __future__ import annotations
 
+import os
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import faults
 from repro.bdd.manager import BDD
 from repro.boolfunc.spec import ISF, MultiFunction
 from repro.decomp.bound_set import rank_bound_sets
@@ -46,6 +49,33 @@ from repro.mapping.lutnet import CONST0, CONST1, LutNetwork
 from repro.obs.metrics import BddMetrics
 from repro.obs.profiler import PhaseProfiler, activate_profiler, profile_phase
 from repro.symmetry.groups import symmetry_domain
+
+#: Exception classes a single output may fail with and still leave the
+#: rest of the bundle salvageable: recursion blow-ups, memory
+#: exhaustion, and injected chaos faults.  Anything else is a bug and
+#: propagates.
+QUARANTINABLE = (RecursionError, MemoryError, faults.FaultInjected)
+
+#: Environment override for the engine's recursion-limit raise.
+RECURSION_LIMIT_ENV = "REPRO_RECURSION_LIMIT"
+
+#: ``base + per_var * n`` recursion frames requested at engine entry.
+_RECURSION_BASE = 3000
+_RECURSION_PER_VAR = 200
+
+
+def _required_recursion_limit(num_vars: int) -> int:
+    """Recursion headroom for a function of ``num_vars`` inputs.
+
+    The engine recurses once per Shannon split in the worst case, and
+    each engine level sits on a deep stack of BDD-walk frames, so the
+    need grows with the variable count.  ``REPRO_RECURSION_LIMIT``
+    overrides the heuristic outright.
+    """
+    env = os.environ.get(RECURSION_LIMIT_ENV)
+    if env:
+        return max(1000, int(env))
+    return _RECURSION_BASE + _RECURSION_PER_VAR * num_vars
 
 
 @dataclass
@@ -87,6 +117,15 @@ class DecompositionStats:
     #: Times the exact clique cover hit its node budget and silently
     #: degraded to the greedy cover (repro.decomp.cover).
     exact_cover_fallbacks: int = 0
+    #: Output names that failed the joint decomposition with a
+    #: containable error (RecursionError/MemoryError/injected fault) and
+    #: were realised by the verified MUX fallback instead.
+    quarantined_outputs: List[str] = field(default_factory=list)
+    #: ``{output name: "ErrorType: message"}`` for quarantined outputs.
+    quarantine_errors: Dict[str, str] = field(default_factory=dict)
+    #: Injected-fault fires observed during this run (``{"site:kind":
+    #: count}`` delta; None when no faults are armed).
+    fault_metrics: Optional[Dict[str, int]] = None
 
     def phase_profile(self) -> Dict[str, Dict[str, float]]:
         """``{phase: {"time_s": ..., "calls": ...}}`` for this run."""
@@ -109,6 +148,15 @@ class DecompositionStats:
                          f"x{self.phase_counts.get(name, 0)}")
         if self.budget_exhausted:
             lines.append("budget exhausted    : yes (MUX fallback used)")
+        if self.quarantined_outputs:
+            lines.append(
+                f"quarantined outputs : "
+                f"{', '.join(self.quarantined_outputs)}")
+            for name, error in sorted(self.quarantine_errors.items()):
+                lines.append(f"  quarantine {name:<12s}: {error}")
+        if self.fault_metrics:
+            for key, count in sorted(self.fault_metrics.items()):
+                lines.append(f"  fault {key:<20s}: fired x{count}")
         for i, s in enumerate(self.steps):
             lines.append(
                 f"  step {i:3d} depth={s.depth} bound={s.bound} "
@@ -190,6 +238,7 @@ class DecompositionEngine:
         self.profiler = PhaseProfiler()
         self._last_rank_empty = False
         self._deadline: Optional[float] = None
+        self._fault_mid: Optional[callable] = None
         self._mux_memo: Dict[int, str] = {}
         #: Bound-set score memo shared across the recursion: sibling
         #: branches re-rank identical (outputs, p) queries after a
@@ -200,32 +249,139 @@ class DecompositionEngine:
     # ------------------------------------------------------------------
 
     def run(self, func: MultiFunction) -> LutNetwork:
-        """Decompose ``func`` into a LUT network with ``n_lut``-input LUTs."""
+        """Decompose ``func`` into a LUT network with ``n_lut``-input LUTs.
+
+        Containment contract: a :data:`QUARANTINABLE` failure (recursion
+        blow-up, memory exhaustion, injected chaos fault) during the
+        joint decomposition triggers a per-output rerun; outputs that
+        fail *individually* are quarantined to the verified MUX fallback
+        while the rest still get the full search.  Quarantined outputs
+        are listed in ``stats.quarantined_outputs`` and their cones are
+        re-verified against the specification before the run returns.
+        """
         self.stats = DecompositionStats()
         self.profiler = PhaseProfiler()
         self._mux_memo = {}
         self._score_memo = {}
         reset_kernel_stats()
+        self._fault_mid = faults.hook("worker.mid_decomp")
+        fault_baseline = faults.counters()
         self._deadline = (time.monotonic() + self.time_budget
                           if self.time_budget is not None else None)
-        net = LutNetwork()
-        signal_of: Dict[int, str] = {}
-        for var, name in zip(func.inputs, func.input_names):
-            net.add_input(name)
-            signal_of[var] = name
         named = list(zip(func.output_names, func.outputs))
-        with activate_profiler(self.profiler):
-            signals = self._decompose(func.bdd, named, net, signal_of,
-                                      depth=0)
-        for name, _ in named:
-            net.set_output(name, signals[name])
+        # The recursion depth scales with the variable count (Shannon
+        # chains with BDD-walk frames below each level); raise the limit
+        # proportionally so wide functions do not die on the default.
+        old_limit = sys.getrecursionlimit()
+        needed = _required_recursion_limit(len(func.inputs))
+        if needed > old_limit:
+            sys.setrecursionlimit(needed)
+        try:
+            try:
+                net, signal_of = self._fresh_net(func)
+                with activate_profiler(self.profiler):
+                    signals = self._decompose(func.bdd, named, net,
+                                              signal_of, depth=0)
+            except QUARANTINABLE as exc:
+                net, signals = self._quarantine_rerun(func, named, exc)
+            for name, _ in named:
+                net.set_output(name, signals[name])
+            if self.stats.quarantined_outputs:
+                net.sweep()  # shed partial nodes of aborted attempts
+                self._verify_quarantined(func, net)
+        finally:
+            if needed > old_limit:
+                sys.setrecursionlimit(old_limit)
         self.stats.phase_times = dict(self.profiler.times)
         self.stats.phase_counts = dict(self.profiler.counts)
         self.stats.bdd_metrics = func.bdd.metrics()
         self.stats.kernel_metrics = kernel_metrics()
         self.stats.exact_cover_fallbacks = \
             self.profiler.events.get("exact_cover_fallback", 0)
+        fired = faults.counters()
+        delta = {key: count - fault_baseline.get(key, 0)
+                 for key, count in fired.items()
+                 if count - fault_baseline.get(key, 0) > 0}
+        self.stats.fault_metrics = delta or None
         return net
+
+    def _fresh_net(self, func: MultiFunction
+                   ) -> Tuple[LutNetwork, Dict[int, str]]:
+        """A new network with the function's primary inputs declared."""
+        net = LutNetwork()
+        signal_of: Dict[int, str] = {}
+        for var, name in zip(func.inputs, func.input_names):
+            net.add_input(name)
+            signal_of[var] = name
+        return net, signal_of
+
+    def _quarantine_rerun(self, func: MultiFunction,
+                          named: List[Tuple[str, ISF]],
+                          cause: BaseException
+                          ) -> Tuple[LutNetwork, Dict[str, str]]:
+        """Per-output salvage after a containable joint-run failure.
+
+        The partial network of the failed joint attempt is discarded
+        (its memoised signal names would dangle); every output is then
+        decomposed on its own, and an output that *still* fails is
+        quarantined: realised by the MUX fallback (under fault
+        suppression — the fallback is recovery code and must complete)
+        and recorded in the stats.
+        """
+        self.profiler.event("quarantine_rerun")
+        bdd = func.bdd
+        net, signal_of = self._fresh_net(func)
+        self._mux_memo = {}
+        signals: Dict[str, str] = {}
+        for name, isf in named:
+            try:
+                self._fault_mid = faults.hook("worker.mid_decomp")
+                with activate_profiler(self.profiler):
+                    part = self._decompose(bdd, [(name, isf)], net,
+                                           signal_of, depth=0)
+                signals[name] = part[name]
+            except QUARANTINABLE as exc:
+                self.stats.quarantined_outputs.append(name)
+                self.stats.quarantine_errors[name] = \
+                    f"{type(exc).__name__}: {exc}"
+                # Recovery path: the MUX walk is bounded by BDD size and
+                # must not be re-failed by the same armed fault.
+                with faults.suppressed():
+                    self._fault_mid = None
+                    f = self._choose_extension(bdd, isf)
+                    signals[name] = self._mux_map(bdd, f, net, signal_of)
+        if not self.stats.quarantined_outputs:
+            # The per-output rerun succeeded everywhere — the original
+            # failure was a bundle-level artefact (e.g. a joint
+            # recursion blow-up).  Record the cause against every
+            # output for observability, but nothing was degraded.
+            self.profiler.event("quarantine_rerun_clean")
+        return net, signals
+
+    def _verify_quarantined(self, func: MultiFunction,
+                            net: LutNetwork) -> None:
+        """Check every quarantined cone realises an extension of its ISF.
+
+        A quarantined output bypassed parts of the normal pipeline, so
+        its (cheap, MUX-built) cone is re-verified unconditionally; a
+        mismatch here is a real bug and raises instead of shipping a
+        wrong network with an "ok"-looking record.
+        """
+        from repro.verify.equiv import lut_network_bdds
+        with faults.suppressed(), profile_phase("quarantine_verify"):
+            bdd = func.bdd
+            input_vars = dict(zip(func.input_names, func.inputs))
+            impl = lut_network_bdds(net, bdd, input_vars)
+            spec_of = dict(zip(func.output_names, func.outputs))
+            for name in self.stats.quarantined_outputs:
+                g = impl[name]
+                isf = spec_of[name]
+                if (bdd.apply_diff(isf.lo, g) != BDD.FALSE
+                        or bdd.apply_diff(g, isf.hi) != BDD.FALSE):
+                    raise RuntimeError(
+                        f"quarantined output {name!r} failed extension "
+                        f"verification after MUX fallback "
+                        f"(cause: {self.stats.quarantine_errors[name]})")
 
     # ------------------------------------------------------------------
 
@@ -260,6 +416,8 @@ class DecompositionEngine:
         signals: Dict[str, str] = {}
         pending = list(named)
         while pending:
+            if self._fault_mid is not None:
+                self._fault_mid()  # chaos site: worker.mid_decomp
             self.stats.max_recursion_depth = max(
                 self.stats.max_recursion_depth, depth)
             # (The computed table bounds its own memory now — the manager

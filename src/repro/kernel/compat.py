@@ -25,6 +25,7 @@ from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.boolfunc.spec import ISF
+from repro.faults import fault_point
 from repro.kernel import (
     AVAILABLE,
     DEFAULT_COST_FACTOR,
@@ -99,6 +100,7 @@ def _fit_variables(bdd, outputs: Sequence[ISF], bound: Sequence[int],
                      and not tier2_profitable(bdd, outputs, len(live))):
         STATS.record_miss(op)
         return None
+    fault_point("kernel.dispatch")  # chaos site: armed kernel hand-off
     return tuple(sorted(live)), tier
 
 

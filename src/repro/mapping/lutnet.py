@@ -168,6 +168,35 @@ class LutNetwork:
         self._check_signal(signal)
         self.outputs[name] = signal
 
+    def sweep(self) -> int:
+        """Drop LUT nodes unreachable from any bound output.
+
+        Returns the number removed.  The engine's per-output quarantine
+        uses this to shed the partial nodes of an aborted decomposition
+        attempt — they are structurally sound but dead, and would
+        otherwise inflate the LUT/CLB counts.
+        """
+        live: set = set()
+        stack = list(self.outputs.values())
+        while stack:
+            signal = stack.pop()
+            if signal in live:
+                continue
+            live.add(signal)
+            node = self.nodes.get(signal)
+            if node is not None:
+                stack.extend(node.fanins)
+        dead = [name for name in self._node_order if name not in live]
+        for name in dead:
+            node = self.nodes.pop(name)
+            key = (tuple(node.fanins), tuple(node.table))
+            if self._hash.get(key) == name:
+                del self._hash[key]
+        if dead:
+            self._node_order = [name for name in self._node_order
+                                if name in live]
+        return len(dead)
+
     def _check_signal(self, signal: str) -> None:
         if signal in (CONST0, CONST1):
             return

@@ -81,7 +81,12 @@ def run_metrics(*, command: str, source: str, stats: Any,
         "max_recursion_depth": stats.max_recursion_depth,
         "budget_exhausted": stats.budget_exhausted,
         "exact_cover_fallbacks": getattr(stats, "exact_cover_fallbacks", 0),
+        "quarantined_outputs": list(
+            getattr(stats, "quarantined_outputs", ()) or ()),
     }
+    faults_fired = getattr(stats, "fault_metrics", None)
+    if faults_fired:
+        doc["faults"] = dict(faults_fired)
     kernel = getattr(stats, "kernel_metrics", None)
     if kernel is not None:
         doc["kernel"] = kernel
@@ -196,4 +201,16 @@ def profile_report(stats: Any,
     if fallbacks:
         lines.append(f"exact-cover fallbacks : {fallbacks} "
                      f"(node budget hit, greedy cover used)")
+    quarantined = getattr(stats, "quarantined_outputs", None)
+    if quarantined:
+        lines.append(f"quarantined outputs  : {', '.join(quarantined)} "
+                     f"(MUX fallback, re-verified)")
+        for name, error in sorted(
+                getattr(stats, "quarantine_errors", {}).items()):
+            lines.append(f"  {name:<20s}: {error}")
+    faults_fired = getattr(stats, "fault_metrics", None)
+    if faults_fired:
+        lines.append("injected faults fired:")
+        for key, count in sorted(faults_fired.items()):
+            lines.append(f"  {key:<20s}: x{count}")
     return "\n".join(lines)

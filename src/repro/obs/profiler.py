@@ -21,6 +21,26 @@ from time import perf_counter
 from typing import Dict, Iterator, List, Optional
 
 
+#: Process-global liveness pulse: bumped on every phase enter/exit (and
+#: by explicit :func:`pulse` calls at runtime stage boundaries).  The
+#: worker heartbeat thread samples it — a beat is only sent while the
+#: pulse advances, so a main thread stuck in a sleep or a dead loop goes
+#: silent and the scheduler's hang grace can fire.  One module-global
+#: integer increment per phase transition; nothing on unprofiled paths.
+_PULSE = 0
+
+
+def pulse() -> None:
+    """Bump the liveness pulse (call at coarse progress checkpoints)."""
+    global _PULSE
+    _PULSE += 1
+
+
+def pulse_count() -> int:
+    """Current liveness pulse value (monotone within a process)."""
+    return _PULSE
+
+
 class PhaseProfiler:
     """Accumulates exclusive wall-clock time and entry counts per phase."""
 
@@ -37,6 +57,8 @@ class PhaseProfiler:
 
     def enter(self, name: str) -> None:
         """Open a phase; the enclosing phase stops accumulating."""
+        global _PULSE
+        _PULSE += 1
         now = perf_counter()
         if self._stack:
             top = self._stack[-1]
@@ -46,6 +68,8 @@ class PhaseProfiler:
 
     def exit(self) -> None:
         """Close the innermost phase; its parent resumes accumulating."""
+        global _PULSE
+        _PULSE += 1
         name, since = self._stack.pop()
         now = perf_counter()
         self.times[name] = self.times.get(name, 0.0) + now - since
@@ -82,16 +106,41 @@ class PhaseProfiler:
 _CURRENT: contextvars.ContextVar[Optional[PhaseProfiler]] = \
     contextvars.ContextVar("repro_obs_profiler", default=None)
 
+#: Most recently activated profiler (process-global, for cross-thread
+#: observation; contextvars are per-context, and the worker heartbeat
+#: thread lives outside the engine's context).
+_LAST_ACTIVATED: Optional[PhaseProfiler] = None
+
 
 def current_profiler() -> Optional[PhaseProfiler]:
     """The profiler installed by the innermost :func:`activate_profiler`."""
     return _CURRENT.get()
 
 
+def current_phase_snapshot() -> Optional[str]:
+    """Best-effort name of the innermost open phase of the most recently
+    activated profiler, for heartbeat piggybacking.
+
+    Read racily from another thread by design: the stack is only ever
+    appended/popped, and a stale or ``None`` answer is harmless
+    (heartbeats are observability, not control flow).
+    """
+    profiler = _LAST_ACTIVATED
+    if profiler is None:
+        return None
+    try:
+        stack = profiler._stack
+        return stack[-1][0] if stack else None
+    except (IndexError, AttributeError):  # pragma: no cover - race window
+        return None
+
+
 @contextmanager
 def activate_profiler(profiler: PhaseProfiler) -> Iterator[PhaseProfiler]:
     """Install ``profiler`` as the reporting target for the dynamic extent."""
+    global _LAST_ACTIVATED
     token = _CURRENT.set(profiler)
+    _LAST_ACTIVATED = profiler
     try:
         yield profiler
     finally:

@@ -11,7 +11,9 @@ Three pillars (see ``docs/RUNTIME.md`` for the design discussion):
   version) with an in-memory LRU front, behind ``repro cache
   {stats,clear}``;
 * :mod:`repro.runtime.jobspec` — the JSON-able job wire format, manifest
-  parsing and the worker entry point.
+  parsing and the worker entry point (with its heartbeat thread);
+* :mod:`repro.runtime.journal` — the crash-safe write-ahead
+  :class:`BatchJournal` behind ``repro batch --journal/--resume``.
 
 Quickstart::
 
@@ -38,14 +40,25 @@ from repro.runtime.jobspec import (
     source_from_name,
     source_label,
 )
+from repro.runtime.journal import (
+    BatchJournal,
+    JournalError,
+    journal_binding,
+    load_journal,
+)
 from repro.runtime.scheduler import (
     BatchScheduler,
     JobResult,
     degraded_record,
     summarize,
+    summarize_rows,
 )
 
 __all__ = [
+    "BatchJournal",
+    "JournalError",
+    "journal_binding",
+    "load_journal",
     "BatchScheduler",
     "JobResult",
     "ResultCache",
@@ -62,4 +75,5 @@ __all__ = [
     "source_label",
     "degraded_record",
     "summarize",
+    "summarize_rows",
 ]

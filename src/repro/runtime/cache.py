@@ -12,6 +12,14 @@ Corruption is treated as a miss, never as data: an entry that fails to
 parse, carries the wrong layout version, or does not match its own key
 is deleted and recounted as ``corrupt`` — a poisoned cache rebuilds
 itself instead of being trusted.
+
+Chaos hardening: reads and writes route their raw bytes through the
+``cache.read`` / ``cache.write`` fault sites (:mod:`repro.faults`), and
+every failure mode is contained — an injected exception or memory
+exhaustion during a read is a miss, during a write a skipped (counted)
+write; a corrupted payload is caught by the existing poisoning checks
+on the next read and rebuilt.  The cache is an accelerator, never a
+correctness dependency, so no cache failure may escape to the caller.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ import os
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+from repro.faults import FaultInjected, fault_point
 
 #: Bump to invalidate every persisted entry (layout changes).
 CACHE_FORMAT_VERSION = 1
@@ -70,6 +80,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: Writes skipped because persisting failed (I/O error, injected
+        #: fault, memory exhaustion) — the payload stays correct in
+        #: memory, the disk entry is simply absent.
+        self.write_errors = 0
 
     # -- paths ---------------------------------------------------------
 
@@ -87,12 +101,19 @@ class ResultCache:
             return cached
         path = self._path(key)
         try:
-            with open(path) as handle:
-                entry = json.load(handle)
+            with open(path, "rb") as handle:
+                data = handle.read()
+            data = fault_point("cache.read", data)
+            entry = json.loads(data.decode())
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        except (FaultInjected, MemoryError):
+            # Injected read failure: the entry on disk may be fine, so
+            # this is a plain miss, not corruption.
+            self.misses += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
             self._drop_corrupt(path)
             self.misses += 1
             return None
@@ -109,15 +130,32 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Persist ``payload`` under ``key`` (atomic on POSIX)."""
+        """Persist ``payload`` under ``key`` (atomic on POSIX).
+
+        Never raises: a failed write (I/O error, injected fault, memory
+        exhaustion) is counted in ``write_errors`` and skipped — the
+        caller keeps its in-memory result either way.  A chaos
+        ``cache.write:corrupt`` bit-flip lands *in the persisted bytes*,
+        exercising the poisoning checks on the next read.
+        """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"cache_version": CACHE_FORMAT_VERSION, "key": key,
                  "payload": payload}
         tmp = path.with_suffix(f".tmp{os.getpid()}")
-        with open(tmp, "w") as handle:
-            json.dump(entry, handle, separators=(",", ":"))
-        os.replace(tmp, path)
+        try:
+            data = json.dumps(entry, separators=(",", ":")).encode()
+            data = fault_point("cache.write", data)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except (FaultInjected, MemoryError, OSError):
+            self.write_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
         self._remember(key, payload)
 
     def _remember(self, key: str, payload: Dict[str, Any]) -> None:
@@ -175,5 +213,6 @@ class ResultCache:
         """Session counters plus the on-disk footprint."""
         data = self.disk_stats()
         data.update(hits=self.hits, misses=self.misses,
-                    corrupt=self.corrupt, memory_entries=len(self._lru))
+                    corrupt=self.corrupt, write_errors=self.write_errors,
+                    memory_entries=len(self._lru))
         return data

@@ -31,11 +31,12 @@ retry and degradation paths are testable end to end.
 
 from __future__ import annotations
 
-import os
-import time
+import threading
 from typing import Any, Dict, List, Optional
 
+from repro import faults
 from repro.boolfunc.spec import MultiFunction
+from repro.obs.profiler import current_phase_snapshot, pulse, pulse_count
 
 #: Networks above this LUT count are verified by random simulation
 #: instead of the exact BDD check (same policy as the bench harness).
@@ -183,17 +184,22 @@ def parse_manifest(text: str) -> List[Dict[str, Any]]:
 # ---------------------------------------------------------------------
 
 def _apply_test_hook(hook: Optional[str], attempt: int) -> None:
+    """Manifest ``!hang``/``!crash`` hooks — thin aliases over the fault
+    injector's kinds (:func:`repro.faults.perform`), so manifests and
+    ``REPRO_FAULTS`` specs share one implementation of "hang" and
+    "crash"."""
     if not hook:
         return
     kind, _, arg = hook.partition(":")
     if kind == "hang":
-        time.sleep(float(arg or 3600))
+        faults.perform("hang", site="test_hook",
+                       seconds=float(arg) if arg else None)
     elif kind == "crash":
         # Crash the first <n> attempts (every attempt when unbounded);
         # os._exit sidesteps any exception handling, like a real segfault.
         limit = int(arg) if arg else 10**9
         if attempt <= limit:
-            os._exit(3)
+            faults.perform("crash", site="test_hook")
     else:
         raise ValueError(f"unknown test hook {hook!r}")
 
@@ -213,11 +219,13 @@ def execute_job(job: Dict[str, Any], attempt: int = 1) -> Dict[str, Any]:
     the caller's to handle (the worker entry point converts it into a
     ``failed`` payload, the scheduler into a retry/degrade decision).
     """
+    faults.fault_point("worker.start")
     _apply_test_hook(job.get("test_hook"), attempt)
     if job.get("wire"):
         func = MultiFunction.from_wire(job["wire"])
     else:
         func = build_function(job["source"])
+    pulse()  # liveness checkpoint: function built, flow starting
     config = job.get("config") or {}
     verify = config.get("verify", True)
     engine_cfg = {k: config[k] for k in
@@ -250,15 +258,64 @@ def execute_job(job: Dict[str, Any], attempt: int = 1) -> Dict[str, Any]:
     return {"status": "ok", "result": record}
 
 
-def worker_entry(conn, job: Dict[str, Any], attempt: int) -> None:
-    """Process entry point: execute and ship the payload over ``conn``."""
+def _start_beat_thread(conn, send_lock: threading.Lock,
+                       interval_s: float) -> threading.Event:
+    """Ship liveness beats to the parent while the main thread makes
+    progress.
+
+    A beat is only sent when the process-global pulse (bumped on every
+    profiler phase transition and at coarse runtime checkpoints) has
+    advanced since the last check — a main thread stuck in a sleep or a
+    dead loop stops pulsing, the beats stop, and the scheduler's hang
+    grace fires.  The thread itself staying alive is deliberately *not*
+    enough to count as liveness.
+    """
+    stop = threading.Event()
+
+    def beat() -> None:
+        last_pulse = -1  # first check always beats: "I started up"
+        while not stop.wait(interval_s if last_pulse >= 0 else 0.0):
+            seen = pulse_count()
+            if seen == last_pulse:
+                continue
+            last_pulse = seen
+            try:
+                with send_lock:
+                    conn.send({"beat": True,
+                               "phase": current_phase_snapshot()})
+            except (BrokenPipeError, OSError):
+                return  # parent is gone; nothing left to report to
+
+    thread = threading.Thread(target=beat, name="repro-heartbeat",
+                              daemon=True)
+    thread.start()
+    return stop
+
+
+def worker_entry(conn, job: Dict[str, Any], attempt: int,
+                 heartbeat_s: Optional[float] = None) -> None:
+    """Process entry point: execute and ship the payload over ``conn``.
+
+    With ``heartbeat_s`` set, a daemon thread reports liveness beats
+    alongside the final payload (same pipe, send-lock serialized).
+    """
+    # Forked workers inherit the parent's fault-arrival counters; each
+    # attempt must count its own arrivals for nth-firing determinism.
+    faults.reset_in_worker()
+    send_lock = threading.Lock()
+    stop = None
+    if heartbeat_s is not None and heartbeat_s > 0:
+        stop = _start_beat_thread(conn, send_lock, heartbeat_s)
     try:
         payload = execute_job(job, attempt)
     except BaseException as exc:  # noqa: BLE001 — report, don't die silently
         payload = {"status": "failed",
                    "error": f"{type(exc).__name__}: {exc}"}
+    if stop is not None:
+        stop.set()
     try:
-        conn.send(payload)
+        with send_lock:
+            conn.send(payload)
         conn.close()
     except (BrokenPipeError, OSError):
         pass

@@ -12,33 +12,54 @@ Failure policy (the "graceful degradation" contract):
   (``DecompositionEngine`` with a zero time budget), which is bounded by
   the BDD size and deterministic.  No retry — a search that timed out
   once will time out again.
+* **hang** (heartbeats enabled and silent for ``hang_grace_s``) — same
+  as a timeout, without waiting for the full wall-clock budget.  Workers
+  beat over the result pipe while the engine makes progress (phase
+  transitions bump a liveness pulse; the beat thread only speaks while
+  the pulse advances), so a worker stuck in a sleep or a dead loop goes
+  silent and is killed early, while a *slow but alive* worker keeps
+  beating and is left to its wall-clock budget.  No retry — a hang is
+  not transient.
 * **worker crash** (process died without a result) — retried with a
-  linear backoff up to ``retries`` times, then degraded.  Crashes are
-  the transient class (OOM kills, signals), so retrying is worth it.
+  jittered linear backoff up to ``retries`` times, then degraded.
+  Crashes are the transient class (OOM kills, signals), so retrying is
+  worth it; the jitter (seeded, deterministic per scheduler) spreads
+  herd retries after a shared-cause crash.
 * **worker exception** (job raised) — deterministic, so no retry: the
   job degrades when the function can still be built, otherwise it is
   marked ``failed`` (e.g. an unreadable PLA file).
 
 Results come back in submission order regardless of completion order,
 and each carries its own observability record (queue wait, exec time,
-cache hit, retry count) for the batch metrics document.
+cache hit, retry count, heartbeat count) for the batch metrics document.
 
 With a :class:`~repro.runtime.cache.ResultCache` attached, the parent
 builds each function up front, keys it by content
 (:meth:`MultiFunction.canonical_key` + flow + engine config + code
 version) and skips dispatch entirely on a hit; on a miss the built
 function ships to the worker in wire form so it is not rebuilt.
+
+Chaos containment: the parent-side build and the degradation fallback
+run under :func:`repro.faults.suppressed`, so injected worker faults
+(``worker.mid_decomp``, ``bdd.ite``, ``kernel.dispatch``) can never
+take down the scheduler through its own recovery paths.  Parent-side
+*storage* faults (``cache.write``, ``journal.append``) stay live — they
+exercise the crash-safety story (journal + ``--resume``), not the
+containment one.  ``run`` kills and reaps every live worker on the way
+out, including on ``KeyboardInterrupt`` — no orphans.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import faults
 from repro.runtime import jobspec
 from repro.runtime.cache import ResultCache, cache_key
 
@@ -60,12 +81,18 @@ class JobResult:
     error: Optional[str] = None
     cache_hit: bool = False
     degraded: bool = False
+    #: Position in the submitted job list (stable across resume merges).
+    index: int = -1
     #: Seconds between batch start and first dispatch of this job.
     queue_wait_s: float = 0.0
     #: Wall-clock seconds of the attempt that produced the outcome.
     exec_s: float = 0.0
     #: Crash retries consumed (0 on a clean first attempt).
     retries: int = 0
+    #: Heartbeats received from the attempt that produced the outcome.
+    beats: int = 0
+    #: True when the job was killed for heartbeat silence (not timeout).
+    hung: bool = False
 
     def as_dict(self, include_blif: bool = False) -> Dict[str, Any]:
         """JSON-able row for the batch JSONL output.
@@ -88,25 +115,57 @@ class JobResult:
             "status": self.status,
             "cache_hit": self.cache_hit,
             "degraded": self.degraded,
+            "index": self.index,
             "queue_wait_s": round(self.queue_wait_s, 6),
             "exec_s": round(self.exec_s, 6),
             "retries": self.retries,
+            "beats": self.beats,
+            "hung": self.hung,
             "result": record,
             "error": self.error,
         }
 
 
+def _record_quarantined(record: Any) -> int:
+    """Quarantined-output count inside one result record (compare-flow
+    nesting included)."""
+    if not isinstance(record, dict):
+        return 0
+    total = 0
+    engine = record.get("engine")
+    if isinstance(engine, dict):
+        names = engine.get("quarantined_outputs")
+        if isinstance(names, (list, tuple)):
+            total += len(names)
+    for driver in ("mulopII", "mulop_dc"):
+        total += _record_quarantined(record.get(driver))
+    return total
+
+
+def summarize_rows(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Batch totals over JSONL rows (``JobResult.as_dict`` shape).
+
+    Row-based so resumed batches can summarize journal-replayed rows and
+    freshly computed ones uniformly.
+    """
+    return {
+        "jobs": len(rows),
+        "ok": sum(r.get("status") == "ok" for r in rows),
+        "degraded": sum(r.get("status") == "degraded" for r in rows),
+        "failed": sum(r.get("status") == "failed" for r in rows),
+        "cache_hits": sum(bool(r.get("cache_hit")) for r in rows),
+        "retries": sum(int(r.get("retries") or 0) for r in rows),
+        "hung": sum(bool(r.get("hung")) for r in rows),
+        "quarantined_outputs": sum(_record_quarantined(r.get("result"))
+                                   for r in rows),
+        "total_exec_s": round(sum(float(r.get("exec_s") or 0.0)
+                                  for r in rows), 6),
+    }
+
+
 def summarize(results: List[JobResult]) -> Dict[str, Any]:
     """Batch totals for the metrics document and the CLI summary line."""
-    return {
-        "jobs": len(results),
-        "ok": sum(r.status == "ok" for r in results),
-        "degraded": sum(r.status == "degraded" for r in results),
-        "failed": sum(r.status == "failed" for r in results),
-        "cache_hits": sum(r.cache_hit for r in results),
-        "retries": sum(r.retries for r in results),
-        "total_exec_s": round(sum(r.exec_s for r in results), 6),
-    }
+    return summarize_rows([r.as_dict() for r in results])
 
 
 @dataclass
@@ -122,6 +181,12 @@ class _Active:
     payload: Optional[Dict[str, Any]] = None
     retries: int = 0
     first_dispatch: float = 0.0
+    #: Monotonic time of the last heartbeat (dispatch time until one
+    #: arrives, so the hang grace covers worker startup too).
+    last_beat: float = 0.0
+    beats: int = 0
+    #: Engine phase piggybacked on the most recent beat.
+    phase: Optional[str] = None
     #: Parent-side build artefacts (cache mode only).
     func: Any = None
     key: Optional[str] = None
@@ -153,8 +218,22 @@ class BatchScheduler:
     cache:
         Optional :class:`ResultCache`; hits skip dispatch entirely.
     degrade:
-        When False, timeouts/crashes mark the job ``failed`` instead of
-        falling back to the trivial mapping.
+        When False, timeouts/hangs/crashes mark the job ``failed``
+        instead of falling back to the trivial mapping.
+    retry_backoff_s:
+        Base of the jittered linear crash-retry backoff
+        (``base * retries * uniform(0.5, 1.5)``).
+    backoff_seed:
+        Seed for the backoff jitter stream (deterministic schedules in
+        tests).
+    heartbeat_s:
+        Interval at which workers report liveness (None disables the
+        beat thread entirely).
+    hang_grace_s:
+        Kill a worker silent for this long and degrade its job without
+        retry.  None (default) disables hang detection — only the hard
+        wall-clock ``timeout`` applies.  Must comfortably exceed
+        ``heartbeat_s`` plus worker startup time.
     """
 
     def __init__(self, workers: Optional[int] = None,
@@ -162,6 +241,9 @@ class BatchScheduler:
                  cache: Optional[ResultCache] = None,
                  degrade: bool = True,
                  retry_backoff_s: float = 0.25,
+                 backoff_seed: int = 0,
+                 heartbeat_s: Optional[float] = 1.0,
+                 hang_grace_s: Optional[float] = None,
                  mp_context: Optional[str] = None) -> None:
         self.workers = max(1, workers if workers is not None
                            else min(os.cpu_count() or 1, 8))
@@ -170,6 +252,9 @@ class BatchScheduler:
         self.cache = cache
         self.degrade = degrade
         self.retry_backoff_s = retry_backoff_s
+        self.heartbeat_s = heartbeat_s
+        self.hang_grace_s = hang_grace_s
+        self._rng = random.Random(backoff_seed)
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
@@ -178,14 +263,21 @@ class BatchScheduler:
     # -- public entry ---------------------------------------------------
 
     def run(self, jobs: List[Dict[str, Any]],
-            on_result: Optional[Callable[[JobResult], None]] = None
+            on_result: Optional[Callable[[JobResult], None]] = None,
+            on_dispatch: Optional[Callable[[int, int], None]] = None
             ) -> List[JobResult]:
-        """Execute ``jobs``; results are in submission order."""
+        """Execute ``jobs``; results are in submission order.
+
+        ``on_dispatch(index, attempt)`` fires just before each worker
+        process starts (the journal's start record); ``on_result`` fires
+        as each job settles, out of submission order.
+        """
         started = time.monotonic()
         results: List[Optional[JobResult]] = [None] * len(jobs)
         queue: List[_Pending] = []
 
         def finish(index: int, res: JobResult) -> None:
+            res.index = index
             results[index] = res
             if on_result is not None:
                 on_result(res)
@@ -200,27 +292,35 @@ class BatchScheduler:
             queue.append(pending)
 
         active: List[_Active] = []
-        while queue or active:
-            now = time.monotonic()
-            while len(active) < self.workers:
-                slot = next((p for p in queue if p.not_before <= now),
-                            None)
-                if slot is None:
-                    break
-                queue.remove(slot)
-                active.append(self._dispatch(jobs, slot, started))
-            if active:
-                self._poll(active)
-            elif queue:
-                # Everything is in crash-retry backoff; sleep it off.
-                time.sleep(max(_POLL_S,
-                               min(p.not_before for p in queue) - now))
-            for entry in list(active):
-                outcome = self._settle(jobs, entry, queue)
-                if outcome is not None:
-                    active.remove(entry)
-                    if isinstance(outcome, JobResult):
-                        finish(entry.index, outcome)
+        try:
+            while queue or active:
+                now = time.monotonic()
+                while len(active) < self.workers:
+                    slot = next((p for p in queue if p.not_before <= now),
+                                None)
+                    if slot is None:
+                        break
+                    queue.remove(slot)
+                    if on_dispatch is not None:
+                        on_dispatch(slot.index, slot.attempt)
+                    active.append(self._dispatch(jobs, slot, started))
+                if active:
+                    self._poll(active)
+                elif queue:
+                    # Everything is in crash-retry backoff; sleep it off.
+                    time.sleep(max(_POLL_S,
+                                   min(p.not_before for p in queue) - now))
+                for entry in list(active):
+                    outcome = self._settle(jobs, entry, queue)
+                    if outcome is not None:
+                        active.remove(entry)
+                        if isinstance(outcome, JobResult):
+                            finish(entry.index, outcome)
+        finally:
+            # Interrupt/exception hygiene: whatever got us out of the
+            # loop, no worker process may outlive the scheduler.
+            for entry in active:
+                self._kill(entry)
         return [r for r in results if r is not None]
 
     # -- cache ----------------------------------------------------------
@@ -230,7 +330,11 @@ class BatchScheduler:
         """Cache lookup; on a miss the built function and key stick to
         the pending entry so the hot path never builds twice."""
         try:
-            func = jobspec.build_function(job["source"])
+            # The parent-side build walks the same BDD/kernel code as a
+            # worker; suppress injected faults so worker-targeted chaos
+            # (bdd.ite, kernel.dispatch) cannot crash the scheduler.
+            with faults.suppressed():
+                func = jobspec.build_function(job["source"])
         except Exception as exc:  # noqa: BLE001 — bad source: report it
             return JobResult(
                 job_id=job["job_id"],
@@ -260,7 +364,8 @@ class BatchScheduler:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=jobspec.worker_entry,
-            args=(child_conn, jobs[pending.index], pending.attempt),
+            args=(child_conn, jobs[pending.index], pending.attempt,
+                  self.heartbeat_s),
             daemon=True)
         process.start()
         child_conn.close()
@@ -270,6 +375,7 @@ class BatchScheduler:
                        started_at=now, deadline=deadline,
                        retries=pending.retries,
                        first_dispatch=pending.first_dispatch,
+                       last_beat=now,
                        func=pending.func, key=pending.key)
 
     def _poll(self, active: List[_Active]) -> None:
@@ -286,10 +392,23 @@ class BatchScheduler:
                                 timeout=max(_POLL_S, budget))
         for entry in active:
             if entry.conn in ready and entry.payload is None:
-                try:
-                    entry.payload = entry.conn.recv()
-                except (EOFError, OSError):
-                    pass  # process died mid-send: handled as a crash
+                self._drain(entry)
+
+    def _drain(self, entry: _Active) -> None:
+        """Consume everything buffered on the entry's pipe: heartbeat
+        messages update liveness bookkeeping, the final payload sticks.
+        """
+        try:
+            while entry.payload is None and entry.conn.poll():
+                message = entry.conn.recv()
+                if isinstance(message, dict) and message.get("beat"):
+                    entry.last_beat = time.monotonic()
+                    entry.beats += 1
+                    entry.phase = message.get("phase") or entry.phase
+                else:
+                    entry.payload = message
+        except (EOFError, OSError):
+            pass  # process died mid-send: handled as a crash
 
     def _settle(self, jobs: List[Dict[str, Any]], entry: _Active,
                 queue: List[_Pending]):
@@ -318,23 +437,33 @@ class BatchScheduler:
             return self._fallback(
                 job, entry, exec_s,
                 f"timeout after {self.timeout:.1f}s")
+        if (self.hang_grace_s is not None and self.heartbeat_s
+                and entry.process.is_alive()
+                and now - entry.last_beat > self.hang_grace_s):
+            # Heartbeats went silent: the worker is stuck, not slow.
+            # Kill and degrade without retry — a hang is deterministic.
+            self._kill(entry)
+            phase = f" in phase {entry.phase!r}" if entry.phase else ""
+            return self._fallback(
+                job, entry, exec_s,
+                f"hung (no heartbeat for {now - entry.last_beat:.1f}s"
+                f"{phase})", hung=True)
         if not entry.process.is_alive():
             # The process may have exited cleanly with its payload still
             # in the pipe buffer (a fast worker racing the poll) — drain
             # before declaring a crash.
-            try:
-                if entry.conn.poll():
-                    entry.payload = entry.conn.recv()
-                    return self._settle(jobs, entry, queue)
-            except (EOFError, OSError):
-                pass
+            self._drain(entry)
+            if entry.payload is not None:
+                return self._settle(jobs, entry, queue)
             self._reap(entry)
             if entry.retries < self.retries:
                 retries = entry.retries + 1
+                backoff = (self.retry_backoff_s * retries
+                           * self._rng.uniform(0.5, 1.5))
                 queue.append(_Pending(
                     entry.index, attempt=entry.attempt + 1,
                     retries=retries,
-                    not_before=now + self.retry_backoff_s * retries,
+                    not_before=now + backoff,
                     func=entry.func, key=entry.key,
                     first_dispatch=entry.first_dispatch))
                 return "requeued"
@@ -347,33 +476,40 @@ class BatchScheduler:
     # -- degradation ----------------------------------------------------
 
     def _fallback(self, job: Dict[str, Any], entry: _Active,
-                  exec_s: float, reason: str) -> JobResult:
+                  exec_s: float, reason: str,
+                  hung: bool = False) -> JobResult:
         if not self.degrade:
             return self._result(job, entry, "failed", error=reason,
-                                exec_s=exec_s)
+                                exec_s=exec_s, hung=hung)
         started = time.monotonic()
         try:
-            record = degraded_record(job, func=entry.func)
+            # Recovery must succeed even under chaos: the fallback walks
+            # engine/BDD code where worker faults are armed, and a fault
+            # here would turn a contained degrade into a parent crash.
+            with faults.suppressed():
+                record = degraded_record(job, func=entry.func)
         except Exception as exc:  # noqa: BLE001 — even fallback failed
             return self._result(
                 job, entry, "failed",
                 error=f"{reason}; fallback failed: "
                       f"{type(exc).__name__}: {exc}",
-                exec_s=exec_s)
+                exec_s=exec_s, hung=hung)
         exec_s += time.monotonic() - started
         return self._result(job, entry, "degraded", record=record,
-                            error=reason, exec_s=exec_s, degraded=True)
+                            error=reason, exec_s=exec_s, degraded=True,
+                            hung=hung)
 
     def _result(self, job: Dict[str, Any], entry: _Active, status: str,
                 record: Optional[Dict[str, Any]] = None,
                 error: Optional[str] = None, exec_s: float = 0.0,
-                degraded: bool = False) -> JobResult:
+                degraded: bool = False, hung: bool = False) -> JobResult:
         return JobResult(
             job_id=job["job_id"],
             source=jobspec.source_label(job["source"]),
             flow=job["flow"], status=status, result=record, error=error,
             degraded=degraded, queue_wait_s=entry.first_dispatch,
-            exec_s=exec_s, retries=entry.retries)
+            exec_s=exec_s, retries=entry.retries, beats=entry.beats,
+            hung=hung)
 
     # -- process hygiene ------------------------------------------------
 
@@ -390,7 +526,10 @@ class BatchScheduler:
         if entry.process.is_alive():
             entry.process.kill()
             entry.process.join(timeout=1.0)
-        entry.conn.close()
+        try:
+            entry.conn.close()
+        except OSError:
+            pass
 
 
 def degraded_record(job: Dict[str, Any],

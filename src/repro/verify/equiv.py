@@ -16,6 +16,7 @@ from repro.bdd.manager import BDD
 from repro.boolfunc.spec import MultiFunction
 from repro.mapping.gatelevel import GateNetwork
 from repro.mapping.lutnet import CONST0, CONST1, LutNetwork
+from repro.obs.profiler import pulse
 
 
 @dataclass
@@ -33,17 +34,22 @@ class EquivResult:
         return self.equivalent
 
 
-def lut_network_bdds(net: LutNetwork, bdd: BDD,
-                     input_vars: Dict[str, int]) -> Dict[str, int]:
-    """Symbolic simulation of a LUT network.
+def lut_signal_bdds(net: LutNetwork, bdd: BDD,
+                    input_vars: Dict[str, int]) -> Dict[str, int]:
+    """Symbolic simulation of a LUT network, all signals.
 
     ``input_vars`` maps the network's primary input names to BDD
-    variables.  Returns a BDD per primary output name.
+    variables.  Returns a BDD per *signal* name (inputs, every internal
+    LUT node and the constants) — the per-output view is
+    :func:`lut_network_bdds`; the engine's quarantine verification uses
+    this form to check a single output's cone without requiring the
+    network's outputs to be bound yet.
     """
     values: Dict[str, int] = {CONST0: BDD.FALSE, CONST1: BDD.TRUE}
     for name in net.inputs:
         values[name] = bdd.var(input_vars[name])
     for node in net.node_list():
+        pulse()  # liveness: long simulations still beat per node
         fanins = [values[s] for s in node.fanins]
         # Build the node function by Shannon expansion over the table.
         result = BDD.FALSE
@@ -59,6 +65,17 @@ def lut_network_bdds(net: LutNetwork, bdd: BDD,
                 term = bdd.apply_and(term, lit)
             result = bdd.apply_or(result, term)
         values[node.name] = result
+    return values
+
+
+def lut_network_bdds(net: LutNetwork, bdd: BDD,
+                     input_vars: Dict[str, int]) -> Dict[str, int]:
+    """Symbolic simulation of a LUT network.
+
+    ``input_vars`` maps the network's primary input names to BDD
+    variables.  Returns a BDD per primary output name.
+    """
+    values = lut_signal_bdds(net, bdd, input_vars)
     return {out: values[sig] for out, sig in net.outputs.items()}
 
 
@@ -74,6 +91,7 @@ def gate_network_bdds(net: GateNetwork, bdd: BDD,
         return bdd.apply_not(node) if neg else node
 
     for name in net._order:  # topological creation order
+        pulse()  # liveness: long simulations still beat per gate
         gate = net.gates[name]
         (sa, na), (sb, nb) = gate.fanins
         a = resolve(sa, na)

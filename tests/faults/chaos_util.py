@@ -1,0 +1,27 @@
+"""Helpers for chaos tests that need real process deaths.
+
+``crash`` faults call ``os._exit`` and so cannot be exercised in the
+pytest process; :func:`run_python` runs a snippet in a fresh interpreter
+with the repo's ``src/`` on ``PYTHONPATH`` and returns the completed
+process for exit-code assertions.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_python(code: str, env_extra=None, timeout: float = 120.0):
+    """Run ``code`` with ``python -c`` against the repo's ``src`` tree."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        env=env, capture_output=True, text=True, timeout=timeout)

@@ -1,0 +1,25 @@
+"""Shared chaos-test fixtures.
+
+Every test in this package runs with a pristine injector environment and
+safe caps on the destructive kinds (short hangs, small OOM hoards), and
+leaves the environment exactly as it found it — ``monkeypatch`` restores
+the variables and the injector re-parses lazily on the next call.
+"""
+
+import pytest
+
+from repro import faults
+
+_FAULT_ENV = (faults.ENV_VAR, faults.SEED_ENV, faults.HANG_ENV,
+              faults.OOM_ENV)
+
+
+@pytest.fixture(autouse=True)
+def _pristine_faults(monkeypatch):
+    for var in _FAULT_ENV:
+        monkeypatch.delenv(var, raising=False)
+    # Safety nets: a test that arms hang/oom without overriding the caps
+    # must not sleep for an hour or hoard 256 MB.
+    monkeypatch.setenv(faults.HANG_ENV, "2.0")
+    monkeypatch.setenv(faults.OOM_ENV, "16")
+    yield

@@ -1,0 +1,157 @@
+"""ResultCache under concurrent writers and corrupting chaos.
+
+Two guarantees under test:
+
+* **Atomicity** — concurrent writers (and readers racing them) never
+  observe a half-written entry: writes go through a same-directory temp
+  file + ``os.replace``, so a reader sees the old entry, the new entry,
+  or a miss — never a torn one.
+* **Self-healing** — entries poisoned on the way to disk (chaos
+  ``cache.write:corrupt`` bit-flips) are detected by the read-side
+  validation, dropped, and rebuilt by the next write; no cache failure
+  ever escapes to the caller.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, parse_fault_specs
+from repro.runtime import ResultCache
+from repro.runtime.cache import CACHE_FORMAT_VERSION
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::DeprecationWarning")  # fork-in-multithreaded on 3.12
+
+KEY = "ee" * 32
+
+
+def _writer(root, key, payload, rounds):
+    cache = ResultCache(root, memory_limit=0)
+    for _ in range(rounds):
+        cache.put(key, payload)
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_leave_one_valid_entry(self, tmp_path):
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        payloads = [{"writer": 0, "lut_count": 4},
+                    {"writer": 1, "lut_count": 4}]
+        procs = [ctx.Process(target=_writer,
+                             args=(str(tmp_path), KEY, p, 200))
+                 for p in payloads]
+        for proc in procs:
+            proc.start()
+        # Read while the writers race: every observation must be a miss
+        # or one of the two complete payloads, never a torn mix.
+        reader = ResultCache(tmp_path, memory_limit=0)
+        observed = set()
+        while any(proc.is_alive() for proc in procs):
+            got = reader.get(KEY)
+            if got is not None:
+                assert got in payloads
+                observed.add(got["writer"])
+        for proc in procs:
+            proc.join()
+            assert proc.exitcode == 0
+        assert reader.get(KEY) in payloads
+        assert not list(tmp_path.rglob("*.tmp*"))  # no temp debris
+        # Exactly one entry file for the key.
+        assert len(list(tmp_path.rglob("*.json"))) == 1
+
+    def test_interleaved_keys_all_land(self, tmp_path):
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        keys = [format(i, "02x") * 32 for i in range(8)]
+        procs = [ctx.Process(target=_writer,
+                             args=(str(tmp_path), key, {"n": i}, 20))
+                 for i, key in enumerate(keys)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+            assert proc.exitcode == 0
+        cache = ResultCache(tmp_path, memory_limit=0)
+        for i, key in enumerate(keys):
+            assert cache.get(key) == {"n": i}
+        assert cache.corrupt == 0
+
+
+class TestCorruptionStress:
+    SPEC = "cache.write:corrupt:0.5"
+    SEED = 0
+
+    def _predict(self, keys):
+        """Replay the deterministic fault stream over the exact bytes the
+        cache will write, mirroring the read-side validation — the
+        oracle for what each ``get`` must return."""
+        plan = FaultPlan(parse_fault_specs(self.SPEC, seed=self.SEED))
+        expected = {}
+        for i, key in enumerate(keys):
+            entry = {"cache_version": CACHE_FORMAT_VERSION, "key": key,
+                     "payload": {"n": i}}
+            data = json.dumps(entry, separators=(",", ":")).encode()
+            data = plan.fire("cache.write", data)
+            try:
+                loaded = json.loads(data.decode())
+            except (ValueError, UnicodeDecodeError):
+                expected[key] = None  # detected: dropped on read
+                continue
+            if (not isinstance(loaded, dict)
+                    or loaded.get("cache_version") != CACHE_FORMAT_VERSION
+                    or loaded.get("key") != key
+                    or not isinstance(loaded.get("payload"), dict)):
+                expected[key] = None
+            else:
+                # Valid JSON with the right shape: the cache trusts it
+                # (possibly with a flipped payload bit — entries carry
+                # no checksum; the flip shows up here too, so the
+                # prediction still matches).
+                expected[key] = loaded["payload"]
+        return expected
+
+    def test_corrupt_writes_detected_dropped_rebuilt(self, tmp_path,
+                                                     monkeypatch):
+        keys = [format(i, "02x") * 32 for i in range(24)]
+        expected = self._predict(keys)
+        monkeypatch.setenv(faults.ENV_VAR, self.SPEC)
+        monkeypatch.setenv(faults.SEED_ENV, str(self.SEED))
+        faults.reset_in_worker()  # arrival counters from 1, like the oracle
+        cache = ResultCache(tmp_path, memory_limit=0)
+        for i, key in enumerate(keys):
+            cache.put(key, {"n": i})
+        assert cache.write_errors == 0  # corrupt writes still "succeed"
+        # The chaos run must have actually corrupted a few entries.
+        dropped = [k for k in keys if expected[k] is None]
+        assert len(dropped) >= 3
+        faults.disarm()
+        for key in keys:
+            assert cache.get(key) == expected[key]  # never raises
+        assert cache.corrupt == len(dropped)
+        # Poisoned entries were unlinked; rebuild and verify.
+        for i, key in enumerate(keys):
+            if expected[key] is None:
+                assert not cache._path(key).exists()
+                cache.put(key, {"n": i})
+                assert cache.get(key) == {"n": i}
+
+    def test_read_side_corruption_never_escapes(self, tmp_path,
+                                                monkeypatch):
+        cache = ResultCache(tmp_path, memory_limit=0)
+        for i in range(12):
+            cache.put(format(i, "02x") * 32, {"n": i})
+        monkeypatch.setenv(faults.ENV_VAR, "cache.read:corrupt:0.5")
+        faults.reset_in_worker()
+        survivors = 0
+        for i in range(12):
+            got = cache.get(format(i, "02x") * 32)
+            assert got is None or got == {"n": i} or isinstance(got, dict)
+            survivors += got is not None
+        # Some reads were corrupted-and-dropped, some passed clean.
+        assert 0 < survivors < 12
+        assert cache.corrupt > 0

@@ -1,0 +1,148 @@
+"""Per-output quarantine inside the decomposition engine.
+
+A containable failure (injected fault, recursion blow-up, memory
+exhaustion) during the joint decomposition must never lose the whole
+run: the engine re-runs per output, quarantines only the outputs that
+still fail onto the verified MUX fallback, and re-verifies every
+quarantined cone before returning.
+"""
+
+import sys
+
+import pytest
+
+from repro import faults
+from repro.bench.registry import benchmark
+from repro.core.api import map_to_xc3000
+from repro.decomp.recursive import (
+    DecompositionEngine,
+    _required_recursion_limit,
+)
+from repro.obs.metrics import run_metrics
+from repro.verify.equiv import check_extension
+
+
+class TestQuarantine:
+    def test_transient_fault_recovers_without_quarantine(self,
+                                                         monkeypatch):
+        # nth=1: the joint run dies once; the per-output rerun is clean,
+        # so nothing is quarantined and nothing is degraded.
+        monkeypatch.setenv(faults.ENV_VAR, "worker.mid_decomp:raise:1:1")
+        func = benchmark("rd53")
+        engine = DecompositionEngine()
+        net = engine.run(func)
+        assert engine.stats.quarantined_outputs == []
+        assert engine.profiler.events.get("quarantine_rerun") == 1
+        assert engine.profiler.events.get("quarantine_rerun_clean") == 1
+        assert engine.stats.fault_metrics == {
+            "worker.mid_decomp:raise": 1}
+        assert check_extension(func, net)
+
+    def test_persistent_fault_quarantines_every_output(self,
+                                                       monkeypatch):
+        # prob=1: the per-output reruns die too; every output lands on
+        # the (fault-suppressed) MUX fallback and is re-verified.
+        monkeypatch.setenv(faults.ENV_VAR, "worker.mid_decomp:raise:1")
+        func = benchmark("rd53")
+        engine = DecompositionEngine()
+        net = engine.run(func)
+        assert engine.stats.quarantined_outputs == list(func.output_names)
+        for name in func.output_names:
+            assert "FaultInjected" in engine.stats.quarantine_errors[name]
+        assert check_extension(func, net)
+        # Every output still has a realised cone.
+        assert set(net.outputs) == set(func.output_names)
+
+    def test_recursion_error_quarantines(self, monkeypatch):
+        func = benchmark("rd53")
+        engine = DecompositionEngine()
+
+        def blow_up(*args, **kwargs):
+            raise RecursionError("maximum recursion depth exceeded")
+
+        monkeypatch.setattr(engine, "_decompose", blow_up)
+        net = engine.run(func)
+        assert engine.stats.quarantined_outputs == list(func.output_names)
+        for error in engine.stats.quarantine_errors.values():
+            assert "RecursionError" in error
+        assert check_extension(func, net)
+
+    def test_unrelated_exceptions_still_propagate(self, monkeypatch):
+        engine = DecompositionEngine()
+
+        def bug(*args, **kwargs):
+            raise KeyError("a real bug, not a containable failure")
+
+        monkeypatch.setattr(engine, "_decompose", bug)
+        with pytest.raises(KeyError):
+            engine.run(benchmark("rd53"))
+
+    def test_sweep_leaves_no_dead_nodes(self, monkeypatch):
+        # The aborted joint attempt and per-output retries leave partial
+        # LUTs behind; after the sweep every node must be reachable from
+        # some output (lut_count is len(nodes), so dead nodes would
+        # inflate the reported cost).
+        monkeypatch.setenv(faults.ENV_VAR,
+                           "worker.mid_decomp:raise:0.4:2")
+        func = benchmark("rd73")
+        engine = DecompositionEngine()
+        net = engine.run(func)
+        reachable = set()
+        frontier = [sig for sig in net.outputs.values()
+                    if sig in net.nodes]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            frontier.extend(f for f in net.nodes[name].fanins
+                            if f in net.nodes)
+        assert reachable == set(net.nodes)
+        assert check_extension(func, net)
+
+    def test_quarantine_surfaces_in_metrics_and_records(self,
+                                                        monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker.mid_decomp:raise:1")
+        func = benchmark("rd53")
+        result = map_to_xc3000(func)
+        record = result.to_record()
+        assert record["engine"]["quarantined_outputs"] == \
+            list(func.output_names)
+        doc = run_metrics(command="map", source="rd53",
+                          stats=result.stats)
+        assert doc["engine"]["quarantined_outputs"] == \
+            list(func.output_names)
+        assert doc["faults"]["worker.mid_decomp:raise"] >= 1
+        report = result.stats.report()
+        assert "quarantined" in report
+
+
+class TestRecursionHeadroom:
+    def test_limit_scales_with_vars(self):
+        assert _required_recursion_limit(0) == 3000
+        assert _required_recursion_limit(16) == 3000 + 200 * 16
+        assert (_required_recursion_limit(64)
+                > _required_recursion_limit(16))
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RECURSION_LIMIT", "7777")
+        assert _required_recursion_limit(5) == 7777
+        monkeypatch.setenv("REPRO_RECURSION_LIMIT", "10")
+        assert _required_recursion_limit(5) == 1000  # floor
+
+    def test_run_raises_and_restores_limit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RECURSION_LIMIT", "50000")
+        func = benchmark("xor5")
+        engine = DecompositionEngine()
+        seen = {}
+        orig = engine._fresh_net
+
+        def spy(f):
+            seen["limit"] = sys.getrecursionlimit()
+            return orig(f)
+
+        monkeypatch.setattr(engine, "_fresh_net", spy)
+        before = sys.getrecursionlimit()
+        engine.run(func)
+        assert seen["limit"] == 50000
+        assert sys.getrecursionlimit() == before
