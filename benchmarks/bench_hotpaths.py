@@ -15,14 +15,25 @@ report also carries a calibration constant (time for a fixed
 pure-Python workload) and per-case times normalised by it, making
 reports from different machines roughly comparable.
 
+The report also carries a ``dsd`` section: one DSD-heavy end-to-end
+engine case (a parity shell around a random core, plus a Table 1
+circuit) run with the tier-0 pre-pass off and on, recording wall time,
+the bound-set scoring time the search actually spent (the
+``reduction_score``/``classes_for``/``kernel_refine`` kernel ops the
+``rank_bound_sets``/``greedy_bound_set`` rows above measure in
+isolation) and the pre-pass counters.
+
 Usage:
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py
     PYTHONPATH=src python benchmarks/bench_hotpaths.py \
-        --seeds 1 2 --check-speedup 1.0 --check-nvars 16 20
+        --seeds 1 2 --check-speedup 1.0 --check-nvars 16 20 \
+        --check-dsd
 
 ``--check-speedup X`` exits non-zero if any case at a width listed in
-``--check-nvars`` ran slower than ``X`` times the BDD reference — the
+``--check-nvars`` ran slower than ``X`` times the BDD reference;
+``--check-dsd`` exits non-zero if the DSD-on run was slower than the
+DSD-off run (1.25x grace) or emitted no split counters — together the
 CI perf-smoke gate.
 """
 
@@ -161,6 +172,81 @@ def run_case(seed: int, nvars: int):
     return rows
 
 
+#: Kernel ops that make up the bound-set scoring cost inside an engine
+#: run (what the isolated rank/greedy rows above measure).
+SCORING_OPS = ("classes_for", "reduction_score", "kernel_refine")
+
+
+def dsd_heavy_func():
+    """A 14-input single-output function with a 6-literal XOR shell
+    around a dense random 8-variable core — the shape the tier-0
+    pre-pass exists for."""
+    rng = random.Random(97)
+    bdd = BDD(14)
+    variables = list(range(14))
+    core_table = [rng.randint(0, 1) for _ in range(1 << 8)]
+    core = bdd.from_truth_table(core_table, variables[6:])
+    f = core
+    for v in variables[:6]:
+        f = bdd.apply_xor(f, bdd.var(v))
+    from repro.boolfunc.spec import MultiFunction
+    return MultiFunction(bdd, variables, [ISF.complete(f)])
+
+
+def run_dsd_case(name, func, gate_wall=False):
+    from repro.decomp.recursive import DecompositionEngine
+
+    def one(use_dsd):
+        engine = DecompositionEngine(use_dsd=use_dsd)
+        t0 = time.perf_counter()
+        net = engine.run(func)
+        wall = time.perf_counter() - t0
+        ops = (engine.stats.kernel_metrics or {}).get("ops", {})
+        scoring = sum(ops.get(op, {}).get("time_s", 0.0)
+                      for op in SCORING_OPS)
+        return {
+            "wall_s": wall,
+            "scoring_s": scoring,
+            "lut_count": net.lut_count,
+            "search_steps": engine.stats.decomposition_steps,
+            "dsd": dict(engine.stats.dsd),
+        }
+
+    off = one(False)
+    on = one(True)
+    return {
+        "case": name,
+        # Wall-gated cases are the DSD-*heavy* ones where the pre-pass
+        # must pay for itself outright; on the realistic circuits the
+        # on-path may legitimately spend longer searching a different
+        # (never worse) trajectory, so only LUTs/counters are gated.
+        "gate_wall": gate_wall,
+        "off": off,
+        "on": on,
+        "wall_speedup": off["wall_s"] / on["wall_s"]
+        if on["wall_s"] > 0 else math.inf,
+    }
+
+
+def run_dsd_section():
+    from repro.bench.registry import benchmark as build_circuit
+    rows = [run_dsd_case("xor6shell_rand8", dsd_heavy_func(),
+                         gate_wall=True),
+            run_dsd_case("alu2", build_circuit("alu2"))]
+    for row in rows:
+        counters = ", ".join(f"{k}={v}" for k, v in
+                             sorted(row["on"]["dsd"].items()))
+        print(f"dsd  {row['case']:<16s} "
+              f"off {row['off']['wall_s']*1e3:8.2f} ms "
+              f"(score {row['off']['scoring_s']*1e3:7.2f} ms, "
+              f"{row['off']['lut_count']} LUTs)   "
+              f"on {row['on']['wall_s']*1e3:8.2f} ms "
+              f"(score {row['on']['scoring_s']*1e3:7.2f} ms, "
+              f"{row['on']['lut_count']} LUTs)   "
+              f"speedup {row['wall_speedup']:5.2f}x   [{counters}]")
+    return rows
+
+
 def geomean(values):
     values = [v for v in values if v > 0 and math.isfinite(v)]
     if not values:
@@ -183,6 +269,10 @@ def main(argv=None) -> int:
     parser.add_argument("--check-nvars", type=int, nargs="+", default=[16],
                         help="widths the --check-speedup gate applies to "
                              "(default: 16)")
+    parser.add_argument("--check-dsd", action="store_true",
+                        help="exit non-zero if the DSD-on engine run is "
+                             "slower than DSD-off (1.25x grace) or "
+                             "emitted no split counters")
     args = parser.parse_args(argv)
 
     prior_kernel = os.environ.get("REPRO_KERNEL")
@@ -197,6 +287,7 @@ def main(argv=None) -> int:
                       f"bdd {row['bdd_s']*1e3:8.2f} ms   "
                       f"kernel {row['kernel_s']*1e3:8.2f} ms   "
                       f"speedup {row['speedup']:6.2f}x")
+    dsd_rows = run_dsd_section()
     if prior_kernel is None:
         os.environ.pop("REPRO_KERNEL", None)
     else:
@@ -217,6 +308,7 @@ def main(argv=None) -> int:
         "dc_density": DC_DENSITY,
         "repeats": REPEATS,
         "cases": cases,
+        "dsd": dsd_rows,
         "summary": {
             "geomean_speedup": geomean([r["speedup"] for r in cases]),
             "geomean_speedup_by_nvars": by_nvars,
@@ -237,6 +329,29 @@ def main(argv=None) -> int:
             return 1
         print(f"gate OK: {len(gated)} cases >= "
               f"{args.check_speedup:.2f}x at nvars {args.check_nvars}")
+    if args.check_dsd:
+        failed = False
+        for row in dsd_rows:
+            if row["gate_wall"] \
+                    and row["on"]["wall_s"] > 1.25 * row["off"]["wall_s"]:
+                print(f"GATE FAIL: dsd case {row['case']} on-path "
+                      f"{row['on']['wall_s']*1e3:.1f} ms > 1.25x off "
+                      f"{row['off']['wall_s']*1e3:.1f} ms",
+                      file=sys.stderr)
+                failed = True
+            if not row["on"]["dsd"]:
+                print(f"GATE FAIL: dsd case {row['case']} emitted no "
+                      f"pre-pass counters", file=sys.stderr)
+                failed = True
+            if row["on"]["lut_count"] > row["off"]["lut_count"]:
+                print(f"GATE FAIL: dsd case {row['case']} LUTs "
+                      f"{row['on']['lut_count']} > DSD-off "
+                      f"{row['off']['lut_count']}", file=sys.stderr)
+                failed = True
+        if failed:
+            return 1
+        print(f"dsd gate OK: {len(dsd_rows)} cases — heavy case on-path "
+              f"no slower, counters emitted, LUTs never worse")
     return 0
 
 

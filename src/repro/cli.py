@@ -527,6 +527,10 @@ def main(argv: Optional[list] = None) -> int:
         p.add_argument("--no-dc", action="store_true",
                        help="disable don't-care exploitation (mulopII)")
         if cmd in ("map", "gates", "compare"):
+            p.add_argument("--no-dsd", action="store_true",
+                           help="disable the tier-0 structural pre-pass "
+                                "(DSD shatter before the ncc search; "
+                                "same as REPRO_DSD=off)")
             p.add_argument("--no-kernel", action="store_true",
                            help="disable the word-parallel truth-table "
                                 "kernel (pure-BDD hot paths; same as "
@@ -635,9 +639,15 @@ def main(argv: Optional[list] = None) -> int:
                               "or $REPRO_CACHE_DIR)")
 
     args = parser.parse_args(argv)
+    if getattr(args, "no_dsd", False):
+        os.environ["REPRO_DSD"] = "off"
     if getattr(args, "no_kernel", False):
         os.environ["REPRO_KERNEL"] = "off"
     if getattr(args, "kernel_max_vars", None) is not None:
+        if args.kernel_max_vars < 0:
+            raise SystemExit(
+                "--kernel-max-vars must be >= 0 "
+                f"(got {args.kernel_max_vars})")
         os.environ["REPRO_KERNEL_MAX_VARS"] = str(args.kernel_max_vars)
     if getattr(args, "inject", None):
         from repro import faults

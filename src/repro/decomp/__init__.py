@@ -9,6 +9,9 @@
 * :mod:`repro.decomp.dontcare` — the three-step don't-care assignment;
 * :mod:`repro.decomp.bound_set` — bound-set search seeded by symmetry
   groups;
+* :mod:`repro.decomp.dsd` — the tier-0 structural pre-pass (disjoint
+  support decomposition: dead variables, AND/OR/XOR literal peels, MUX
+  splits) that shatters functions before the ncc search;
 * :mod:`repro.decomp.recursive` — the recursive drivers ``mulopII``
   (no don't-care exploitation) and ``mulop-dc``.
 """
@@ -29,6 +32,15 @@ from repro.decomp.dontcare import (
     assign_step3_single,
 )
 from repro.decomp.bound_set import select_bound_set
+from repro.decomp.dsd import (
+    DsdChain,
+    DsdConst,
+    DsdCore,
+    DsdMux,
+    chain_table,
+    dsd_enabled,
+    shatter,
+)
 from repro.decomp.recursive import DecompositionEngine, decompose
 from repro.decomp.single import SingleDecomposition, decompose_single
 from repro.decomp.cover import classes_for_exact
@@ -49,6 +61,13 @@ __all__ = [
     "assign_step2_sharing",
     "assign_step3_single",
     "select_bound_set",
+    "DsdChain",
+    "DsdConst",
+    "DsdCore",
+    "DsdMux",
+    "chain_table",
+    "dsd_enabled",
+    "shatter",
     "DecompositionEngine",
     "decompose",
     "SingleDecomposition",

@@ -28,10 +28,14 @@ from repro.kernel import STATS as KERNEL_STATS
 
 try:
     from repro.kernel.compat import kernel_reduction_score
+    from repro.kernel.convert import TableMismatchError
     from repro.kernel.refine import PartitionCache
 except ImportError:  # pragma: no cover - numpy unavailable
     kernel_reduction_score = None
     PartitionCache = None
+
+    class TableMismatchError(Exception):
+        """Placeholder so except-clauses stay valid without numpy."""
 
 
 def candidate_bound_sets(variables: Sequence[int], p: int,
@@ -186,8 +190,14 @@ def greedy_bound_set(bdd: BDD, outputs: Sequence[ISF],
                 continue
             cand = current + [var]
             if cache is not None:
-                ncc = cache.ncc_for(tuple(cand))
-            else:
+                try:
+                    ncc = cache.ncc_for(tuple(cand))
+                except TableMismatchError:
+                    # Stale/shrunk ordering behind the cache: degrade to
+                    # the BDD route for the rest of the growth.
+                    KERNEL_STATS.record_miss("classes_for")
+                    cache = None
+            if cache is None:
                 KERNEL_STATS.record_scratch()
                 ncc = classes_for(bdd, outputs, cand).ncc
             key = (ncc, var)
@@ -236,11 +246,18 @@ def rank_bound_sets(bdd: BDD, outputs: Sequence[ISF],
         full_key = (memo_key, cand)
         if score_memo is not None and full_key in score_memo:
             score = score_memo[full_key]
-        elif cache is not None:
-            score = cache.score_for(cand)
         else:
-            KERNEL_STATS.record_scratch()
-            score = reduction_score(bdd, outputs, cand)
+            score = None
+            if cache is not None:
+                try:
+                    score = cache.score_for(cand)
+                except TableMismatchError:
+                    KERNEL_STATS.record_miss("reduction_score")
+                    cache = None
+            if score is None:
+                if cache is None:
+                    KERNEL_STATS.record_scratch()
+                score = reduction_score(bdd, outputs, cand)
         if score_memo is not None:
             score_memo[full_key] = score
         if score[0] >= 0:

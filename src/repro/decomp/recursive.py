@@ -41,6 +41,15 @@ from repro.decomp.dontcare import (
     assign_step2_sharing,
     assign_step3_single,
 )
+from repro.decomp.dsd import (
+    DsdChain,
+    DsdConst,
+    DsdCore,
+    DsdMux,
+    chain_table,
+    dsd_enabled,
+    shatter,
+)
 from repro.decomp.encoding import build_composition_for_output
 from repro.decomp.multi import select_common_alphas
 from repro.kernel import STATS as KERNEL_STATS
@@ -126,6 +135,10 @@ class DecompositionStats:
     #: Injected-fault fires observed during this run (``{"site:kind":
     #: count}`` delta; None when no faults are armed).
     fault_metrics: Optional[Dict[str, int]] = None
+    #: Tier-0 DSD pre-pass counters: ``probes``, ``shattered``,
+    #: ``and_peels``/``or_peels``/``xor_peels``, ``mux_splits``,
+    #: ``dead_vars``, ``const_leaves``, ``cores``, ``chain_luts``.
+    dsd: Dict[str, int] = field(default_factory=dict)
 
     def phase_profile(self) -> Dict[str, Dict[str, float]]:
         """``{phase: {"time_s": ..., "calls": ...}}`` for this run."""
@@ -146,6 +159,10 @@ class DecompositionStats:
                                  key=lambda kv: -kv[1]):
             lines.append(f"  phase {name:<20s}: {secs:.4f} s "
                          f"x{self.phase_counts.get(name, 0)}")
+        if self.dsd:
+            parts = ", ".join(f"{key}={value}"
+                              for key, value in sorted(self.dsd.items()))
+            lines.append(f"dsd pre-pass        : {parts}")
         if self.budget_exhausted:
             lines.append("budget exhausted    : yes (MUX fallback used)")
         if self.quarantined_outputs:
@@ -209,6 +226,10 @@ class DecompositionEngine:
     node_budget:
         Optional cap on the BDD manager's node count with the same
         fallback — bounds memory the way ``time_budget`` bounds time.
+    use_dsd:
+        Tier-0 structural pre-pass (see :mod:`repro.decomp.dsd`):
+        ``None`` follows the ``REPRO_DSD`` environment switch (default
+        on), ``True``/``False`` force it for this engine.
     """
 
     def __init__(self, n_lut: int = 5, use_dontcares: bool = True,
@@ -220,7 +241,8 @@ class DecompositionEngine:
                  balanced: bool = False,
                  balanced_max_p: int = 8,
                  time_budget: Optional[float] = None,
-                 node_budget: Optional[int] = None) -> None:
+                 node_budget: Optional[int] = None,
+                 use_dsd: Optional[bool] = None) -> None:
         if n_lut < 2:
             raise ValueError("n_lut must be at least 2")
         self.n_lut = n_lut
@@ -234,8 +256,23 @@ class DecompositionEngine:
         self.balanced_max_p = balanced_max_p
         self.time_budget = time_budget
         self.node_budget = node_budget
+        self.use_dsd = use_dsd
+        self._dsd_active = False
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear every piece of per-run state.
+
+        One engine instance may decompose several ``MultiFunction``\\ s
+        (possibly living in different BDD managers); all of the memos
+        below key on node ids or reference signals of the previous run's
+        network, so carrying any of them across runs silently corrupts
+        the next result.  :meth:`run` calls this at entry.
+        """
         self.stats = DecompositionStats()
         self.profiler = PhaseProfiler()
+        # Shannon-cooldown heuristic state: stale True would give the
+        # next run's first Shannon children an unearned search cooldown.
         self._last_rank_empty = False
         self._deadline: Optional[float] = None
         self._fault_mid: Optional[callable] = None
@@ -245,6 +282,10 @@ class DecompositionEngine:
         #: Shannon split or shared-step regrouping; keyed by the
         #: ranking view's (lo, hi) node pairs the scores are exact.
         self._score_memo: Dict = {}
+        #: Intervals the DSD probe already found irreducible (per run —
+        #: keys are node-id pairs).
+        self._dsd_irreducible: Set[Tuple[int, int]] = set()
+        self._dsd_counter = 0
 
     # ------------------------------------------------------------------
 
@@ -259,10 +300,9 @@ class DecompositionEngine:
         are listed in ``stats.quarantined_outputs`` and their cones are
         re-verified against the specification before the run returns.
         """
-        self.stats = DecompositionStats()
-        self.profiler = PhaseProfiler()
-        self._mux_memo = {}
-        self._score_memo = {}
+        self.reset()
+        self._dsd_active = dsd_enabled() if self.use_dsd is None \
+            else bool(self.use_dsd)
         reset_kernel_stats()
         self._fault_mid = faults.hook("worker.mid_decomp")
         fault_baseline = faults.counters()
@@ -403,9 +443,161 @@ class DecompositionEngine:
         table = bdd.to_truth_table(f, support)
         return net.add_lut([signal_of[v] for v in support], table)
 
+    # -- tier-0 DSD pre-pass -------------------------------------------
+
+    def _dsd_bump(self, key: str, n: int = 1) -> None:
+        self.stats.dsd[key] = self.stats.dsd.get(key, 0) + n
+
+    def _dsd_probe(self, bdd: BDD, isf: ISF, multi: bool):
+        """Shatter one output/core, or ``None`` when nothing useful fired.
+
+        In no-DC mode the probe sees the 0-completion (``mulopII``
+        assigns every don't care to 0); in DC mode it sees the raw
+        interval, so every peel doubles as a conservative don't-care
+        assignment.  Irreducible and rejected intervals are memoised per
+        run — compositions frequently resurface unchanged after a
+        sibling's step.
+        """
+        probe_isf = isf if self.use_dontcares else ISF.complete(isf.lo)
+        key = (probe_isf.lo, probe_isf.hi, multi)
+        if key in self._dsd_irreducible:
+            return None
+        local: Dict[str, int] = {}
+        with profile_phase("dsd"):
+            plan = shatter(bdd, probe_isf, self.n_lut, local)
+        if plan is not None and not self._plan_worthwhile(bdd, plan,
+                                                          multi):
+            plan = None
+            self._dsd_bump("rejected_plans")
+        if plan is None:
+            self._dsd_irreducible.add(key)
+            self._dsd_bump("probes", local.get("probes", 0))
+            return None
+        for counter, count in local.items():
+            self._dsd_bump(counter, count)
+        return plan
+
+    def _plan_worthwhile(self, bdd: BDD, plan, multi: bool) -> bool:
+        """Adopt a plan only on strong structural evidence.
+
+        Partial plans (a still-wide core) perturb the ncc search on the
+        residue, and XOR peels in a multi-output bundle privatise
+        parity-shell logic the joint step would have shared (the
+        ``rd73``/``rd84`` sum outputs); the Table 1 tuning shows both
+        losing more than the peel saves unless the peels fill at least
+        one whole chain LUT (``n_lut - 1`` literals).  A complete
+        shatter free of those hazards bypasses the search outright and
+        is always taken.
+        """
+        peels = 0
+        xor_peels = 0
+        wide_cores = 0
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, DsdChain):
+                peels += len(node.peels)
+                xor_peels += sum(1 for kind, _, _ in node.peels
+                                 if kind == "xor")
+                stack.append(node.child)
+            elif isinstance(node, DsdMux):
+                stack.append(node.hi)
+                stack.append(node.lo)
+            elif isinstance(node, DsdCore):
+                if len(node.isf.support(bdd)) > self.n_lut:
+                    wide_cores += 1
+        full_lut = peels >= self.n_lut - 1
+        if wide_cores and not full_lut:
+            return False
+        if multi and xor_peels and not full_lut:
+            return False
+        return True
+
+    def _name_cores(self, plan, base: str) -> List[DsdCore]:
+        """Assign run-unique names to the plan's cores, in tree order."""
+        cores: List[DsdCore] = []
+
+        def walk(node) -> None:
+            if isinstance(node, DsdCore):
+                self._dsd_counter += 1
+                node.name = f"{base}~d{self._dsd_counter}"
+                cores.append(node)
+            elif isinstance(node, DsdChain):
+                walk(node.child)
+            elif isinstance(node, DsdMux):
+                walk(node.hi)
+                walk(node.lo)
+
+        walk(plan)
+        return cores
+
+    def _resolve_plan(self, name: str, plans: Dict[str, object],
+                      signals: Dict[str, str], net: LutNetwork,
+                      signal_of: Dict[int, str]) -> str:
+        """Signal of a shattered output, emitting its plan on demand."""
+        sig = signals.get(name)
+        if sig is None:
+            sig = self._emit_plan(plans[name], plans, signals, net,
+                                  signal_of)
+            signals[name] = sig
+        return sig
+
+    def _emit_plan(self, plan, plans: Dict[str, object],
+                   signals: Dict[str, str], net: LutNetwork,
+                   signal_of: Dict[int, str]) -> str:
+        """Emit one plan tree bottom-up; returns its root signal."""
+        if isinstance(plan, DsdConst):
+            return CONST1 if plan.value else CONST0
+        if isinstance(plan, DsdCore):
+            # The core went through the normal flow (or was itself
+            # shattered at a later level and has a nested plan).
+            return self._resolve_plan(plan.name, plans, signals, net,
+                                      signal_of)
+        if isinstance(plan, DsdMux):
+            hi = self._emit_plan(plan.hi, plans, signals, net, signal_of)
+            lo = self._emit_plan(plan.lo, plans, signals, net, signal_of)
+            return self._mux(net, signal_of[plan.var], hi, lo)
+        # DsdChain: pack the peels innermost-first into LUTs taking
+        # (n_lut - 1) literals plus the running child signal each —
+        # ceil(k / (n_lut - 1)) LUTs for k peeled literals.
+        sig = self._emit_plan(plan.child, plans, signals, net, signal_of)
+        peels = plan.peels
+        width = max(1, self.n_lut - 1)
+        i = len(peels)
+        while i > 0:
+            j = max(0, i - width)
+            chunk = peels[j:i]
+            fanins = [signal_of[var] for _, var, _ in chunk] + [sig]
+            sig = net.add_lut(fanins, chain_table(chunk),
+                              name_hint="dsd")
+            self._dsd_bump("chain_luts")
+            i = j
+        return sig
+
     def _decompose(self, bdd: BDD, named: List[Tuple[str, ISF]],
                    net: LutNetwork, signal_of: Dict[int, str],
                    depth: int, search_cooldown: int = 0) -> Dict[str, str]:
+        """Decompose one bundle: level iteration plus DSD plan emission.
+
+        The level worker records a *plan* for every output (or core) the
+        tier-0 pre-pass shattered instead of a signal; once all residual
+        cores have signals, the plans are emitted bottom-up — chains as
+        packed literal LUTs, MUX splits through the shared MUX emitter.
+        """
+        plans: Dict[str, object] = {}
+        signals = self._decompose_levels(bdd, named, net, signal_of,
+                                         depth, search_cooldown, plans)
+        if plans:
+            with profile_phase("dsd"):
+                for name in list(plans):
+                    self._resolve_plan(name, plans, signals, net,
+                                       signal_of)
+        return signals
+
+    def _decompose_levels(self, bdd: BDD, named: List[Tuple[str, ISF]],
+                          net: LutNetwork, signal_of: Dict[int, str],
+                          depth: int, search_cooldown: int,
+                          plans: Dict[str, object]) -> Dict[str, str]:
         """Main worker: iterates decomposition levels on one bundle.
 
         ``search_cooldown`` skips the (expensive) bound-set search for
@@ -435,8 +627,27 @@ class DecompositionEngine:
                     with profile_phase("leaf_emit"):
                         signals[name] = self._emit_leaf(bdd, isf, net,
                                                         signal_of)
-                else:
+                    continue
+                plan = None
+                if self._dsd_active and name not in plans:
+                    plan = self._dsd_probe(bdd, isf,
+                                           multi=len(pending) > 1)
+                if plan is None:
                     still.append((name, isf))
+                    continue
+                # Shattered: record the plan, leaf-emit the LUT-sized
+                # cores right away and keep the wide ones in the flow
+                # under fresh names the plan tree references.
+                self._dsd_bump("shattered")
+                plans[name] = plan
+                for core in self._name_cores(plan, name):
+                    self._dsd_bump("cores")
+                    if len(core.isf.support(bdd)) <= self.n_lut:
+                        with profile_phase("leaf_emit"):
+                            signals[core.name] = self._emit_leaf(
+                                bdd, core.isf, net, signal_of)
+                    else:
+                        still.append((core.name, core.isf))
             pending = still
             if not pending:
                 break

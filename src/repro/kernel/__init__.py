@@ -86,10 +86,18 @@ _OFF_VALUES = {"off", "0", "false", "no"}
 
 
 def _env_int(name: str) -> int:
+    """Integer env override, ``-1`` when unset or unparsable (callers
+    substitute their default).
+
+    Explicit negative values clamp to ``0`` — the smallest meaningful
+    cap — so a degenerate setting like ``REPRO_KERNEL_MAX_VARS=-5``
+    deterministically disables dispatch instead of silently restoring
+    the default (which would *widen* what the user tried to narrow).
+    """
     raw = os.environ.get(name, "").strip()
     if raw:
         try:
-            return int(raw)
+            return max(0, int(raw))
         except ValueError:
             pass
     return -1
@@ -108,7 +116,14 @@ def kernel_enabled() -> bool:
 
 
 def kernel_max_vars() -> int:
-    """Live-support cap for dispatch (``REPRO_KERNEL_MAX_VARS`` override)."""
+    """Live-support cap for dispatch (``REPRO_KERNEL_MAX_VARS`` override).
+
+    Degenerate overrides get a sane clamp instead of misdispatch:
+    negative values behave as ``0`` (kernel never serves), unparsable
+    values fall back to the default.  A tier-1 override *larger* than
+    this cap is clamped down by :func:`kernel_tier1_max_vars`, so
+    ``tier_for`` always honours ``tier1 <= max``.
+    """
     value = _env_int("REPRO_KERNEL_MAX_VARS")
     return value if value >= 0 else DEFAULT_MAX_VARS
 

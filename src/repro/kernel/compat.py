@@ -42,6 +42,7 @@ if AVAILABLE:
     from repro.kernel.bitset import mask_rows, mask_to_bools, pack_rows
     from repro.kernel.bitset2 import words_rows
     from repro.kernel.convert import (
+        TableMismatchError,
         _conversion_cache,
         bdd_to_bools,
         bools_to_bdd,
@@ -299,10 +300,16 @@ def kernel_classes_for(bdd, outputs: Sequence[ISF], bound: Sequence[int]
         return None
     table_vars, tier = fit
     start = perf_counter()
-    with profile_phase("cofactors"):
-        vectors = _vertex_masks(bdd, outputs, bound, table_vars, tier)
-    with profile_phase("clique_cover"):
-        classes, class_of, merged_masks = _cover(vectors)
+    try:
+        with profile_phase("cofactors"):
+            vectors = _vertex_masks(bdd, outputs, bound, table_vars, tier)
+        with profile_phase("clique_cover"):
+            classes, class_of, merged_masks = _cover(vectors)
+    except TableMismatchError:
+        # Stale/shrunk ordering from the caller: degrade to the BDD
+        # route instead of crashing the run.
+        STATS.record_miss("classes_for")
+        return None
     STATS.record_hit("classes_for", perf_counter() - start)
     bound_set = set(bound)
     free = [v for v in table_vars if v not in bound_set]
@@ -337,8 +344,12 @@ def kernel_reduction_score(bdd, outputs: Sequence[ISF],
         return None
     table_vars, tier = fit
     start = perf_counter()
-    with profile_phase("cofactors"):
-        vectors = _vertex_masks(bdd, outputs, bound, table_vars, tier)
+    try:
+        with profile_phase("cofactors"):
+            vectors = _vertex_masks(bdd, outputs, bound, table_vars, tier)
+    except TableMismatchError:
+        STATS.record_miss("reduction_score")
+        return None
     with profile_phase("clique_cover"):
         bound_set = set(bound)
         reduction = 0
@@ -396,9 +407,13 @@ def kernel_assign_by_classes(bdd, outputs: Sequence[ISF],
         hi_rows = np.empty((1 << p, nfree_bits), dtype=bool)
         for c, vertices in enumerate(classes.classes):
             merged = classes.merged[c][k]
-            lo_tab = bdd_to_bools(bdd, merged.lo, free)
-            hi_tab = lo_tab if merged.hi == merged.lo else \
-                bdd_to_bools(bdd, merged.hi, free)
+            try:
+                lo_tab = bdd_to_bools(bdd, merged.lo, free)
+                hi_tab = lo_tab if merged.hi == merged.lo else \
+                    bdd_to_bools(bdd, merged.hi, free)
+            except TableMismatchError:
+                STATS.record_miss("assign_by_classes")
+                return None
             idx = np.asarray(vertices)
             lo_rows[idx] = lo_tab
             hi_rows[idx] = hi_tab

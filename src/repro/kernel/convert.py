@@ -36,6 +36,18 @@ CACHE_BYTES_LIMIT = 256 * 1024 * 1024
 
 _BYTES_KEY = "__bytes__"
 
+
+class TableMismatchError(ValueError):
+    """A conversion was asked for a table whose variable tuple does not
+    cover the function's support.
+
+    This happens when a caller hands the kernel a *stale or shrunk*
+    ordering — typically a support list computed from a DC-narrowed
+    interval that no longer covers the raw node actually being
+    converted.  Kernel dispatch sites catch this and degrade to the BDD
+    route with a recorded miss instead of crashing the run.
+    """
+
 _FALSE1 = np.zeros(1, dtype=bool)
 _TRUE1 = np.ones(1, dtype=bool)
 _FALSE1.setflags(write=False)
@@ -69,7 +81,7 @@ def bdd_to_bools(bdd: BDD, f: int, variables: Sequence[int]) -> np.ndarray:
     nvars = len(variables)
     extra = bdd.support(f) - set(variables)
     if extra:
-        raise ValueError(
+        raise TableMismatchError(
             f"function depends on variables outside the table: "
             f"{sorted(extra)}")
     cache = _conversion_cache(bdd)

@@ -1,0 +1,239 @@
+"""Word-parallel split predicates for the tier-0 DSD pre-pass.
+
+The structural pre-pass in :mod:`repro.decomp.dsd` probes an ISF for
+cheap top-decompositions — dead variables, AND/OR/XOR literal peels,
+single-variable MUX splits — before the compatible-class search ever
+runs.  Each probe is generic over an *ops adapter* (the idiom of
+:mod:`repro.kernel.symmetry`); this module provides the kernel-side
+adapter, where an ISF lives as a pair of packed truth-table masks and
+every split check is a handful of word-wide compares:
+
+* the two cofactor halves of the interval along a variable come from
+  one :func:`~repro.kernel.bitset2.split_int` /
+  :func:`~repro.kernel.bitset2.split_words` gather, already compacted
+  to the reduced variable tuple;
+* ``f = x AND g`` holds for *some* extension iff the onset of the
+  ``x = 0`` half is empty (``not lo0``), ``f = x OR g`` iff the
+  ``x = 1`` half's upper bound is full, ``f = x XOR g`` iff the
+  remainder interval ``[lo0 | ~hi1, hi0 & ~lo1]`` is non-empty, and a
+  variable is (DC-)dead iff the cofactor intervals intersect.
+
+Handles carry their own (shrinking) variable tuple, so a probe that
+peels ten literals does ten mask splits, never touching the BDD; only
+the irreducible cores are lowered back — through the canonical
+:func:`~repro.kernel.convert.bools_to_bdd`, so the engine sees exactly
+the node ids the BDD route would have produced and the emitted network
+is bit-identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.boolfunc.spec import ISF
+from repro.kernel import AVAILABLE, STATS, kernel_enabled, tier_for
+
+if AVAILABLE:
+    from repro.kernel.bitset import mask_rows, mask_to_bools, pack_bools
+    from repro.kernel.bitset2 import Words, split_int, split_words
+    from repro.kernel.compat import tier2_profitable
+    from repro.kernel.convert import (
+        TableMismatchError,
+        _conversion_cache,
+        bdd_to_bools,
+        bools_to_bdd,
+        cache_put,
+    )
+    from repro.kernel.symmetry import _sel0, _sel2
+
+
+class MaskIsf:
+    """An ISF as interval masks over an explicit variable tuple.
+
+    Unlike :class:`repro.kernel.symmetry.BitsISF` the variable tuple is
+    part of the handle — peels shrink it, and the masks are always
+    ``2**len(variables)`` bits, compacted by the split gathers.
+    ``hi is lo`` for completely specified functions.
+    """
+
+    __slots__ = ("variables", "lo", "hi")
+
+    def __init__(self, variables: Tuple[int, ...], lo, hi) -> None:
+        self.variables = variables
+        self.lo = lo
+        self.hi = hi
+
+
+class MaskDsdOps:
+    """Kernel-domain DSD split checks over :class:`MaskIsf` handles.
+
+    Tier-blind: masks are bignums (tier 1) or :class:`Words` (tier 2);
+    the predicates only use the operator set both share, plus the two
+    tier-specific helpers ``_full`` and ``_split``.  The decision
+    sequence mirrors :class:`repro.decomp.dsd.BddDsdOps` check for
+    check, so both domains shatter a function identically.
+    """
+
+    domain = "kernel"
+
+    def __init__(self, bdd, tier: int) -> None:
+        self.bdd = bdd
+        self.tier = tier
+        self._full_cache: dict = {}
+
+    # -- tier dispatch ---------------------------------------------------
+
+    def _full(self, nbits: int):
+        """The all-ones mask of ``nbits`` bits (``~x`` via ``full ^ x``:
+        bignum ``~`` is negative, so inversion goes through XOR)."""
+        full = self._full_cache.get(nbits)
+        if full is None:
+            if self.tier == 1:
+                full = (1 << nbits) - 1
+            else:
+                full = ~Words.from_int(0, nbits)
+            self._full_cache[nbits] = full
+        return full
+
+    def _split(self, mask, nbits: int, stride: int):
+        if self.tier == 1:
+            return split_int(mask, nbits, stride)
+        return split_words(mask, stride)
+
+    def _sel(self, nvars: int, axis: int):
+        return _sel0(nvars, axis) if self.tier == 1 else _sel2(nvars, axis)
+
+    # -- conversion ------------------------------------------------------
+
+    def _mask(self, node: int, variables: Tuple[int, ...]):
+        cache = _conversion_cache(self.bdd)
+        key = ("mask", node, variables, self.tier)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        arr = bdd_to_bools(self.bdd, node, variables)
+        if self.tier == 1:
+            mask = mask_rows(arr.reshape(1, -1))[0]
+            nbytes = max(1, (1 << len(variables)) >> 3)
+        else:
+            mask = Words(arr.size, pack_bools(arr))
+            nbytes = mask.words.nbytes
+        cache_put(cache, key, mask, nbytes)
+        cache_put(cache, ("node", variables, mask), node)
+        return mask
+
+    def _node_of(self, mask, variables: Tuple[int, ...]) -> int:
+        cache = _conversion_cache(self.bdd)
+        key = ("node", variables, mask)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        nbits = 1 << len(variables)
+        bools = mask_to_bools(mask, nbits) if self.tier == 1 \
+            else mask.to_bools()
+        node = bools_to_bdd(self.bdd, bools, variables)
+        cache_put(cache, key, node)
+        return node
+
+    def lift(self, isf: ISF, variables: Tuple[int, ...]) -> MaskIsf:
+        lo = self._mask(isf.lo, variables)
+        hi = lo if isf.hi == isf.lo else self._mask(isf.hi, variables)
+        return MaskIsf(variables, lo, hi)
+
+    def lower(self, h: MaskIsf) -> ISF:
+        lo = self._node_of(h.lo, h.variables)
+        hi = lo if h.hi is h.lo or h.hi == h.lo \
+            else self._node_of(h.hi, h.variables)
+        return ISF.create(self.bdd, lo, hi)
+
+    # -- split predicates ------------------------------------------------
+
+    def admits_const(self, h: MaskIsf) -> Optional[int]:
+        """0/1 when some extension of the interval is constant."""
+        if not h.lo:
+            return 0
+        if h.hi == self._full(1 << len(h.variables)):
+            return 1
+        return None
+
+    def support_vars(self, h: MaskIsf) -> Tuple[int, ...]:
+        """Variables at least one end of the interval depends on,
+        ascending (matches ``sorted(ISF.support)`` on the BDD side)."""
+        n = len(h.variables)
+        complete = h.hi is h.lo or h.hi == h.lo
+        out = []
+        for axis, var in enumerate(h.variables):
+            stride = 1 << (n - 1 - axis)
+            sel = self._sel(n, axis)
+            if (h.lo ^ (h.lo >> stride)) & sel:
+                out.append(var)
+            elif not complete and (h.hi ^ (h.hi >> stride)) & sel:
+                out.append(var)
+        return tuple(out)
+
+    def _halves(self, h: MaskIsf, var: int):
+        n = len(h.variables)
+        axis = h.variables.index(var)
+        stride = 1 << (n - 1 - axis)
+        nbits = 1 << n
+        lo0, lo1 = self._split(h.lo, nbits, stride)
+        if h.hi is h.lo or h.hi == h.lo:
+            hi0, hi1 = lo0, lo1
+        else:
+            hi0, hi1 = self._split(h.hi, nbits, stride)
+        rest = h.variables[:axis] + h.variables[axis + 1:]
+        return rest, lo0, hi0, lo1, hi1
+
+    def try_peel(self, h: MaskIsf, var: int):
+        """``(kind, positive, remainder)`` for the first applicable peel
+        of ``var`` — dead, AND, OR, XOR in that order — or ``None``."""
+        rest, lo0, hi0, lo1, hi1 = self._halves(h, var)
+        full = self._full(1 << len(rest))
+        if not (lo0 & (full ^ hi1)) and not (lo1 & (full ^ hi0)):
+            # Cofactor intervals intersect: some extension ignores var.
+            return ("dead", True, MaskIsf(rest, lo0 | lo1, hi0 & hi1))
+        if not lo0:
+            return ("and", True, MaskIsf(rest, lo1, hi1))
+        if not lo1:
+            return ("and", False, MaskIsf(rest, lo0, hi0))
+        if hi1 == full:
+            return ("or", True, MaskIsf(rest, lo0, hi0))
+        if hi0 == full:
+            return ("or", False, MaskIsf(rest, lo1, hi1))
+        # f = var XOR g admits an extension iff the g-interval
+        # [lo0 | ~hi1, hi0 & ~lo1] is non-empty.
+        g_lo = lo0 | (full ^ hi1)
+        g_hi = hi0 & (full ^ lo1)
+        if not (g_lo & (full ^ g_hi)):
+            return ("xor", True, MaskIsf(rest, g_lo, g_hi))
+        return None
+
+    def cofactors(self, h: MaskIsf, var: int) -> Tuple[MaskIsf, MaskIsf]:
+        rest, lo0, hi0, lo1, hi1 = self._halves(h, var)
+        return MaskIsf(rest, lo0, hi0), MaskIsf(rest, lo1, hi1)
+
+
+def dsd_mask_domain(bdd, isf: ISF, op: str = "dsd_probe"
+                    ) -> Optional[Tuple[MaskDsdOps, MaskIsf]]:
+    """Kernel ops + lifted handle when the ISF's live support fits a
+    tier, else ``None`` (miss counted under ``op``, except when the
+    kernel is simply disabled)."""
+    if not AVAILABLE or not kernel_enabled():
+        return None
+    live = bdd.support(isf.lo)
+    if isf.hi != isf.lo:
+        live = live | bdd.support(isf.hi)
+    tier = tier_for(len(live))
+    if tier == 0 or (tier == 2 and not tier2_profitable(bdd, [isf],
+                                                        len(live))):
+        STATS.record_miss(op)
+        return None
+    ops = MaskDsdOps(bdd, tier)
+    try:
+        return ops, ops.lift(isf, tuple(sorted(live)))
+    except TableMismatchError:
+        STATS.record_miss(op)
+        return None
+
+
+__all__ = ["MaskDsdOps", "MaskIsf", "dsd_mask_domain"]

@@ -51,6 +51,7 @@ if AVAILABLE:
     from repro.kernel.bitset2 import Words
     from repro.kernel.compat import tier2_profitable
     from repro.kernel.convert import (
+        TableMismatchError,
         _conversion_cache,
         bdd_to_bools,
         bools_to_bdd,
@@ -294,4 +295,10 @@ def bits_domain(bdd, isfs: Sequence[ISF], variables: Sequence[int],
         STATS.record_miss(op)
         return None
     ops = BitsIsfOps(bdd, sorted(live), tier)
-    return ops, [ops.lift(isf) for isf in isfs]
+    try:
+        return ops, [ops.lift(isf) for isf in isfs]
+    except TableMismatchError:
+        # A caller-supplied `variables` narrower than the raw supports
+        # (stale/DC-shrunk ordering): degrade to the BDD route.
+        STATS.record_miss(op)
+        return None

@@ -84,6 +84,9 @@ def run_metrics(*, command: str, source: str, stats: Any,
         "quarantined_outputs": list(
             getattr(stats, "quarantined_outputs", ()) or ()),
     }
+    dsd = getattr(stats, "dsd", None)
+    if dsd:
+        doc["engine"]["dsd"] = dict(dsd)
     faults_fired = getattr(stats, "fault_metrics", None)
     if faults_fired:
         doc["faults"] = dict(faults_fired)
@@ -197,6 +200,10 @@ def profile_report(stats: Any,
                          f"x{entry['hits']}"
                          + (f" (+{entry['misses']} fallback)"
                             if entry.get("misses") else ""))
+    dsd = getattr(stats, "dsd", None)
+    if dsd:
+        pairs = ", ".join(f"{key}={dsd[key]}" for key in sorted(dsd))
+        lines.append(f"dsd pre-pass (tier 0) : {pairs}")
     fallbacks = getattr(stats, "exact_cover_fallbacks", 0)
     if fallbacks:
         lines.append(f"exact-cover fallbacks : {fallbacks} "

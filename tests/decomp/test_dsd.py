@@ -1,0 +1,167 @@
+"""Tier-0 DSD pre-pass: differential suite against the plain search.
+
+Three layers of evidence:
+
+* every (fast, <= 16-input) Table 1 circuit maps correctly with the
+  pre-pass on and never needs more LUTs than with it off;
+* randomised incompletely specified functions stay extensions of their
+  spec at several don't-care densities;
+* purely structural functions (a parity tree, a MUX tree) bypass the
+  ncc search entirely — zero decomposition/Shannon steps, optimal LUT
+  counts — and the emitted network is bit-identical whether or not the
+  word-parallel kernel served the probes.
+"""
+
+import random
+from functools import reduce
+
+import pytest
+
+from repro.bdd.manager import BDD
+from repro.bench.registry import BENCHMARKS, TABLE_ORDER
+from repro.bench.registry import benchmark as build_circuit
+from repro.boolfunc.spec import MultiFunction
+from repro.decomp.dsd import chain_table
+from repro.decomp.recursive import DecompositionEngine
+from repro.verify.equiv import check_equivalence, check_extension
+from tests.decomp.test_recursive import random_mf
+
+FAST_TABLE1 = [name for name in TABLE_ORDER
+               if not BENCHMARKS[name].heavy
+               and BENCHMARKS[name].num_inputs <= 16]
+
+
+def run_engine(func, use_dsd, **kwargs):
+    engine = DecompositionEngine(use_dsd=use_dsd, **kwargs)
+    net = engine.run(func)
+    return net, engine.stats
+
+
+class TestTable1Differential:
+    @pytest.mark.parametrize("name", FAST_TABLE1)
+    def test_never_worse_and_verified(self, name):
+        func = build_circuit(name)
+        net_off, _ = run_engine(func, use_dsd=False)
+        net_on, stats = run_engine(func, use_dsd=True)
+        assert check_equivalence(func, net_on).equivalent
+        assert net_on.max_fanin() <= 5
+        assert net_on.lut_count <= net_off.lut_count
+        # The pre-pass ran (it may well reject every plan — that still
+        # counts probes).
+        assert stats.dsd.get("probes", 0) > 0
+
+
+class TestRandomisedDontCares:
+    @pytest.mark.parametrize("dc_prob", [0.0, 0.2, 0.5, 0.8])
+    def test_extension_preserved(self, dc_prob):
+        rng = random.Random(int(dc_prob * 100) + 7)
+        for trial in range(4):
+            bdd = BDD(7)
+            func = random_mf(bdd, rng, 7, 2, dc_prob=dc_prob)
+            net, _ = run_engine(func, use_dsd=True, n_lut=4)
+            assert check_extension(func, net).equivalent
+            assert net.max_fanin() <= 4
+
+    def test_mulopii_mode_with_dsd(self):
+        rng = random.Random(211)
+        for trial in range(4):
+            bdd = BDD(6)
+            func = random_mf(bdd, rng, 6, 3, dc_prob=0.3)
+            net, _ = run_engine(func, use_dsd=True, use_dontcares=False)
+            assert check_extension(func, net).equivalent
+
+
+def _parity_func(n=12):
+    bdd = BDD(num_vars=n)
+    return MultiFunction.from_callable(
+        bdd, list(range(n)), 1,
+        lambda *bits: (reduce(lambda a, b: a ^ b, bits),))
+
+
+def _muxtree_func():
+    # 3 selectors routing 8 data inputs: a pure MUX tree.
+    bdd = BDD(num_vars=11)
+
+    def fn(*bits):
+        idx = (bits[0] << 2) | (bits[1] << 1) | bits[2]
+        return (bits[3 + idx],)
+
+    return MultiFunction.from_callable(bdd, list(range(11)), 1, fn)
+
+
+class TestPureDsdBypass:
+    def test_parity_tree_bypasses_search(self):
+        func = _parity_func(12)
+        net, stats = run_engine(func, use_dsd=True)
+        assert check_equivalence(func, net).equivalent
+        # ceil(11 literals / 4 per chain LUT) = 3 — optimal for n_lut=5.
+        assert net.lut_count == 3
+        assert stats.decomposition_steps == 0
+        assert stats.shannon_steps == 0
+        assert stats.dsd["xor_peels"] == 11 - 4
+        assert stats.dsd["shattered"] == 1
+
+    def test_mux_tree_bypasses_search(self):
+        func = _muxtree_func()
+        net, stats = run_engine(func, use_dsd=True)
+        assert check_equivalence(func, net).equivalent
+        assert net.lut_count == 7
+        assert stats.decomposition_steps == 0
+        assert stats.shannon_steps == 0
+        assert stats.dsd["mux_splits"] == 3
+        assert stats.dsd["cores"] == 4
+
+    def test_kernel_on_off_bit_identical(self, monkeypatch):
+        func = _parity_func(12)
+        net_kernel, stats_kernel = run_engine(func, use_dsd=True)
+        monkeypatch.setenv("REPRO_KERNEL", "off")
+        net_bdd, stats_bdd = run_engine(func, use_dsd=True)
+        assert net_kernel.to_blif("parity") == net_bdd.to_blif("parity")
+        assert stats_kernel.dsd == stats_bdd.dsd
+
+    def test_kernel_on_off_bit_identical_table1(self, monkeypatch):
+        func = build_circuit("rd84")
+        net_kernel, _ = run_engine(func, use_dsd=True)
+        monkeypatch.setenv("REPRO_KERNEL", "off")
+        net_bdd, _ = run_engine(func, use_dsd=True)
+        assert net_kernel.to_blif("rd84") == net_bdd.to_blif("rd84")
+
+
+class TestEnvToggle:
+    def test_repro_dsd_off_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DSD", "off")
+        func = _parity_func(8)
+        net, stats = run_engine(func, use_dsd=None)
+        assert check_equivalence(func, net).equivalent
+        assert stats.dsd == {}
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DSD", "off")
+        func = _parity_func(8)
+        net, stats = run_engine(func, use_dsd=True)
+        assert stats.dsd.get("shattered", 0) == 1
+
+
+class TestChainTable:
+    @pytest.mark.parametrize("kinds", [
+        [("and", 0, True)],
+        [("or", 1, False)],
+        [("xor", 2, True), ("and", 3, False)],
+        [("xor", 0, True), ("or", 1, True), ("xor", 2, False),
+         ("and", 3, True)],
+    ])
+    def test_matches_fold(self, kinds):
+        table = chain_table(kinds)
+        k = len(kinds) + 1
+        assert len(table) == 1 << k
+        ops = {"and": lambda a, b: a & b,
+               "or": lambda a, b: a | b,
+               "xor": lambda a, b: a ^ b}
+        for idx in range(1 << k):
+            acc = idx & 1
+            for pos in range(len(kinds) - 1, -1, -1):
+                kind, _, positive = kinds[pos]
+                bit = (idx >> (k - 1 - pos)) & 1
+                lit = bit if positive else 1 - bit
+                acc = ops[kind](lit, acc)
+            assert table[idx] == acc
