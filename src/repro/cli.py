@@ -13,6 +13,7 @@
     python -m repro batch --resume b.jnl --out r.jsonl   # after a crash
     python -m repro batch rd84 --inject worker.start:crash:1:1  # chaos
     python -m repro cache stats               # persistent result cache
+    python -m repro serve --socket /tmp/repro.sock --port 8787  # daemon
     python -m repro list                      # registered benchmarks
 """
 
@@ -346,6 +347,17 @@ def _parse_batch_jobs(args) -> list:
     return jobs
 
 
+def _resolve_worker_arg(requested) -> tuple:
+    """Clamp ``--jobs``/``--workers`` and surface the note, so ``0`` or
+    a negative count runs at the auto-detected width with a clean
+    message instead of misbehaving."""
+    from repro.runtime import resolve_workers
+    workers, note = resolve_workers(requested)
+    if note:
+        print(note)
+    return workers, note
+
+
 def _cmd_batch(args) -> int:
     from repro.runtime import (
         BatchJournal,
@@ -397,7 +409,8 @@ def _cmd_batch(args) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or None)
-    scheduler = BatchScheduler(workers=args.jobs, timeout=args.timeout,
+    workers, note = _resolve_worker_arg(args.jobs)
+    scheduler = BatchScheduler(workers=workers, timeout=args.timeout,
                                retries=args.retries, cache=cache,
                                heartbeat_s=args.heartbeat,
                                hang_grace_s=args.hang_grace)
@@ -486,6 +499,59 @@ def _cmd_batch(args) -> int:
           f"{totals['cache_hits']}/{totals['jobs']}, "
           f"{totals['retries']} retries{chaos}")
     return 1 if totals["failed"] else 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.runtime.cache import ResultCache
+    from repro.serve import DecompositionService, ServeDaemon
+
+    if args.socket is None and args.port is None:
+        raise SystemExit("give --socket PATH, --port N, or both")
+    workers, _ = _resolve_worker_arg(args.workers)
+    weights = {}
+    for spec in args.weight or ():
+        tenant, sep, value = spec.partition("=")
+        try:
+            if not sep or float(value) <= 0:
+                raise ValueError
+            weights[tenant] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"malformed --weight {spec!r} (use TENANT=W with W > 0)")
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or None)
+    service = DecompositionService(
+        workers=workers, cache=cache, queue_depth=args.queue_depth,
+        shed=args.shed, timeout=args.timeout, retries=args.retries,
+        heartbeat_s=args.heartbeat, hang_grace_s=args.hang_grace,
+        weights=weights, warm_limit=args.warm_funcs)
+    daemon = ServeDaemon(
+        service, socket_path=args.socket, host=args.host,
+        port=args.port, allow_files=args.allow_files,
+        allow_test_hooks=args.allow_test_hooks,
+        max_frame_bytes=args.max_frame_bytes,
+        drain_timeout=args.drain_timeout)
+
+    def ready(d: ServeDaemon) -> None:
+        if d.socket_path is not None:
+            print(f"serving on unix socket {d.socket_path}")
+        if d.http_address is not None:
+            print(f"serving HTTP on {d.http_address[0]}:"
+                  f"{d.http_address[1]}")
+        print(f"{workers} worker(s), cache "
+              f"{'off' if cache is None else cache.root}, "
+              f"queue depth {args.queue_depth}/tenant, "
+              f"shed policy {args.shed}", flush=True)
+
+    try:
+        asyncio.run(daemon.run(ready=ready))
+    except KeyboardInterrupt:
+        pass
+    print("daemon drained; bye")
+    return 0
 
 
 def _cmd_cache(args) -> int:
@@ -631,6 +697,79 @@ def main(argv: Optional[list] = None) -> int:
                             "degrade its job without retry (default: "
                             "off — only --timeout applies)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the async decomposition daemon (unix socket / HTTP)")
+    serve.add_argument("--socket", metavar="PATH",
+                       help="unix socket path for the NDJSON front-end")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="TCP port for the HTTP front-end (0 picks a "
+                            "free port)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind address (default: 127.0.0.1)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="persistent worker processes (default: CPU "
+                            "count; 0 or negative clamps to auto)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       metavar="N",
+                       help="admission-control queue depth per tenant "
+                            "(default: 64)")
+    serve.add_argument("--shed", choices=("degrade", "reject"),
+                       default="degrade",
+                       help="over-budget policy: serve the verified "
+                            "trivial mapping (degrade, default) or "
+                            "reject with a typed 'overloaded' error")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-request wall-clock budget in seconds "
+                            "(over budget degrades, as in batch)")
+    serve.add_argument("--retries", type=int, default=1, metavar="K",
+                       help="crash retries per request before degrading "
+                            "(default: 1)")
+    serve.add_argument("--heartbeat", type=float, default=1.0,
+                       metavar="S",
+                       help="worker liveness beat interval (default: "
+                            "1.0; 0 disables)")
+    serve.add_argument("--hang-grace", type=float, default=None,
+                       metavar="S",
+                       help="kill a worker silent for S seconds and "
+                            "degrade its request (default: off)")
+    serve.add_argument("--warm-funcs", type=int, default=None,
+                       metavar="N",
+                       help="per-worker warm built-function LRU depth "
+                            "(default: $REPRO_SERVE_WARM_FUNCS or 8; "
+                            "0 disables warm reuse)")
+    serve.add_argument("--weight", action="append", metavar="TENANT=W",
+                       help="fair-queue weight for a tenant "
+                            "(repeatable; default weight 1.0)")
+    serve.add_argument("--max-frame-bytes", type=int, default=None,
+                       metavar="N",
+                       help="request frame/body ceiling (default: "
+                            "$REPRO_SERVE_MAX_FRAME_BYTES or 4 MiB)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="graceful-shutdown budget on SIGTERM "
+                            "(default: 30)")
+    serve.add_argument("--allow-files", action="store_true",
+                       help="serve pla:/blif: file paths (the daemon "
+                            "reads local files on clients' behalf)")
+    serve.add_argument("--allow-test-hooks", action="store_true",
+                       help="accept request 'test_hook' fields "
+                            "(chaos/CI only)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent result cache")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="result-cache location (default "
+                            "~/.cache/repro or $REPRO_CACHE_DIR)")
+    serve.add_argument("--inject", action="append", metavar="SPEC",
+                       help="arm a fault site: site:kind:prob[:nth] "
+                            "(repeatable; inherited by workers; same "
+                            "grammar as REPRO_FAULTS)")
+    serve.add_argument("--fault-seed", type=int, default=None,
+                       metavar="N",
+                       help="seed for the injected-fault probability "
+                            "streams (same as REPRO_FAULTS_SEED)")
+
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache")
     cache_p.add_argument("cache_command", choices=("stats", "clear"))
@@ -669,6 +808,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_compare(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "cache":
         return _cmd_cache(args)
     return 1

@@ -65,6 +65,12 @@ SITES = (
     "journal.append",
     "kernel.dispatch",
     "bdd.ite",
+    # Service-tier sites (repro serve): request ingress, reply egress
+    # and the daemon->pool handoff.  See docs/SERVICE.md for the
+    # containment matrix.
+    "server.accept",
+    "server.reply",
+    "server.dispatch",
 )
 
 #: The fault kinds every site understands.

@@ -30,6 +30,7 @@ from repro.obs.metrics import (
     batch_metrics,
     profile_report,
     run_metrics,
+    serve_metrics,
     write_metrics,
 )
 
@@ -43,5 +44,6 @@ __all__ = [
     "batch_metrics",
     "profile_report",
     "run_metrics",
+    "serve_metrics",
     "write_metrics",
 ]

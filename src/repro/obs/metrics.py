@@ -135,6 +135,26 @@ def batch_metrics(*, source: str, job_rows: list,
     return doc
 
 
+def serve_metrics(stats: Dict[str, Any],
+                  extra: Optional[Dict[str, Any]] = None
+                  ) -> Dict[str, Any]:
+    """The service-tier variant of the metrics document.
+
+    Wraps a :meth:`repro.serve.daemon.ServeDaemon.stats` snapshot
+    (request/queue/pool/cache/server counters) in the same versioned
+    envelope as :func:`run_metrics`; this is what ``GET /metrics``
+    returns.  Additive relative to schema version 1.
+    """
+    doc: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "command": "serve",
+    }
+    doc.update(stats)
+    if extra:
+        doc.update(extra)
+    return doc
+
+
 def write_metrics(path: str, doc: Dict[str, Any]) -> None:
     """Write a metrics document as pretty-printed JSON."""
     with open(path, "w") as handle:

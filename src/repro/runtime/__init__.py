@@ -13,7 +13,11 @@ Three pillars (see ``docs/RUNTIME.md`` for the design discussion):
 * :mod:`repro.runtime.jobspec` — the JSON-able job wire format, manifest
   parsing and the worker entry point (with its heartbeat thread);
 * :mod:`repro.runtime.journal` — the crash-safe write-ahead
-  :class:`BatchJournal` behind ``repro batch --journal/--resume``.
+  :class:`BatchJournal` behind ``repro batch --journal/--resume``;
+* :mod:`repro.runtime.pool` — the shared worker-process primitives
+  (pipe drain/heartbeats, process hygiene, :class:`ProgressEvent`
+  callbacks) plus the persistent :class:`WorkerPool` with warm
+  per-worker function memos that ``repro serve`` multiplexes onto.
 
 Quickstart::
 
@@ -40,6 +44,16 @@ from repro.runtime.jobspec import (
     source_from_name,
     source_label,
 )
+from repro.runtime.pool import (
+    JobHung,
+    JobTimeout,
+    PoolClosed,
+    PoolError,
+    ProgressEvent,
+    WorkerCrash,
+    WorkerPool,
+    resolve_workers,
+)
 from repro.runtime.journal import (
     BatchJournal,
     JournalError,
@@ -55,6 +69,14 @@ from repro.runtime.scheduler import (
 )
 
 __all__ = [
+    "JobHung",
+    "JobTimeout",
+    "PoolClosed",
+    "PoolError",
+    "ProgressEvent",
+    "WorkerCrash",
+    "WorkerPool",
+    "resolve_workers",
     "BatchJournal",
     "JournalError",
     "journal_binding",

@@ -93,7 +93,12 @@ class ResultCache:
     # -- lookup/store ---------------------------------------------------
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached payload for ``key``, or None on miss/corruption."""
+        """The cached payload for ``key``, or None on miss/corruption.
+
+        An entry unlinked concurrently (a ``repro cache clear`` racing
+        this reader) is a plain miss — never an exception and never
+        counted as corruption.
+        """
         cached = self._lru.get(key)
         if cached is not None:
             self._lru.move_to_end(key)
@@ -176,13 +181,25 @@ class ResultCache:
     # -- maintenance ----------------------------------------------------
 
     def iter_files(self):
-        """All entry files currently on disk."""
-        if not self.root.is_dir():
+        """All entry files currently on disk.
+
+        Robust against concurrent maintenance: a ``repro cache clear``
+        (or an external cleanup) racing this iteration may remove the
+        root, a shard or an entry mid-walk — every such disappearance
+        is treated as "no entries there", never an exception.
+        """
+        try:
+            shards = sorted(self.root.iterdir())
+        except (FileNotFoundError, NotADirectoryError):
             return
-        for shard in sorted(self.root.iterdir()):
+        for shard in shards:
             if not shard.is_dir():
                 continue
-            for path in sorted(shard.glob("*.json")):
+            try:
+                entries = sorted(shard.glob("*.json"))
+            except OSError:
+                continue
+            for path in entries:
                 yield path
 
     def disk_stats(self) -> Dict[str, int]:

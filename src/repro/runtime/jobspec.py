@@ -31,8 +31,9 @@ retry and degradation paths are testable end to end.
 
 from __future__ import annotations
 
+import hashlib
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro import faults
 from repro.boolfunc.spec import MultiFunction
@@ -66,7 +67,11 @@ def source_label(source: Dict[str, Any]) -> str:
     if kind in ("benchmark", "generator"):
         return source["name"]
     if kind in ("pla", "blif"):
-        return f"{kind}:{source['path']}"
+        if "path" in source:
+            return f"{kind}:{source['path']}"
+        digest = hashlib.sha256(
+            source.get("body", "").encode()).hexdigest()[:12]
+        return f"{kind}:inline:{digest}"
     if kind == "synthetic":
         return (f"synth:{source['name']}:{source['inputs']}:"
                 f"{source['outputs']}:{source.get('seed')}")
@@ -102,12 +107,16 @@ def build_function(source: Dict[str, Any]) -> MultiFunction:
         raise ValueError(f"malformed generator name {name!r}")
     if kind == "pla":
         from repro.boolfunc.pla import parse_pla
-        with open(source["path"]) as handle:
-            return parse_pla(handle.read())
+        if "path" in source:
+            with open(source["path"]) as handle:
+                return parse_pla(handle.read())
+        return parse_pla(source["body"])
     if kind == "blif":
         from repro.boolfunc.blif import parse_blif
-        with open(source["path"]) as handle:
-            return parse_blif(handle.read())
+        if "path" in source:
+            with open(source["path"]) as handle:
+                return parse_blif(handle.read())
+        return parse_blif(source["body"])
     if kind == "synthetic":
         from repro.bench.synthetic import synthetic_circuit
         return synthetic_circuit(
@@ -212,16 +221,28 @@ def _verify_record(func: MultiFunction, result) -> bool:
     return sample_check(func, result.network, patterns=256)
 
 
-def execute_job(job: Dict[str, Any], attempt: int = 1) -> Dict[str, Any]:
+def execute_job(job: Dict[str, Any], attempt: int = 1,
+                build: Optional[Callable[[Dict[str, Any]],
+                                         MultiFunction]] = None
+                ) -> Dict[str, Any]:
     """Run one job to completion in the current process.
 
     Returns ``{"status": "ok", "result": <record>}``; any exception is
     the caller's to handle (the worker entry point converts it into a
     ``failed`` payload, the scheduler into a retry/degrade decision).
+
+    ``build`` overrides how the :class:`MultiFunction` is obtained —
+    persistent pool workers pass a memoising builder so repeat sources
+    reuse an already-built function (and its warm BDD manager) instead
+    of rebuilding from the wire dump.  It runs *after* the
+    ``worker.start`` fault site and test hooks, preserving the
+    per-attempt chaos ordering of one-shot workers.
     """
     faults.fault_point("worker.start")
     _apply_test_hook(job.get("test_hook"), attempt)
-    if job.get("wire"):
+    if build is not None:
+        func = build(job)
+    elif job.get("wire"):
         func = MultiFunction.from_wire(job["wire"])
     else:
         func = build_function(job["source"])
@@ -258,8 +279,8 @@ def execute_job(job: Dict[str, Any], attempt: int = 1) -> Dict[str, Any]:
     return {"status": "ok", "result": record}
 
 
-def _start_beat_thread(conn, send_lock: threading.Lock,
-                       interval_s: float) -> threading.Event:
+def start_beat_thread(conn, send_lock: threading.Lock,
+                      interval_s: float) -> threading.Event:
     """Ship liveness beats to the parent while the main thread makes
     progress.
 
@@ -305,7 +326,7 @@ def worker_entry(conn, job: Dict[str, Any], attempt: int,
     send_lock = threading.Lock()
     stop = None
     if heartbeat_s is not None and heartbeat_s > 0:
-        stop = _start_beat_thread(conn, send_lock, heartbeat_s)
+        stop = start_beat_thread(conn, send_lock, heartbeat_s)
     try:
         payload = execute_job(job, attempt)
     except BaseException as exc:  # noqa: BLE001 — report, don't die silently

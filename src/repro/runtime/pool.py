@@ -1,0 +1,698 @@
+"""Worker-pool primitives shared by the batch scheduler and `repro serve`.
+
+This module is the extraction layer between the two execution tiers:
+
+* the **batch tier** (:class:`~repro.runtime.scheduler.BatchScheduler`)
+  keeps its one-process-per-attempt model — a crash or timeout is
+  contained by construction — and consumes the low-level pieces here:
+  pipe draining with heartbeat bookkeeping (:func:`drain_messages`),
+  process hygiene (:func:`kill_process` / :func:`reap_process`), worker
+  count clamping (:func:`resolve_workers`) and the
+  :class:`ProgressEvent` callback API;
+* the **service tier** (:mod:`repro.serve`) needs warm workers — paying
+  interpreter startup and module import per request would dominate
+  small decompositions — so :class:`WorkerPool` keeps N long-lived
+  worker processes fed over duplex pipes, one job at a time each, with
+  the same heartbeat/hang/timeout story as the batch tier.
+
+Persistent workers stay **bit-identical** to the batch tier because the
+unit of determinism is the job, not the process: every job rebuilds (or
+reuses a memoised copy of) its :class:`MultiFunction` and runs a fresh
+engine whose per-run memos are cleared on reset.  What persists across
+jobs is the *warm* state that is semantically inert but expensive to
+recreate: the imported modules, and a small per-worker LRU of built
+functions whose BDD managers (unique/computed tables) stay hot for
+repeat sources.  Fault-arrival counters are re-armed per job
+(:func:`repro.faults.reset_in_worker`) so ``nth`` chaos schedules stay
+deterministic per attempt, exactly as with one-shot workers.
+
+Failure containment mirrors the scheduler: a worker that crashes,
+times out or goes heartbeat-silent is killed and reaped *inside the
+pool*; the submitter's future fails with a typed :class:`PoolError`
+(:class:`WorkerCrash` / :class:`JobTimeout` / :class:`JobHung`) and the
+pool respawns capacity on demand.  No worker failure can escape as an
+unhandled exception in the dispatcher thread, and ``shutdown`` leaves
+no live worker behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import faults
+
+#: Hard floor for poll intervals (seconds) — shared with the scheduler.
+POLL_S = 0.05
+
+#: Default cap applied to auto-detected worker counts.
+AUTO_WORKER_CAP = 8
+
+#: Default per-worker warm-function LRU depth (env-overridable).
+WARM_LIMIT_ENV = "REPRO_SERVE_WARM_FUNCS"
+
+
+def resolve_workers(requested: Optional[int],
+                    cap: int = AUTO_WORKER_CAP) -> "tuple[int, Optional[str]]":
+    """Clamp a requested worker count to something runnable.
+
+    ``None`` means "auto" (CPU count capped at ``cap``); zero and
+    negative values also clamp to auto but return a human-readable note
+    so CLIs can tell the user what happened instead of misbehaving.
+    """
+    auto = max(1, min(os.cpu_count() or 1, cap))
+    if requested is None:
+        return auto, None
+    if requested <= 0:
+        return auto, (f"worker count {requested} clamped to "
+                      f"auto-detected {auto} (CPU count, capped at {cap})")
+    return requested, None
+
+
+# ---------------------------------------------------------------------
+# Progress events (the callback API shared by batch and serve)
+# ---------------------------------------------------------------------
+
+@dataclass
+class ProgressEvent:
+    """One observable step in a job's life, for streaming consumers.
+
+    Kinds: ``dispatch`` (a worker process/slot starts the attempt),
+    ``beat`` (worker liveness, with the engine phase piggybacked),
+    ``retry`` (a crashed attempt is being requeued), ``result`` (the
+    job settled; ``status`` carries ok/degraded/failed).
+    """
+
+    kind: str
+    job_id: str
+    index: int = -1
+    attempt: int = 1
+    phase: Optional[str] = None
+    beats: int = 0
+    status: Optional[str] = None
+    detail: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = {"event": self.kind, "job_id": self.job_id,
+                "attempt": self.attempt}
+        if self.index >= 0:
+            data["index"] = self.index
+        if self.phase is not None:
+            data["phase"] = self.phase
+        if self.beats:
+            data["beats"] = self.beats
+        if self.status is not None:
+            data["status"] = self.status
+        if self.detail is not None:
+            data["detail"] = self.detail
+        return data
+
+
+#: Signature of a progress-event sink.
+EventSink = Callable[[ProgressEvent], None]
+
+
+def emit_event(sink: Optional[EventSink], event: ProgressEvent) -> None:
+    """Deliver ``event`` to ``sink``; a sink that raises is dropped for
+    the event (observability must never break execution)."""
+    if sink is None:
+        return
+    try:
+        sink(event)
+    except Exception:  # noqa: BLE001 — observer errors are not ours
+        pass
+
+
+# ---------------------------------------------------------------------
+# Shared pipe/process plumbing
+# ---------------------------------------------------------------------
+
+def drain_messages(entry: Any) -> int:
+    """Consume everything buffered on ``entry.conn``.
+
+    Heartbeat messages update the liveness bookkeeping
+    (``last_beat``/``beats``/``phase`` attributes); the first
+    non-heartbeat message sticks to ``entry.payload``.  Returns the
+    number of new beats seen (callers turn those into ``beat``
+    progress events).  Used by both the batch scheduler's ``_drain``
+    and the persistent pool's dispatcher.
+    """
+    new_beats = 0
+    try:
+        while entry.payload is None and entry.conn.poll():
+            message = entry.conn.recv()
+            if isinstance(message, dict) and message.get("beat"):
+                entry.last_beat = time.monotonic()
+                entry.beats += 1
+                new_beats += 1
+                entry.phase = message.get("phase") or entry.phase
+            else:
+                entry.payload = message
+    except (EOFError, OSError):
+        pass  # process died mid-send: handled as a crash by the caller
+    return new_beats
+
+
+def reap_process(process: multiprocessing.Process, conn: Any,
+                 timeout: float = 1.0) -> None:
+    """Join a finished worker; escalate to a kill if it lingers."""
+    process.join(timeout=timeout)
+    if process.is_alive():
+        kill_process(process, conn, timeout)
+        return
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def kill_process(process: multiprocessing.Process, conn: Any,
+                 timeout: float = 1.0) -> None:
+    """Terminate (then kill) a worker and close its pipe end."""
+    process.terminate()
+    process.join(timeout=timeout)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=timeout)
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------
+# Typed pool failures
+# ---------------------------------------------------------------------
+
+class PoolError(RuntimeError):
+    """Base class for worker-pool job failures."""
+
+
+class WorkerCrash(PoolError):
+    """The worker process died without delivering a payload."""
+
+    def __init__(self, exitcode: Optional[int]) -> None:
+        super().__init__(f"worker crashed (exit code {exitcode})")
+        self.exitcode = exitcode
+
+
+class JobTimeout(PoolError):
+    """The job exceeded its wall-clock budget and the worker was
+    killed."""
+
+    def __init__(self, timeout_s: float) -> None:
+        super().__init__(f"timeout after {timeout_s:.1f}s")
+        self.timeout_s = timeout_s
+
+
+class JobHung(PoolError):
+    """Heartbeats went silent past the hang grace; the worker was
+    killed."""
+
+    def __init__(self, silent_s: float, phase: Optional[str]) -> None:
+        detail = f" in phase {phase!r}" if phase else ""
+        super().__init__(f"hung (no heartbeat for {silent_s:.1f}s"
+                         f"{detail})")
+        self.silent_s = silent_s
+        self.phase = phase
+
+
+class PoolClosed(PoolError):
+    """Submitted to a pool that is shutting down."""
+
+
+# ---------------------------------------------------------------------
+# Persistent worker side
+# ---------------------------------------------------------------------
+
+def default_warm_limit() -> int:
+    """``$REPRO_SERVE_WARM_FUNCS`` (clamped to >= 0), default 8."""
+    raw = os.environ.get(WARM_LIMIT_ENV, "")
+    try:
+        return max(0, int(raw)) if raw else 8
+    except ValueError:
+        return 8
+
+
+def warm_key(job: Dict[str, Any]) -> Optional[str]:
+    """Memo key for a job's built function, or None when reuse is
+    unsafe.
+
+    Wire dumps *are* content, so they key directly; descriptor-backed
+    sources key on the descriptor except file paths (``pla``/``blif``),
+    whose bytes may change on disk between requests.
+    """
+    wire = job.get("wire")
+    if wire:
+        blob = json.dumps(wire, sort_keys=True, separators=(",", ":"))
+    else:
+        source = job.get("source") or {}
+        if source.get("kind") in ("pla", "blif"):
+            return None
+        blob = json.dumps(source, sort_keys=True, separators=(",", ":"),
+                          default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def pool_worker_entry(conn: Any, heartbeat_s: Optional[float] = 1.0,
+                      warm_limit: Optional[int] = None) -> None:
+    """Long-lived worker loop: receive a job, run it, ship the payload.
+
+    Each job re-arms fault counters (``nth`` determinism per attempt)
+    and runs through :func:`repro.runtime.jobspec.execute_job` exactly
+    like a one-shot batch worker; what persists is the process (imports)
+    and a bounded LRU of built functions whose BDD managers stay warm
+    for repeat sources.  A ``{"stop": True}`` message (or a closed pipe)
+    ends the loop.
+    """
+    from repro.runtime import jobspec
+
+    faults.reset_in_worker()
+    if warm_limit is None:
+        warm_limit = default_warm_limit()
+    warm: "OrderedDict[str, Any]" = OrderedDict()
+    send_lock = threading.Lock()
+
+    def build(job: Dict[str, Any]) -> Any:
+        key = warm_key(job) if warm_limit > 0 else None
+        if key is not None:
+            func = warm.get(key)
+            if func is not None:
+                warm.move_to_end(key)
+                build.warm_hit = True  # type: ignore[attr-defined]
+                return func
+        if job.get("wire"):
+            from repro.boolfunc.spec import MultiFunction
+            func = MultiFunction.from_wire(job["wire"])
+        else:
+            func = jobspec.build_function(job["source"])
+        if key is not None:
+            warm[key] = func
+            while len(warm) > warm_limit:
+                warm.popitem(last=False)
+        return func
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if not isinstance(message, dict) or message.get("stop"):
+            break
+        job = message["job"]
+        attempt = int(message.get("attempt", 1))
+        seq = message.get("seq")
+        faults.reset_in_worker()
+        build.warm_hit = False  # type: ignore[attr-defined]
+        stop = None
+        if heartbeat_s is not None and heartbeat_s > 0:
+            stop = jobspec.start_beat_thread(conn, send_lock, heartbeat_s)
+        try:
+            payload = jobspec.execute_job(job, attempt, build=build)
+        except BaseException as exc:  # noqa: BLE001 — report, don't die
+            payload = {"status": "failed",
+                       "error": f"{type(exc).__name__}: {exc}"}
+        if stop is not None:
+            stop.set()
+        envelope = {"seq": seq, "payload": payload,
+                    "warm": bool(getattr(build, "warm_hit", False))}
+        try:
+            with send_lock:
+                conn.send(envelope)
+        except (BrokenPipeError, OSError):
+            return
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------
+# Persistent pool (parent side)
+# ---------------------------------------------------------------------
+
+@dataclass
+class _Ticket:
+    """One submitted job waiting for (or holding) a worker."""
+
+    job: Dict[str, Any]
+    future: Future
+    timeout: Optional[float]
+    on_event: Optional[EventSink] = None
+    seq: int = 0
+
+
+@dataclass
+class _Worker:
+    """One persistent worker process and its in-flight bookkeeping."""
+
+    process: multiprocessing.Process
+    conn: Any
+    ticket: Optional[_Ticket] = None
+    started_at: float = 0.0
+    deadline: Optional[float] = None
+    last_beat: float = 0.0
+    beats: int = 0
+    phase: Optional[str] = None
+    payload: Any = None
+
+    @property
+    def busy(self) -> bool:
+        return self.ticket is not None
+
+
+class WorkerPool:
+    """N long-lived worker processes multiplexing jobs from a queue.
+
+    ``submit`` returns a :class:`concurrent.futures.Future` resolving to
+    the worker's payload dict (``{"status": ..., "result": ...}``) or
+    failing with a typed :class:`PoolError`.  A dispatcher thread owns
+    all worker state; submitters only touch the queue under a lock, so
+    ``submit`` is safe from any thread (including an asyncio loop via
+    ``run_in_executor``-free call — it never blocks).
+
+    Parameters mirror the batch scheduler where they overlap:
+    ``heartbeat_s`` / ``hang_grace_s`` drive hang detection,
+    ``default_timeout`` bounds jobs that do not carry their own.
+    ``warm_limit`` is the per-worker built-function LRU depth
+    (0 disables warm reuse).
+    """
+
+    def __init__(self, workers: Optional[int] = None, *,
+                 heartbeat_s: Optional[float] = 1.0,
+                 hang_grace_s: Optional[float] = None,
+                 default_timeout: Optional[float] = None,
+                 warm_limit: Optional[int] = None,
+                 mp_context: Optional[str] = None) -> None:
+        self.workers, _ = resolve_workers(workers)
+        self.heartbeat_s = heartbeat_s
+        self.hang_grace_s = hang_grace_s
+        self.default_timeout = default_timeout
+        self.warm_limit = (default_warm_limit() if warm_limit is None
+                           else max(0, warm_limit))
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._lock = threading.Lock()
+        self._queue: "deque[_Ticket]" = deque()
+        self._pool: List[_Worker] = []
+        self._seq = 0
+        self._closed = False
+        self._drain = True
+        self.dispatched = 0
+        self.completed = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self.hangs = 0
+        self.respawns = 0
+        self.warm_hits = 0
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-pool", daemon=True)
+        self._thread.start()
+
+    # -- public API -----------------------------------------------------
+
+    def submit(self, job: Dict[str, Any], *,
+               timeout: Optional[float] = None,
+               on_event: Optional[EventSink] = None) -> Future:
+        """Queue ``job`` for the next idle worker; never blocks."""
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise PoolClosed("pool is shut down")
+            ticket = _Ticket(job=job, future=future,
+                             timeout=(self.default_timeout
+                                      if timeout is None else timeout),
+                             on_event=on_event)
+            self._queue.append(ticket)
+        self._wake()
+        return future
+
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool.
+
+        ``drain=True`` lets in-flight jobs finish (queued ones still
+        run) before workers are stopped; ``drain=False`` kills workers
+        immediately and fails pending futures with :class:`PoolClosed`.
+        Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            self._drain = drain
+        self._wake()
+        self._thread.join(timeout=timeout)
+        # Belt and braces: whatever state the dispatcher died in, no
+        # worker may outlive the pool.
+        for worker in list(self._pool):
+            kill_process(worker.process, worker.conn)
+
+    def stats(self) -> Dict[str, Any]:
+        """Point-in-time counters for the metrics endpoint."""
+        with self._lock:
+            busy = sum(1 for w in self._pool if w.busy)
+            pids = [w.process.pid for w in self._pool
+                    if w.process.pid is not None]
+            queued = len(self._queue)
+        return {
+            "workers": self.workers,
+            "alive": len(pids),
+            "busy": busy,
+            "queued": queued,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "hangs": self.hangs,
+            "respawns": self.respawns,
+            "warm_hits": self.warm_hits,
+            "warm_limit": self.warm_limit,
+            "pids": pids,
+        }
+
+    # -- dispatcher internals -------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except OSError:
+            pass
+
+    def _spawn(self) -> Optional[_Worker]:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=pool_worker_entry,
+            args=(child_conn, self.heartbeat_s, self.warm_limit),
+            daemon=True)
+        try:
+            process.start()
+        except OSError:
+            return None
+        child_conn.close()
+        return _Worker(process=process, conn=parent_conn)
+
+    def _assign(self) -> None:
+        """Hand queued tickets to idle (live) workers, spawning up to
+        the configured width."""
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return
+                idle = next((w for w in self._pool if not w.busy), None)
+                can_spawn = idle is None and len(self._pool) < self.workers
+                if idle is None and not can_spawn:
+                    return
+                ticket = self._queue.popleft()
+            if idle is not None and not idle.process.is_alive():
+                # An idle worker that died (external SIGKILL, OOM
+                # killer) is silently replaced — idleness means no job
+                # was lost, only warmth.
+                with self._lock:
+                    self._pool.remove(idle)
+                reap_process(idle.process, idle.conn)
+                self.respawns += 1
+                idle = None
+            if idle is None:
+                idle = self._spawn()
+                if idle is None:
+                    # Could not spawn (fd/process exhaustion): fail the
+                    # ticket rather than wedging the queue.
+                    ticket.future.set_exception(
+                        WorkerCrash(None))
+                    continue
+                with self._lock:
+                    self._pool.append(idle)
+            self._seq += 1
+            ticket.seq = self._seq
+            now = time.monotonic()
+            idle.ticket = ticket
+            idle.started_at = now
+            idle.last_beat = now
+            idle.beats = 0
+            idle.phase = None
+            idle.payload = None
+            idle.deadline = (now + ticket.timeout
+                             if ticket.timeout is not None else None)
+            try:
+                idle.conn.send({"job": ticket.job, "attempt":
+                                ticket.job.get("attempt", 1),
+                                "seq": ticket.seq})
+            except (BrokenPipeError, OSError):
+                # Worker died between jobs: replace it and retry the
+                # ticket on a fresh one.
+                with self._lock:
+                    self._pool.remove(idle)
+                    self._queue.appendleft(ticket)
+                kill_process(idle.process, idle.conn)
+                self.respawns += 1
+                continue
+            self.dispatched += 1
+            emit_event(ticket.on_event, ProgressEvent(
+                kind="dispatch", job_id=ticket.job.get("job_id", "?"),
+                attempt=ticket.job.get("attempt", 1)))
+
+    def _fail(self, worker: _Worker, error: PoolError,
+              kill: bool) -> None:
+        """Settle a broken worker: fail its ticket, drop the process."""
+        ticket = worker.ticket
+        worker.ticket = None
+        with self._lock:
+            if worker in self._pool:
+                self._pool.remove(worker)
+        if kill:
+            kill_process(worker.process, worker.conn)
+        else:
+            reap_process(worker.process, worker.conn)
+        self.respawns += 1
+        if ticket is not None and not ticket.future.cancelled():
+            ticket.future.set_exception(error)
+
+    def _settle(self, worker: _Worker) -> None:
+        """Resolve one busy worker: payload, death, timeout or hang."""
+        ticket = worker.ticket
+        if ticket is None:
+            return
+        now = time.monotonic()
+        if worker.payload is not None:
+            envelope = worker.payload
+            worker.payload = None
+            worker.ticket = None
+            self.completed += 1
+            if isinstance(envelope, dict) and envelope.get("warm"):
+                self.warm_hits += 1
+            payload = (envelope.get("payload")
+                       if isinstance(envelope, dict) else envelope)
+            if not ticket.future.cancelled():
+                ticket.future.set_result(payload)
+            return
+        if not worker.process.is_alive():
+            # Drain once more — a fast exit can leave the payload
+            # buffered in the pipe.
+            drain_messages(worker)
+            if worker.payload is not None:
+                self._settle(worker)
+                return
+            self.crashes += 1
+            self._fail(worker, WorkerCrash(worker.process.exitcode),
+                       kill=False)
+            return
+        if worker.deadline is not None and now > worker.deadline:
+            self.timeouts += 1
+            self._fail(worker, JobTimeout(ticket.timeout or 0.0),
+                       kill=True)
+            return
+        if (self.hang_grace_s is not None and self.heartbeat_s
+                and now - worker.last_beat > self.hang_grace_s):
+            self.hangs += 1
+            self._fail(worker,
+                       JobHung(now - worker.last_beat, worker.phase),
+                       kill=True)
+
+    def _loop(self) -> None:
+        while True:
+            self._assign()
+            with self._lock:
+                closed = self._closed
+                drain = self._drain
+                busy = [w for w in self._pool if w.busy]
+                queued = len(self._queue)
+            if closed and not drain:
+                self._abort()
+                return
+            if closed and not busy and not queued:
+                self._stop_workers()
+                return
+            budget = POLL_S * 4
+            now = time.monotonic()
+            deadlines = [w.deadline - now for w in busy
+                         if w.deadline is not None]
+            if self.hang_grace_s is not None and busy:
+                deadlines.append(min(w.last_beat for w in busy)
+                                 + self.hang_grace_s - now)
+            if deadlines:
+                budget = min(budget, max(POLL_S, min(deadlines)))
+            try:
+                ready = connection_wait(
+                    [w.conn for w in busy] + [self._wake_r],
+                    timeout=max(POLL_S, budget))
+            except OSError:
+                ready = []
+            if self._wake_r in ready:
+                try:
+                    while self._wake_r.recv(4096):
+                        pass
+                except (BlockingIOError, OSError):
+                    pass
+            for worker in busy:
+                if worker.conn in ready and worker.payload is None:
+                    new_beats = drain_messages(worker)
+                    ticket = worker.ticket
+                    if new_beats and ticket is not None:
+                        emit_event(ticket.on_event, ProgressEvent(
+                            kind="beat",
+                            job_id=ticket.job.get("job_id", "?"),
+                            attempt=ticket.job.get("attempt", 1),
+                            phase=worker.phase, beats=worker.beats))
+                self._settle(worker)
+
+    def _abort(self) -> None:
+        """Immediate shutdown: kill everyone, fail everything."""
+        with self._lock:
+            pool = list(self._pool)
+            self._pool.clear()
+            queue = list(self._queue)
+            self._queue.clear()
+        for worker in pool:
+            ticket = worker.ticket
+            worker.ticket = None
+            kill_process(worker.process, worker.conn)
+            if ticket is not None and not ticket.future.cancelled():
+                ticket.future.set_exception(PoolClosed("pool aborted"))
+        for ticket in queue:
+            if not ticket.future.cancelled():
+                ticket.future.set_exception(PoolClosed("pool aborted"))
+
+    def _stop_workers(self) -> None:
+        """Graceful stop: ask idle workers to exit, then reap."""
+        with self._lock:
+            pool = list(self._pool)
+            self._pool.clear()
+        for worker in pool:
+            try:
+                worker.conn.send({"stop": True})
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in pool:
+            reap_process(worker.process, worker.conn)

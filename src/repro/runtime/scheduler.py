@@ -52,7 +52,6 @@ out, including on ``KeyboardInterrupt`` — no orphans.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -62,9 +61,19 @@ from typing import Any, Callable, Dict, List, Optional
 from repro import faults
 from repro.runtime import jobspec
 from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.pool import (
+    POLL_S,
+    EventSink,
+    ProgressEvent,
+    drain_messages,
+    emit_event,
+    kill_process,
+    reap_process,
+    resolve_workers,
+)
 
 #: Hard floor for the scheduler's poll interval (seconds).
-_POLL_S = 0.05
+_POLL_S = POLL_S
 
 
 @dataclass
@@ -178,6 +187,7 @@ class _Active:
     conn: Any
     started_at: float
     deadline: Optional[float]
+    job_id: str = "?"
     payload: Optional[Dict[str, Any]] = None
     retries: int = 0
     first_dispatch: float = 0.0
@@ -210,7 +220,8 @@ class BatchScheduler:
     Parameters
     ----------
     workers:
-        Concurrent worker processes (default: CPU count, capped at 8).
+        Concurrent worker processes.  ``None`` and values <= 0 clamp to
+        the auto-detected count (CPU count, capped at 8).
     timeout:
         Per-job wall-clock budget in seconds (None = unbounded).
     retries:
@@ -245,8 +256,9 @@ class BatchScheduler:
                  heartbeat_s: Optional[float] = 1.0,
                  hang_grace_s: Optional[float] = None,
                  mp_context: Optional[str] = None) -> None:
-        self.workers = max(1, workers if workers is not None
-                           else min(os.cpu_count() or 1, 8))
+        # None / zero / negative all clamp to the auto-detected count
+        # (CPU count capped at 8) — see runtime.pool.resolve_workers.
+        self.workers, _ = resolve_workers(workers)
         self.timeout = timeout
         self.retries = max(0, retries)
         self.cache = cache
@@ -255,6 +267,7 @@ class BatchScheduler:
         self.heartbeat_s = heartbeat_s
         self.hang_grace_s = hang_grace_s
         self._rng = random.Random(backoff_seed)
+        self._on_event: Optional[EventSink] = None
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
@@ -264,21 +277,30 @@ class BatchScheduler:
 
     def run(self, jobs: List[Dict[str, Any]],
             on_result: Optional[Callable[[JobResult], None]] = None,
-            on_dispatch: Optional[Callable[[int, int], None]] = None
-            ) -> List[JobResult]:
+            on_dispatch: Optional[Callable[[int, int], None]] = None,
+            on_event: Optional[EventSink] = None) -> List[JobResult]:
         """Execute ``jobs``; results are in submission order.
 
         ``on_dispatch(index, attempt)`` fires just before each worker
         process starts (the journal's start record); ``on_result`` fires
-        as each job settles, out of submission order.
+        as each job settles, out of submission order.  ``on_event``
+        receives the full :class:`ProgressEvent` stream (``dispatch``,
+        ``beat`` with the engine phase, ``retry``, ``result``) — the
+        same API the service tier streams to clients, so batch
+        consumers and streaming endpoints share one progress contract.
         """
         started = time.monotonic()
         results: List[Optional[JobResult]] = [None] * len(jobs)
         queue: List[_Pending] = []
+        self._on_event = on_event
 
         def finish(index: int, res: JobResult) -> None:
             res.index = index
             results[index] = res
+            emit_event(on_event, ProgressEvent(
+                kind="result", job_id=res.job_id, index=index,
+                status=res.status, beats=res.beats,
+                detail=res.error))
             if on_result is not None:
                 on_result(res)
 
@@ -303,6 +325,10 @@ class BatchScheduler:
                     queue.remove(slot)
                     if on_dispatch is not None:
                         on_dispatch(slot.index, slot.attempt)
+                    emit_event(on_event, ProgressEvent(
+                        kind="dispatch",
+                        job_id=jobs[slot.index]["job_id"],
+                        index=slot.index, attempt=slot.attempt))
                     active.append(self._dispatch(jobs, slot, started))
                 if active:
                     self._poll(active)
@@ -373,6 +399,7 @@ class BatchScheduler:
         return _Active(index=pending.index, attempt=pending.attempt,
                        process=process, conn=parent_conn,
                        started_at=now, deadline=deadline,
+                       job_id=jobs[pending.index]["job_id"],
                        retries=pending.retries,
                        first_dispatch=pending.first_dispatch,
                        last_beat=now,
@@ -397,18 +424,17 @@ class BatchScheduler:
     def _drain(self, entry: _Active) -> None:
         """Consume everything buffered on the entry's pipe: heartbeat
         messages update liveness bookkeeping, the final payload sticks.
+
+        Delegates to the shared :func:`repro.runtime.pool.drain_messages`
+        primitive (also used by the persistent serve pool) and turns new
+        beats into ``beat`` progress events.
         """
-        try:
-            while entry.payload is None and entry.conn.poll():
-                message = entry.conn.recv()
-                if isinstance(message, dict) and message.get("beat"):
-                    entry.last_beat = time.monotonic()
-                    entry.beats += 1
-                    entry.phase = message.get("phase") or entry.phase
-                else:
-                    entry.payload = message
-        except (EOFError, OSError):
-            pass  # process died mid-send: handled as a crash
+        new_beats = drain_messages(entry)
+        if new_beats:
+            emit_event(self._on_event, ProgressEvent(
+                kind="beat", job_id=entry.job_id, index=entry.index,
+                attempt=entry.attempt, phase=entry.phase,
+                beats=entry.beats))
 
     def _settle(self, jobs: List[Dict[str, Any]], entry: _Active,
                 queue: List[_Pending]):
@@ -466,6 +492,11 @@ class BatchScheduler:
                     not_before=now + backoff,
                     func=entry.func, key=entry.key,
                     first_dispatch=entry.first_dispatch))
+                emit_event(self._on_event, ProgressEvent(
+                    kind="retry", job_id=entry.job_id,
+                    index=entry.index, attempt=entry.attempt + 1,
+                    detail=f"worker crashed (exit code "
+                           f"{entry.process.exitcode})"))
                 return "requeued"
             code = entry.process.exitcode
             return self._fallback(job, entry, exec_s,
@@ -514,22 +545,10 @@ class BatchScheduler:
     # -- process hygiene ------------------------------------------------
 
     def _reap(self, entry: _Active) -> None:
-        entry.process.join(timeout=1.0)
-        if entry.process.is_alive():
-            self._kill(entry)
-            return
-        entry.conn.close()
+        reap_process(entry.process, entry.conn)
 
     def _kill(self, entry: _Active) -> None:
-        entry.process.terminate()
-        entry.process.join(timeout=1.0)
-        if entry.process.is_alive():
-            entry.process.kill()
-            entry.process.join(timeout=1.0)
-        try:
-            entry.conn.close()
-        except OSError:
-            pass
+        kill_process(entry.process, entry.conn)
 
 
 def degraded_record(job: Dict[str, Any],

@@ -1,0 +1,194 @@
+"""Containment matrix for the service-tier fault sites.
+
+``server.accept`` (ingress bytes), ``server.reply`` (egress bytes) and
+``server.dispatch`` (job -> pool hand-off) extend the chaos catalog to
+the daemon.  The contract matches the batch tier's parent-side sites:
+
+* ``raise``/``oom`` are contained — a typed error frame (accept), a
+  dropped-and-counted reply (reply), or the crash-retry ladder
+  (dispatch); the daemon keeps serving in every case;
+* ``corrupt`` yields a *typed* rejection on ingress (the corrupted
+  frame is never trusted) and garbled-but-harmless bytes on egress;
+* ``hang`` is slow-but-completes;
+* ``crash`` genuinely kills the daemon process (that is what crash
+  means) and is exercised against a sacrificial interpreter.
+
+The daemon lives on a background thread; faults are armed through the
+environment, which the injector re-reads on change, so each test's
+unique spec gets fresh arrival counters.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+
+from tests.faults.chaos_util import run_python
+from tests.serve.conftest import start_daemon
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::DeprecationWarning")  # fork-in-multithreaded on 3.12
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    harness = start_daemon(tmp_path)
+    yield harness
+    if harness.thread.is_alive():
+        harness.stop()
+
+
+GOOD = {"source": "rd53"}
+
+
+class TestAcceptSite:
+    @pytest.mark.parametrize("kind", ["raise", "oom"])
+    def test_ingress_fault_is_a_typed_frame(self, daemon, monkeypatch,
+                                            kind):
+        monkeypatch.setenv(faults.ENV_VAR,
+                           f"server.accept:{kind}:1:1")
+        frames = daemon.ask(GOOD)
+        assert frames[0]["event"] == "error"
+        assert frames[0]["error"] == "bad-frame"
+        assert "ingress fault" in frames[0]["message"]
+        # nth=1 consumed: the daemon serves the retry normally.
+        assert daemon.ask(GOOD)[0]["status"] == "ok"
+
+    def test_corrupt_ingress_that_breaks_framing(self, daemon,
+                                                 monkeypatch):
+        # Seed 0 flips a structural byte of this frame: not JSON.
+        monkeypatch.setenv(faults.SEED_ENV, "0")
+        monkeypatch.setenv(faults.ENV_VAR, "server.accept:corrupt:1:1")
+        frames = daemon.ask(GOOD)
+        assert frames[0]["event"] == "error"
+        assert frames[0]["error"] == "bad-frame"
+        assert daemon.ask(GOOD)[0]["status"] == "ok"
+
+    def test_corrupt_ingress_that_survives_parsing(self, daemon,
+                                                   monkeypatch):
+        # Seed 2 flips a byte inside the circuit name: still valid
+        # JSON, but the corrupted request must fail *typed* — the
+        # daemon never acts on bytes it cannot vouch for.
+        monkeypatch.setenv(faults.SEED_ENV, "2")
+        monkeypatch.setenv(faults.ENV_VAR, "server.accept:corrupt:1:1")
+        frames = daemon.ask(GOOD)
+        assert frames[0]["event"] == "error"
+        assert frames[0]["error"] == "bad-source"
+        assert daemon.ask(GOOD)[0]["status"] == "ok"
+
+    def test_hang_ingress_completes(self, daemon, monkeypatch):
+        monkeypatch.setenv(faults.HANG_ENV, "0.05")
+        monkeypatch.setenv(faults.ENV_VAR, "server.accept:hang:1:1")
+        assert daemon.ask(GOOD)[0]["status"] == "ok"
+
+
+class TestReplySite:
+    @pytest.mark.parametrize("kind", ["raise", "oom"])
+    def test_egress_fault_drops_and_counts_the_reply(self, daemon,
+                                                     monkeypatch, kind):
+        monkeypatch.setenv(faults.ENV_VAR, f"server.reply:{kind}:1:1")
+        raw = daemon.raw(json.dumps(GOOD).encode() + b"\n")
+        assert raw == b"", "the faulted reply must be dropped, not sent"
+        assert daemon.daemon.replies_dropped == 1
+        assert daemon.thread.is_alive()
+        # The daemon never died for failing to speak; next reply works.
+        assert daemon.ask(GOOD)[0]["status"] == "ok"
+
+    def test_corrupt_egress_is_garbled_but_harmless(self, daemon,
+                                                    monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "server.reply:corrupt:1:1")
+        raw = daemon.raw(json.dumps(GOOD).encode() + b"\n")
+        assert raw, "corrupt mangles the bytes but still sends them"
+        assert daemon.daemon.replies_dropped == 0
+        assert daemon.ask(GOOD)[0]["status"] == "ok"
+
+    def test_hang_egress_completes(self, daemon, monkeypatch):
+        monkeypatch.setenv(faults.HANG_ENV, "0.05")
+        monkeypatch.setenv(faults.ENV_VAR, "server.reply:hang:1:1")
+        assert daemon.ask(GOOD)[0]["status"] == "ok"
+
+
+class TestDispatchSite:
+    @pytest.mark.parametrize("kind", ["raise", "oom"])
+    def test_dispatch_fault_rides_the_crash_retry_ladder(
+            self, daemon, monkeypatch, kind):
+        monkeypatch.setenv(faults.ENV_VAR,
+                           f"server.dispatch:{kind}:1:1")
+        frames = daemon.ask({"source": "rd53", "stream": True,
+                             "retries": 1})
+        kinds = [frame["event"] for frame in frames]
+        assert "retry" in kinds
+        assert frames[-1]["status"] == "ok"  # nth consumed on retry
+        assert daemon.service.counters["retries"] == 1
+
+    def test_dispatch_fault_without_retries_degrades(self, daemon,
+                                                     monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "server.dispatch:raise:1:1")
+        final = daemon.ask({"source": "rd53", "retries": 0})[0]
+        assert final["status"] == "degraded"
+        assert "retries exhausted" in final["error"]
+        assert final["result"]["verified"] is True
+        assert daemon.thread.is_alive()
+
+    def test_corrupt_dispatch_payload_is_harmless(self, daemon,
+                                                  monkeypatch):
+        # The site passes the job id through for corruption, but the
+        # dispatch decision never trusts the returned payload.
+        monkeypatch.setenv(faults.ENV_VAR,
+                           "server.dispatch:corrupt:1:1")
+        assert daemon.ask(GOOD)[0]["status"] == "ok"
+
+    def test_hang_dispatch_completes(self, daemon, monkeypatch):
+        monkeypatch.setenv(faults.HANG_ENV, "0.05")
+        monkeypatch.setenv(faults.ENV_VAR, "server.dispatch:hang:1:1")
+        assert daemon.ask(GOOD)[0]["status"] == "ok"
+
+
+class TestCrashKinds:
+    """``crash`` kills the daemon process — by design.  A sacrificial
+    interpreter hosts the daemon; the fault fires before any pool
+    worker exists, so nothing can leak."""
+
+    SCRIPT = """
+import asyncio, socket, threading
+from repro.serve import DecompositionService, ServeDaemon
+
+PATH = {path!r}
+ready = threading.Event()
+
+def client():
+    ready.wait(60)
+    sock = socket.socket(socket.AF_UNIX)
+    sock.connect(PATH)
+    sock.sendall({payload!r})
+    sock.shutdown(socket.SHUT_WR)
+    try:
+        while sock.recv(65536):
+            pass
+    except OSError:
+        pass
+    sock.close()
+
+threading.Thread(target=client, daemon=True).start()
+service = DecompositionService(workers=1, timeout=60)
+daemon = ServeDaemon(service, socket_path=PATH)
+asyncio.run(daemon.run(lambda d: ready.set()))
+print("DRAINED-CLEANLY")
+"""
+
+    @pytest.mark.parametrize("site, payload", [
+        ("server.accept", b'{"source": "rd53"}\n'),
+        # A malformed line: the error frame is the first egress reply,
+        # so the reply-site crash fires with no worker ever spawned.
+        ("server.reply", b"not json\n"),
+        ("server.dispatch", b'{"source": "rd53"}\n'),
+    ])
+    def test_crash_kills_the_daemon_process(self, tmp_path, site,
+                                            payload):
+        code = self.SCRIPT.format(path=str(tmp_path / "repro.sock"),
+                                  payload=payload)
+        proc = run_python(code, env_extra={
+            faults.ENV_VAR: f"{site}:crash:1:1"})
+        assert proc.returncode == faults.CRASH_EXIT_CODE
+        assert "DRAINED-CLEANLY" not in proc.stdout

@@ -116,3 +116,52 @@ class TestCachePoisoning:
         path.write_text(json.dumps(entry))
         assert cache.get(key) is None
         assert cache.corrupt == 1
+
+
+class TestConcurrentMaintenanceRaces:
+    """A ``repro cache clear`` (or external cleanup) racing a reader or
+    a stats walk must read as a miss / empty set, never an exception."""
+
+    def test_entry_unlinked_between_stat_and_read_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_limit=0)
+        key = cache_key("f", "map", {})
+        cache.put(key, {"lut_count": 3})
+        # Simulate the clear racing the reader: the entry vanishes
+        # after put() but before the next get() opens it.
+        (cache.root / key[:2] / f"{key}.json").unlink()
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        assert cache.corrupt == 0  # a vanished entry is not corruption
+
+    def test_root_removed_mid_walk_is_empty(self, tmp_path, monkeypatch):
+        import shutil
+        cache = ResultCache(tmp_path / "c", memory_limit=0)
+        cache.put(cache_key("f", "map", {}), {"lut_count": 3})
+        # Force the TOCTOU: the root exists when the walk starts and is
+        # removed before iterdir() lists it.
+        real_iterdir = type(cache.root).iterdir
+
+        def racing_iterdir(path):
+            if path == cache.root:
+                shutil.rmtree(cache.root, ignore_errors=True)
+            return real_iterdir(path)
+
+        monkeypatch.setattr(type(cache.root), "iterdir", racing_iterdir)
+        assert list(cache.iter_files()) == []
+        assert cache.disk_stats() == {"entries": 0, "bytes": 0}
+
+    def test_shard_removed_mid_walk_is_skipped(self, tmp_path):
+        import shutil
+        cache = ResultCache(tmp_path, memory_limit=0)
+        k1 = cache_key("f", "map", {})
+        k2 = cache_key("g", "map", {})
+        cache.put(k1, {"lut_count": 1})
+        cache.put(k2, {"lut_count": 2})
+        shutil.rmtree(cache.root / k1[:2])
+        survivors = list(cache.iter_files())
+        assert [p.stem for p in survivors] == [k2]
+
+    def test_clear_against_missing_root_is_zero(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created", memory_limit=0)
+        assert cache.clear() == 0
+        assert cache.disk_stats() == {"entries": 0, "bytes": 0}

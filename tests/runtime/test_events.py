@@ -1,0 +1,87 @@
+"""The progress-event callback API shared by batch and serve.
+
+One contract, two consumers: ``repro batch`` progress lines and the
+service tier's NDJSON streaming both subscribe through
+``BatchScheduler.run(on_event=...)`` /
+``WorkerPool.submit(on_event=...)``.  These tests pin the stream's
+shape — ordering, kinds, payload fields — and that a broken sink can
+never break execution.
+"""
+
+import pytest
+
+from repro.runtime import BatchScheduler, make_job, source_from_name
+from repro.runtime.pool import ProgressEvent, emit_event
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::DeprecationWarning")  # fork-in-multithreaded on 3.12
+
+
+def _jobs(*names, **kwargs):
+    return [make_job(source_from_name(n), **kwargs) for n in names]
+
+
+class TestSchedulerEventStream:
+    def test_dispatch_then_result_per_job(self):
+        events = []
+        results = BatchScheduler(workers=2).run(
+            _jobs("rd53", "xor5"), on_event=events.append)
+        assert all(r.status == "ok" for r in results)
+        for job_id in ("rd53", "xor5"):
+            kinds = [e.kind for e in events if e.job_id == job_id]
+            assert kinds[0] == "dispatch"
+            assert kinds[-1] == "result"
+        finals = [e for e in events if e.kind == "result"]
+        assert {e.status for e in finals} == {"ok"}
+        # Indexes address the submitted job list.
+        assert {e.index for e in finals} == {0, 1}
+
+    def test_beats_carry_phase_and_count(self):
+        events = []
+        BatchScheduler(workers=1, heartbeat_s=0.05).run(
+            _jobs("rd84"), on_event=events.append)
+        beats = [e for e in events if e.kind == "beat"]
+        assert beats, "a real decomposition must beat at 0.05s interval"
+        assert all(e.beats >= 1 for e in beats)
+
+    def test_crash_retry_emits_retry_event(self):
+        events = []
+        results = BatchScheduler(workers=1, retries=2,
+                                 retry_backoff_s=0.01).run(
+            _jobs("rd53", test_hook="crash:1"), on_event=events.append)
+        assert results[0].status == "ok"
+        retries = [e for e in events if e.kind == "retry"]
+        assert len(retries) == 1
+        assert retries[0].attempt == 2
+        assert "crashed" in retries[0].detail
+
+    def test_degraded_result_reports_status_and_detail(self):
+        events = []
+        results = BatchScheduler(workers=1, timeout=0.5).run(
+            _jobs("rd53", test_hook="hang:60"), on_event=events.append)
+        assert results[0].status == "degraded"
+        final = [e for e in events if e.kind == "result"][0]
+        assert final.status == "degraded"
+        assert "timeout" in final.detail
+
+    def test_cache_hit_still_emits_result_event(self, tmp_path):
+        from repro.runtime import ResultCache
+        cache = ResultCache(tmp_path)
+        BatchScheduler(workers=1, cache=cache).run(_jobs("rd53"))
+        events = []
+        BatchScheduler(workers=1, cache=cache).run(
+            _jobs("rd53"), on_event=events.append)
+        kinds = [e.kind for e in events]
+        assert kinds == ["result"]  # no dispatch: served from cache
+
+    def test_raising_sink_does_not_break_the_batch(self):
+        def bad_sink(event):
+            raise RuntimeError("observer bug")
+        results = BatchScheduler(workers=1).run(
+            _jobs("rd53"), on_event=bad_sink)
+        assert results[0].status == "ok"
+
+    def test_emit_event_helper_swallows_sink_errors(self):
+        emit_event(lambda e: 1 / 0,
+                   ProgressEvent(kind="beat", job_id="x"))  # no raise
+        emit_event(None, ProgressEvent(kind="beat", job_id="x"))

@@ -1,0 +1,111 @@
+"""Weighted-fair queue semantics: interleaving, weights, admission."""
+
+import pytest
+
+from repro.serve.queueing import FairQueue, QueueFull
+
+
+def drain(queue):
+    out = []
+    while True:
+        item = queue.pop()
+        if item is None:
+            return out
+        out.append(item)
+
+
+class TestFairness:
+    def test_equal_tenants_interleave_despite_deep_backlog(self):
+        queue = FairQueue(depth=100)
+        for i in range(6):
+            queue.push("hog", f"hog-{i}")
+        queue.push("mouse", "mouse-0")
+        order = drain(queue)
+        # The mouse's single request does not wait behind the hog's six.
+        assert order.index("mouse-0") <= 1
+
+    def test_round_robin_between_equal_backlogs(self):
+        queue = FairQueue(depth=100)
+        for i in range(3):
+            queue.push("a", f"a{i}")
+        for i in range(3):
+            queue.push("b", f"b{i}")
+        order = drain(queue)
+        # Strict 1:1 alternation once both are backlogged.
+        tenants = [item[0] for item in order]
+        assert tenants.count("a") == tenants.count("b") == 3
+        assert all(tenants[i] != tenants[i + 1]
+                   for i in range(len(tenants) - 1))
+
+    def test_weight_two_drains_twice_as_fast(self):
+        queue = FairQueue(depth=100)
+        queue.set_weight("vip", 2.0)
+        for i in range(4):
+            queue.push("vip", f"v{i}")
+            queue.push("std", f"s{i}")
+        first_six = drain(queue)[:6]
+        vips = sum(1 for item in first_six if item.startswith("v"))
+        assert vips == 4  # all vip items fit in the first six slots
+
+    def test_idle_tenant_gets_no_banked_credit(self):
+        queue = FairQueue(depth=100)
+        for i in range(4):
+            queue.push("busy", f"busy-{i}")
+        assert queue.pop() == "busy-0"
+        assert queue.pop() == "busy-1"
+        # A late arrival starts at the current virtual time, not at 0 —
+        # it interleaves from now on instead of jumping the whole line.
+        queue.push("late", "late-0")
+        queue.push("late", "late-1")
+        rest = drain(queue)
+        assert rest[0] in ("late-0", "busy-2")
+        assert set(rest) == {"late-0", "late-1", "busy-2", "busy-3"}
+        tenants = ["late" if r.startswith("late") else "busy"
+                   for r in rest]
+        assert tenants != ["late", "late", "busy", "busy"]
+
+
+class TestAdmission:
+    def test_depth_is_per_tenant(self):
+        queue = FairQueue(depth=2)
+        queue.push("a", 1)
+        queue.push("a", 2)
+        with pytest.raises(QueueFull) as excinfo:
+            queue.push("a", 3)
+        assert excinfo.value.tenant == "a"
+        assert excinfo.value.depth == 2
+        queue.push("b", 1)  # another tenant is unaffected
+        assert queue.rejected == 1
+
+    def test_pop_frees_capacity(self):
+        queue = FairQueue(depth=1)
+        queue.push("a", 1)
+        with pytest.raises(QueueFull):
+            queue.push("a", 2)
+        assert queue.pop() == 1
+        queue.push("a", 2)
+        assert queue.pop() == 2
+
+    def test_bad_parameters_are_rejected(self):
+        with pytest.raises(ValueError):
+            FairQueue(depth=0)
+        with pytest.raises(ValueError):
+            FairQueue().set_weight("t", 0)
+
+
+class TestStats:
+    def test_counters_and_depths(self):
+        queue = FairQueue(depth=4)
+        queue.push("a", 1)
+        queue.push("a", 2)
+        queue.push("b", 3)
+        queue.pop()
+        stats = queue.stats()
+        assert stats["pushed"] == 3 and stats["popped"] == 1
+        assert stats["queued"] == 2 == len(queue)
+        assert sum(stats["tenants"].values()) == 2
+
+    def test_empty_queue_pops_none(self):
+        queue = FairQueue()
+        assert queue.pop() is None
+        assert len(queue) == 0
