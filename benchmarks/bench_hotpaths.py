@@ -27,14 +27,22 @@ Usage:
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py
     PYTHONPATH=src python benchmarks/bench_hotpaths.py \
-        --seeds 1 2 --check-speedup 1.0 --check-nvars 16 20 \
-        --check-dsd
+        --seeds 1 2 --check-speedup 1.0 --check-nvars 10 16 20 \
+        --check-dsd --check-dist
 
 ``--check-speedup X`` exits non-zero if any case at a width listed in
 ``--check-nvars`` ran slower than ``X`` times the BDD reference;
 ``--check-dsd`` exits non-zero if the DSD-on run was slower than the
-DSD-off run (1.25x grace) or emitted no split counters — together the
-CI perf-smoke gate.
+DSD-off run (1.25x grace) or emitted no split counters; ``--check-dist``
+exits non-zero if the 2-node distributed run is less than 1.8x faster
+than a ``--jobs``-matched single host or diverges from it — together
+the CI perf-smoke gate.
+
+The ``dist`` section spawns two real ``repro dist serve-node``
+subprocesses and runs a cache-cold wall-clock-bound manifest through
+:class:`repro.dist.coordinator.DistCoordinator`, then the same manifest
+through a single-host :class:`~repro.runtime.scheduler.BatchScheduler`
+with the same per-node worker count.
 """
 
 from __future__ import annotations
@@ -247,6 +255,135 @@ def run_dsd_section():
     return rows
 
 
+# ---------------------------------------------------------------------
+# Distributed batch: 2 local nodes vs a --jobs-matched single host
+# ---------------------------------------------------------------------
+
+#: The dist case is wall-clock-bound by construction (``!sleep`` jobs):
+#: on a 1-CPU runner the speedup must come from *concurrency* across
+#: node worker slots, which is exactly what the distributed tier adds.
+DIST_JOBS = 8
+DIST_SLEEP_S = 0.8
+DIST_WORKERS_PER_NODE = 2
+DIST_NODES = 2
+#: ``synth:dist:8:1:<seed>`` — seeds 0..7 give 8 distinct canonical
+#: keys (6-input synthetics collide after canonicalization; 8-input
+#: ones verified distinct), so the cache-cold run has no dedup shortcut.
+DIST_SYNTH = "synth:dist:8:1"
+
+
+def _stable_rows(rows):
+    """Zero the volatile timing fields (repro batch --stable-rows)."""
+    out = []
+    for row in sorted(rows, key=lambda r: r["index"]):
+        row = dict(row)
+        row["queue_wait_s"] = 0.0
+        row["exec_s"] = 0.0
+        row["beats"] = 0
+        out.append(row)
+    return out
+
+
+def _spawn_node():
+    """Start one ``repro dist serve-node`` subprocess; parse its
+    readiness line for the ephemeral port."""
+    import subprocess
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "dist", "serve-node",
+         "--port", "0", "--workers", str(DIST_WORKERS_PER_NODE)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    deadline = time.monotonic() + 30.0
+    while True:
+        line = proc.stdout.readline()
+        if "node serving on" in line:
+            addr = line.split("node serving on", 1)[1].split()[0]
+            host, _, port = addr.rpartition(":")
+            return proc, (host, int(port))
+        if not line or time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("dist node failed to become ready")
+
+
+def run_dist_section():
+    """Cache-cold sleep-bound manifest: 2 subprocess nodes vs a
+    ``--jobs``-matched single-host scheduler, byte-identity checked."""
+    import tempfile
+
+    from repro.dist.coordinator import DistCoordinator
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.jobspec import parse_manifest
+    from repro.runtime.scheduler import BatchScheduler
+
+    entries = "\n".join(f"{DIST_SYNTH}:{i} !sleep={DIST_SLEEP_S}"
+                        for i in range(DIST_JOBS))
+
+    def make_jobs():
+        jobs = parse_manifest(entries)
+        for job in jobs:
+            job["flow"] = "map"
+            job["config"] = {"use_dontcares": True}
+        return jobs
+
+    procs = []
+    try:
+        nodes = []
+        for _ in range(DIST_NODES):
+            proc, addr = _spawn_node()
+            procs.append(proc)
+            nodes.append(addr)
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            coordinator = DistCoordinator(nodes,
+                                          cache=ResultCache(cache_dir))
+            t0 = time.perf_counter()
+            dist_rows = coordinator.run(make_jobs())
+            dist_s = time.perf_counter() - t0
+            dist_stats = coordinator.stats()
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            scheduler = BatchScheduler(workers=DIST_WORKERS_PER_NODE,
+                                       cache=ResultCache(cache_dir))
+            t0 = time.perf_counter()
+            single_rows = [r.as_dict() for r in scheduler.run(make_jobs())]
+            single_s = time.perf_counter() - t0
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10.0)
+            except Exception:
+                proc.kill()
+
+    identical = _stable_rows(dist_rows) == _stable_rows(single_rows)
+    ok = all(r["status"] == "ok" for r in dist_rows)
+    section = {
+        "jobs": DIST_JOBS,
+        "sleep_s": DIST_SLEEP_S,
+        "nodes": DIST_NODES,
+        "workers_per_node": DIST_WORKERS_PER_NODE,
+        "single_s": single_s,
+        "dist_s": dist_s,
+        "speedup": single_s / dist_s if dist_s > 0 else math.inf,
+        "identical": identical,
+        "all_ok": ok,
+        "steals": dist_stats["steals"],
+        "node_losses": dist_stats["node_losses"],
+        "dup_results": dist_stats["dup_results"],
+    }
+    print(f"dist {DIST_NODES} nodes x {DIST_WORKERS_PER_NODE} workers, "
+          f"{DIST_JOBS} jobs sleep {DIST_SLEEP_S}s: "
+          f"single {single_s:.2f} s   dist {dist_s:.2f} s   "
+          f"speedup {section['speedup']:.2f}x   "
+          f"identical={identical} steals={section['steals']}")
+    return section
+
+
 def geomean(values):
     values = [v for v in values if v > 0 and math.isfinite(v)]
     if not values:
@@ -273,6 +410,12 @@ def main(argv=None) -> int:
                         help="exit non-zero if the DSD-on engine run is "
                              "slower than DSD-off (1.25x grace) or "
                              "emitted no split counters")
+    parser.add_argument("--check-dist", type=float, nargs="?",
+                        const=1.8, default=None, metavar="X",
+                        help="exit non-zero if the 2-node distributed "
+                             "run is not at least X times faster than "
+                             "the --jobs-matched single host (default "
+                             "1.8) or its merged rows diverge")
     args = parser.parse_args(argv)
 
     prior_kernel = os.environ.get("REPRO_KERNEL")
@@ -288,6 +431,7 @@ def main(argv=None) -> int:
                       f"kernel {row['kernel_s']*1e3:8.2f} ms   "
                       f"speedup {row['speedup']:6.2f}x")
     dsd_rows = run_dsd_section()
+    dist_section = run_dist_section()
     if prior_kernel is None:
         os.environ.pop("REPRO_KERNEL", None)
     else:
@@ -309,6 +453,7 @@ def main(argv=None) -> int:
         "repeats": REPEATS,
         "cases": cases,
         "dsd": dsd_rows,
+        "dist": dist_section,
         "summary": {
             "geomean_speedup": geomean([r["speedup"] for r in cases]),
             "geomean_speedup_by_nvars": by_nvars,
@@ -319,7 +464,13 @@ def main(argv=None) -> int:
           f"{doc['summary']['geomean_speedup']:.2f}x -> {args.out}")
 
     if args.check_speedup is not None:
-        gated = [r for r in cases if r["nvars"] in set(args.check_nvars)]
+        # Below the bignum crossover (16 vars) only symmetry_assign is
+        # gated: the density rule keeps the kernel off unless the joint
+        # BDD is dense enough to win, so >=1.0x is a promise there —
+        # while the search ops at small widths legitimately hover
+        # around parity and are measured, not gated.
+        gated = [r for r in cases if r["nvars"] in set(args.check_nvars)
+                 and (r["nvars"] >= 16 or r["op"] == "symmetry_assign")]
         slow = [r for r in gated if r["speedup"] < args.check_speedup]
         if slow:
             for r in slow:
@@ -352,6 +503,25 @@ def main(argv=None) -> int:
             return 1
         print(f"dsd gate OK: {len(dsd_rows)} cases — heavy case on-path "
               f"no slower, counters emitted, LUTs never worse")
+    if args.check_dist is not None:
+        failed = False
+        if dist_section["speedup"] < args.check_dist:
+            print(f"GATE FAIL: dist speedup "
+                  f"{dist_section['speedup']:.2f}x < "
+                  f"{args.check_dist:.2f}x", file=sys.stderr)
+            failed = True
+        if not dist_section["identical"]:
+            print("GATE FAIL: dist rows diverge from the single-host "
+                  "run", file=sys.stderr)
+            failed = True
+        if not dist_section["all_ok"]:
+            print("GATE FAIL: dist run had non-ok rows", file=sys.stderr)
+            failed = True
+        if failed:
+            return 1
+        print(f"dist gate OK: {dist_section['speedup']:.2f}x >= "
+              f"{args.check_dist:.2f}x on {DIST_NODES} nodes, rows "
+              f"byte-identical")
     return 0
 
 

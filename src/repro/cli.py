@@ -20,6 +20,7 @@
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import sys
@@ -358,6 +359,115 @@ def _resolve_worker_arg(requested) -> tuple:
     return workers, note
 
 
+def _row_detail(row: dict, flow: str) -> str:
+    if row["status"] == "failed" or not isinstance(row.get("result"), dict):
+        return row.get("error") or "failed"
+    if flow == "compare":
+        return f"saves {row['result']['clbs_saved']} CLB(s)"
+    return (f"{row['result']['lut_count']} LUTs, "
+            f"{row['result']['clb_count']} CLBs")
+
+
+def _row_notes(row: dict) -> str:
+    notes = []
+    if row.get("cache_hit"):
+        notes.append("cache hit")
+    if row.get("degraded"):
+        notes.append("degraded")
+    if row.get("hung"):
+        notes.append("hung")
+    if row.get("retries"):
+        notes.append(f"{row['retries']} retries")
+    return f" ({', '.join(notes)})" if notes else ""
+
+
+def _stabilize_rows(rows: list) -> None:
+    """Zero the volatile timing fields in place (``--stable-rows``), so
+    two runs of the same workload — single-host vs distributed, before
+    vs after a node loss — compare byte-identically."""
+    for row in rows:
+        row["queue_wait_s"] = 0.0
+        row["exec_s"] = 0.0
+        row["beats"] = 0
+
+
+def _write_batch_outputs(args, rows, totals, wall, cache_stats,
+                         extra=None) -> None:
+    if getattr(args, "stable_rows", False):
+        _stabilize_rows(rows)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                for row in rows:
+                    handle.write(json.dumps(row) + "\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.out}: {exc.strerror}")
+        print(f"wrote {args.out}")
+    if args.metrics_out:
+        doc = batch_metrics(
+            source=args.manifest or ",".join(args.names)
+            or getattr(args, "resume", None) or "?",
+            job_rows=rows, totals=totals, wall_time_s=wall,
+            cache_stats=cache_stats, extra=extra)
+        try:
+            write_metrics(args.metrics_out, doc)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write {args.metrics_out}: {exc.strerror}")
+        print(f"wrote {args.metrics_out}")
+
+
+def _cmd_batch_dist(args) -> int:
+    """`repro batch --nodes`: shard the manifest across worker nodes."""
+    from repro.dist import DistCoordinator, parse_nodes
+    from repro.runtime import ResultCache, summarize_rows
+
+    if args.resume or args.journal:
+        raise SystemExit("--nodes does not journal/resume yet; run "
+                         "distributed batches without --journal/--resume")
+    try:
+        nodes = parse_nodes(args.nodes)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    jobs = _parse_batch_jobs(args)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or None)
+    coordinator = DistCoordinator(
+        nodes, cache=cache, timeout=args.timeout, retries=args.retries,
+        heartbeat_s=args.heartbeat, hang_grace_s=args.hang_grace)
+    total = len(jobs)
+    done = [0]
+
+    def on_row(row: dict) -> None:
+        done[0] += 1
+        print(f"[{done[0]}/{total}] {row['job_id']}: {row['status']} — "
+              f"{_row_detail(row, args.flow)}{_row_notes(row)}")
+
+    start = perf_counter()
+    rows = coordinator.run(jobs, on_row=on_row)
+    wall = perf_counter() - start
+    totals = summarize_rows(rows)
+    dist = coordinator.stats()
+    _write_batch_outputs(args, rows, totals, wall,
+                         cache.stats() if cache is not None else None,
+                         extra={"dist": dist})
+    lost = ""
+    if dist["node_losses"]:
+        lost = (f", {dist['node_losses']} node(s) lost "
+                f"({dist['reassigned']} jobs reassigned)")
+    if dist["local_fallback_jobs"]:
+        lost += (f", {dist['local_fallback_jobs']} finished by local "
+                 f"fallback")
+    print(f"batch: {totals['jobs']} job(s) in {wall:.1f}s across "
+          f"{len(nodes)} node(s) — {totals['ok']} ok, "
+          f"{totals['degraded']} degraded, {totals['failed']} failed; "
+          f"cache hits {totals['cache_hits']}/{totals['jobs']}, "
+          f"{dist['steals']} steals, {dist['dup_results']} duplicate "
+          f"result(s){lost}")
+    return 1 if totals["failed"] else 0
+
+
 def _cmd_batch(args) -> int:
     from repro.runtime import (
         BatchJournal,
@@ -369,6 +479,8 @@ def _cmd_batch(args) -> int:
         summarize_rows,
     )
 
+    if args.nodes:
+        return _cmd_batch_dist(args)
     journal = None
     done_rows = {}
     if args.resume:
@@ -466,27 +578,8 @@ def _cmd_batch(args) -> int:
     rows = [done_rows.get(i, fresh_rows.get(i)) for i in range(len(jobs))]
     rows = [row for row in rows if row is not None]
     totals = summarize_rows(rows)
-    if args.out:
-        try:
-            with open(args.out, "w") as handle:
-                for row in rows:
-                    handle.write(json.dumps(row) + "\n")
-        except OSError as exc:
-            raise SystemExit(f"cannot write {args.out}: {exc.strerror}")
-        print(f"wrote {args.out}")
-    if args.metrics_out:
-        doc = batch_metrics(
-            source=args.manifest or ",".join(args.names) or args.resume
-            or "?",
-            job_rows=rows, totals=totals,
-            wall_time_s=wall,
-            cache_stats=cache.stats() if cache is not None else None)
-        try:
-            write_metrics(args.metrics_out, doc)
-        except OSError as exc:
-            raise SystemExit(
-                f"cannot write {args.metrics_out}: {exc.strerror}")
-        print(f"wrote {args.metrics_out}")
+    _write_batch_outputs(args, rows, totals, wall,
+                         cache.stats() if cache is not None else None)
     chaos = ""
     if totals.get("hung"):
         chaos += f", {totals['hung']} hung"
@@ -554,6 +647,34 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_dist(args) -> int:
+    """`repro dist serve-node`: run one distributed worker node."""
+    import signal
+
+    from repro.dist import NodeServer
+
+    workers, _ = _resolve_worker_arg(args.workers)
+    server = NodeServer(
+        host=args.host, port=args.port, workers=workers,
+        timeout=args.timeout, retries=args.retries,
+        heartbeat_s=args.heartbeat if args.heartbeat else None,
+        hang_grace_s=args.hang_grace)
+    server.start()
+
+    def on_term(signum, frame) -> None:
+        server.close()
+
+    signal.signal(signal.SIGTERM, on_term)
+    print(f"node serving on {server.host}:{server.port} with "
+          f"{server.workers} worker slot(s)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+    print("node closed; bye")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.runtime.cache import ResultCache
 
@@ -563,10 +684,27 @@ def _cmd_cache(args) -> int:
         print(f"removed {removed} cache entr"
               f"{'y' if removed == 1 else 'ies'} from {cache.root}")
         return 0
-    stats = cache.disk_stats()
+    # A fresh CLI process has no traffic, so probe a handful of real
+    # entries (disk hits) and some absent keys (misses) to populate the
+    # latency windows — enough to see what this store costs per lookup.
+    probed = 0
+    for path in cache.iter_files():
+        if probed >= 32:
+            break
+        cache.get(path.stem)
+        probed += 1
+    for bogus in range(8):
+        cache.get(hashlib.sha256(b"probe-%d" % bogus).hexdigest())
+    stats = cache.stats()
     print(f"cache dir : {cache.root}")
     print(f"entries   : {stats['entries']}")
     print(f"size      : {stats['bytes']} bytes")
+    for side in ("hit", "miss"):
+        lat = stats[f"{side}_latency"]
+        if lat["samples"]:
+            print(f"{side} p50/p90/p99 : "
+                  f"{lat['p50_ms']:.3f}/{lat['p90_ms']:.3f}/"
+                  f"{lat['p99_ms']:.3f} ms ({lat['samples']} probes)")
     return 0
 
 
@@ -696,6 +834,52 @@ def main(argv: Optional[list] = None) -> int:
                        help="kill a worker silent for S seconds and "
                             "degrade its job without retry (default: "
                             "off — only --timeout applies)")
+    batch.add_argument("--nodes", metavar="HOST:PORT,...",
+                       help="shard the batch across these worker nodes "
+                            "(repro dist serve-node) instead of local "
+                            "worker processes; the result cache is "
+                            "served to the nodes over TCP")
+    batch.add_argument("--stable-rows", action="store_true",
+                       help="zero the volatile timing fields "
+                            "(queue_wait_s, exec_s, beats) in output "
+                            "rows, so runs compare byte-identically")
+
+    dist = sub.add_parser(
+        "dist", help="distributed batch tier (worker nodes)")
+    dist_sub = dist.add_subparsers(dest="dist_command", required=True)
+    node_p = dist_sub.add_parser(
+        "serve-node",
+        help="run one worker node (pair with repro batch --nodes)")
+    node_p.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    node_p.add_argument("--port", type=int, default=0, metavar="N",
+                        help="TCP port (default: 0 picks a free port)")
+    node_p.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="concurrent jobs on this node (default: "
+                             "CPU count, capped at 8)")
+    node_p.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="fallback per-job budget when the "
+                             "coordinator sends none")
+    node_p.add_argument("--retries", type=int, default=1, metavar="K",
+                        help="fallback crash retries per job "
+                             "(default: 1)")
+    node_p.add_argument("--heartbeat", type=float, default=1.0,
+                        metavar="S",
+                        help="worker liveness beat interval (default: "
+                             "1.0; 0 disables)")
+    node_p.add_argument("--hang-grace", type=float, default=None,
+                        metavar="S",
+                        help="kill a worker silent for S seconds "
+                             "(default: off)")
+    node_p.add_argument("--inject", action="append", metavar="SPEC",
+                        help="arm a fault site: site:kind:prob[:nth] "
+                             "(repeatable; e.g. node.loss:crash:1:3 "
+                             "kills this node on its 3rd job)")
+    node_p.add_argument("--fault-seed", type=int, default=None,
+                        metavar="N",
+                        help="seed for the injected-fault probability "
+                             "streams (same as REPRO_FAULTS_SEED)")
 
     serve = sub.add_parser(
         "serve",
@@ -810,6 +994,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "dist":
+        return _cmd_dist(args)
     if args.command == "cache":
         return _cmd_cache(args)
     return 1

@@ -1,0 +1,46 @@
+"""Distributed batch tier: coordinator, worker nodes, remote cache.
+
+The single-host runtime already has the primitives a distributed tier
+needs — jobs are JSON-able dicts keyed by a content sha256
+(:func:`repro.runtime.cache.cache_key`), the scheduler's failure ladder
+is deterministic, and progress flows through one
+:class:`~repro.runtime.pool.ProgressEvent` callback API.  This package
+scales that runtime across machines without changing any of it:
+
+* :mod:`repro.dist.wire` — length-prefixed JSON frames over TCP, the
+  one codec every dist connection speaks;
+* :mod:`repro.dist.cachenet` — a shared :class:`~repro.runtime.cache
+  .ResultCache` served over the wire (:class:`~repro.dist.cachenet
+  .CacheServer`) and its node-side read-through / write-behind client
+  (:class:`~repro.dist.cachenet.RemoteCache`) — any node's hit is every
+  node's hit;
+* :mod:`repro.dist.node` — ``repro dist serve-node``: a worker node
+  that executes shipped jobs through a local
+  :class:`~repro.runtime.scheduler.BatchScheduler` (same ladder, same
+  row shape) and streams events/results back;
+* :mod:`repro.dist.coordinator` — shards a manifest across nodes by
+  cache-key hash, refills windows as results land, steals from
+  straggler shards for idle nodes, reassigns a dead node's jobs, and
+  merges rows byte-identically to a single-host run.
+
+Failure containment extends the local ladder one level up: a fault
+*inside* a node degrades the job (local ladder), the *loss* of a node
+reassigns its jobs (coordinator), and losing every node falls back to
+running the remainder locally — the batch always completes.
+"""
+
+from repro.dist.cachenet import CacheServer, RemoteCache
+from repro.dist.coordinator import DistCoordinator, parse_nodes
+from repro.dist.node import NodeServer
+from repro.dist.wire import WireError, recv_frame, send_frame
+
+__all__ = [
+    "CacheServer",
+    "DistCoordinator",
+    "NodeServer",
+    "RemoteCache",
+    "WireError",
+    "parse_nodes",
+    "recv_frame",
+    "send_frame",
+]

@@ -1,0 +1,437 @@
+"""Shard a batch across worker nodes, steal from stragglers, survive
+node loss, merge byte-identically.
+
+The coordinator owns everything a single-host ``repro batch`` parent
+owns — the manifest, the cache, the journal rows — and delegates only
+*execution*:
+
+1. **Prepare** — every job's function is built parent-side (under
+   :func:`repro.faults.suppressed`, like the scheduler's cache path);
+   its :func:`~repro.runtime.cache.cache_key` both addresses the shared
+   store and, hashed, picks the job's home shard, so shard placement is
+   content-stable across runs.  Cache hits settle here and never ship.
+2. **Shard + window** — remaining jobs split into per-node deques by
+   key hash.  Each node holds a small in-flight *window* (twice its
+   worker count), refilled one job per result — pull-based flow
+   control, so a slow node never queues work a fast node could take.
+3. **Steal** — a node whose own shard ran dry refills from the *tail*
+   of the longest remaining shard.  The claim record is the
+   coordinator's ``in_flight`` index->node map; the first result row
+   for an index wins, a duplicate (stolen *and* finished by its owner)
+   is dropped and counted, and the shared cache dedupes the work itself
+   by key.
+4. **Node loss** — a dead connection (EOF, wire error, socket error)
+   moves the node's unfinished window and remaining shard to the
+   surviving nodes; with no survivors the coordinator runs the
+   remainder through a local :class:`~repro.runtime.scheduler
+   .BatchScheduler`.  The batch always completes.
+
+Rows are exactly :meth:`~repro.runtime.scheduler.JobResult.as_dict`
+(the nodes run the same scheduler), merged in submission order —
+byte-identical to a single-host run up to the volatile timing fields
+(``repro batch --stable-rows`` zeroes those for comparison).  One
+caveat: if a node dies *after* finishing a job but before its row
+lands, the reassigned run settles from the shared cache and the row
+says ``cache_hit: true`` where a single-host run would have executed —
+receipt-time loss (the ``node.loss`` site) cannot hit this window.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import faults
+from repro.dist.cachenet import CacheServer
+from repro.dist.wire import WireError, connect, recv_frame, send_frame
+from repro.runtime import jobspec
+from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.pool import EventSink, ProgressEvent, emit_event
+from repro.runtime.scheduler import BatchScheduler, JobResult
+
+#: In-flight window per node, as a multiple of its worker count.
+WINDOW_FACTOR = 2
+
+
+def parse_nodes(spec: str) -> List[Tuple[str, int]]:
+    """``host:port,host:port`` -> ``[(host, port), ...]``."""
+    nodes = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, sep, port = part.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(f"malformed node address {part!r} "
+                             f"(use host:port)")
+        nodes.append((host or "127.0.0.1", int(port)))
+    if not nodes:
+        raise ValueError("empty node list")
+    return nodes
+
+
+class _Link:
+    """Coordinator-side state for one node connection."""
+
+    def __init__(self, label: str, host: str, port: int) -> None:
+        self.label = label
+        self.host = host
+        self.port = port
+        self.sock = None
+        self.workers = 1
+        self.window = WINDOW_FACTOR
+        self.alive = False
+        #: Home shard: manifest indices not yet sent anywhere.
+        self.shard: "deque[int]" = deque()
+        self.shard_size = 0
+        #: Claim records: indices sent to this node, no row yet.
+        self.in_flight: set = set()
+        self.executed = 0
+        self.reader: Optional[threading.Thread] = None
+
+
+class DistCoordinator:
+    """Run a job list across remote nodes; same contract as
+    :meth:`BatchScheduler.run` but returning JSONL-shaped rows."""
+
+    def __init__(self, nodes: List[Tuple[str, int]],
+                 cache: Optional[ResultCache] = None,
+                 cache_host: str = "127.0.0.1",
+                 timeout: Optional[float] = None, retries: int = 1,
+                 degrade: bool = True,
+                 heartbeat_s: Optional[float] = 1.0,
+                 hang_grace_s: Optional[float] = None,
+                 connect_timeout_s: float = 10.0) -> None:
+        self.cache = cache
+        self.cache_host = cache_host
+        self.timeout = timeout
+        self.retries = retries
+        self.degrade = degrade
+        self.heartbeat_s = heartbeat_s
+        self.hang_grace_s = hang_grace_s
+        self.connect_timeout_s = connect_timeout_s
+        self._links = [_Link(f"{host}:{port}", host, port)
+                       for host, port in nodes]
+        self._lock = threading.RLock()
+        self._done = threading.Condition(self._lock)
+        self._rows: Dict[int, Dict[str, Any]] = {}
+        self._jobs: List[Dict[str, Any]] = []
+        self._overflow: "deque[int]" = deque()
+        self._draining = False
+        self._on_event: Optional[EventSink] = None
+        self._on_row: Optional[Callable[[Dict[str, Any]], None]] = None
+        self.steals = 0
+        self.reassigned = 0
+        self.node_losses = 0
+        self.dup_results = 0
+        self.local_fallback_jobs = 0
+        self._cache_server: Optional[CacheServer] = None
+
+    # -- public entry ---------------------------------------------------
+
+    def run(self, jobs: List[Dict[str, Any]],
+            on_row: Optional[Callable[[Dict[str, Any]], None]] = None,
+            on_event: Optional[EventSink] = None) -> List[Dict[str, Any]]:
+        """Execute ``jobs`` across the nodes; rows in submission order.
+
+        ``on_row`` fires as each row settles (out of order); ``on_event``
+        receives the relayed :class:`ProgressEvent` stream from every
+        node — the same callback API as the local scheduler.
+        """
+        self._jobs = jobs
+        self._on_event = on_event
+        self._on_row = on_row
+        to_run = self._prepare(jobs)
+        if to_run and self._links:
+            self._shard(to_run)
+            try:
+                self._start_cache_server()
+                self._connect_all()
+                self._pump()
+            finally:
+                self._teardown()
+        missing = [i for i in to_run if i not in self._rows]
+        if missing:
+            self._run_locally(missing)
+        return [self._rows[i] for i in sorted(self._rows)]
+
+    # -- phase 1: prepare (build, probe, key) ---------------------------
+
+    def _prepare(self, jobs: List[Dict[str, Any]]) -> List[int]:
+        """Settle build failures and cache hits coordinator-side;
+        attach wire payloads and shard keys to the rest."""
+        to_run = []
+        for index, job in enumerate(jobs):
+            try:
+                with faults.suppressed():
+                    func = jobspec.build_function(job["source"])
+            except Exception as exc:  # noqa: BLE001 — bad source
+                self._settle_local(index, JobResult(
+                    job_id=job["job_id"],
+                    source=jobspec.source_label(job["source"]),
+                    flow=job["flow"], status="failed",
+                    error=f"{type(exc).__name__}: {exc}"))
+                continue
+            key = cache_key(func.canonical_key(), job["flow"],
+                            job["config"])
+            job["_dist_key"] = key
+            record = self.cache.get(key) if self.cache is not None \
+                else None
+            if record is not None:
+                self._settle_local(index, JobResult(
+                    job_id=job["job_id"],
+                    source=jobspec.source_label(job["source"]),
+                    flow=job["flow"], status="ok", result=record,
+                    cache_hit=True))
+                continue
+            job["wire"] = func.to_wire()
+            to_run.append(index)
+        return to_run
+
+    def _settle_local(self, index: int, result: JobResult) -> None:
+        result.index = index
+        emit_event(self._on_event, ProgressEvent(
+            kind="result", job_id=result.job_id, index=index,
+            status=result.status, detail=result.error))
+        self._record_row(index, result.as_dict())
+
+    def _record_row(self, index: int, row: Dict[str, Any]) -> None:
+        self._rows[index] = row
+        if self._on_row is not None:
+            self._on_row(row)
+
+    # -- phase 2: shard -------------------------------------------------
+
+    def _shard(self, to_run: List[int]) -> None:
+        n = len(self._links)
+        for index in to_run:
+            key = self._jobs[index]["_dist_key"]
+            link = self._links[int(key[:8], 16) % n]
+            link.shard.append(index)
+        for link in self._links:
+            link.shard_size = len(link.shard)
+
+    # -- connections ----------------------------------------------------
+
+    def _start_cache_server(self) -> None:
+        if self.cache is not None:
+            self._cache_server = CacheServer(
+                self.cache, host=self.cache_host).start()
+
+    def _connect_all(self) -> None:
+        cache_spec = None
+        if self._cache_server is not None:
+            cache_spec = {"host": self.cache_host,
+                          "port": self._cache_server.port}
+        scheduler_cfg = {
+            "timeout": self.timeout, "retries": self.retries,
+            "degrade": self.degrade, "heartbeat_s": self.heartbeat_s,
+            "hang_grace_s": self.hang_grace_s,
+        }
+        for link in self._links:
+            try:
+                sock = connect(link.host, link.port,
+                               timeout=self.connect_timeout_s)
+                send_frame(sock, {"op": "hello", "cache": cache_spec,
+                                  "scheduler": scheduler_cfg})
+                hello = recv_frame(sock)
+                if not hello or not hello.get("ok"):
+                    raise WireError(f"bad hello from {link.label}")
+                sock.settimeout(None)
+                link.sock = sock
+                link.workers = max(1, int(hello.get("workers", 1)))
+                link.window = max(1, WINDOW_FACTOR * link.workers)
+                link.alive = True
+            except (OSError, WireError):
+                # A node that never answers is a node lost before its
+                # first job: its whole shard redistributes.
+                link.alive = False
+        with self._lock:
+            for link in self._links:
+                if not link.alive and link.shard:
+                    self._reassign(link)
+        for link in self._links:
+            if link.alive:
+                link.reader = threading.Thread(
+                    target=self._read_loop, args=(link,),
+                    name=f"repro-dist-read-{link.label}", daemon=True)
+                link.reader.start()
+
+    # -- the pump -------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Fill every window, then wait for rows until done or dead."""
+        need = {i for link in self._links for i in link.shard}
+        need |= set(self._overflow)
+        for link in self._links:
+            need |= link.in_flight
+        with self._lock:
+            for link in self._links:
+                self._refill(link)
+            while any(link.alive for link in self._links):
+                if all(i in self._rows for i in need):
+                    break
+                self._done.wait(0.25)
+            self._draining = True
+
+    def _refill(self, link: _Link) -> None:
+        """Top the node's window up from its shard, the overflow of
+        dead nodes, or — stealing — the tail of the longest live shard.
+        Caller holds the lock."""
+        while link.alive and len(link.in_flight) < link.window:
+            index = self._next_index(link)
+            if index is None:
+                return
+            link.in_flight.add(index)
+            try:
+                send_frame(link.sock, {
+                    "op": "job", "index": index,
+                    "job": self._wire_job(self._jobs[index])})
+            except (OSError, WireError):
+                self._node_lost(link)
+                return
+
+    def _next_index(self, link: _Link) -> Optional[int]:
+        if link.shard:
+            return link.shard.popleft()
+        if self._overflow:
+            return self._overflow.popleft()
+        victim = max(
+            (other for other in self._links
+             if other.alive and other is not link and other.shard),
+            key=lambda other: len(other.shard), default=None)
+        if victim is None:
+            return None
+        self.steals += 1
+        # Tail, not head: the head is what the victim itself dispatches
+        # next, so stealing from the tail minimizes claim collisions.
+        return victim.shard.pop()
+
+    def _wire_job(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        return {k: v for k, v in job.items() if k != "_dist_key"}
+
+    # -- per-node reader ------------------------------------------------
+
+    def _read_loop(self, link: _Link) -> None:
+        while True:
+            try:
+                frame = recv_frame(link.sock)
+            except (OSError, WireError):
+                frame = None
+            if frame is None:
+                self._node_lost(link)
+                return
+            op = frame.get("op")
+            if op == "event":
+                emit_event(self._on_event,
+                           ProgressEvent.from_dict(frame.get("event")
+                                                   or {}))
+            elif op == "result":
+                self._claim(link, int(frame["index"]),
+                            dict(frame["row"]))
+
+    def _claim(self, link: _Link, index: int,
+               row: Dict[str, Any]) -> None:
+        with self._lock:
+            link.in_flight.discard(index)
+            if index in self._rows:
+                # Stolen and also finished by its original owner: the
+                # first row won the claim, this one is a duplicate (the
+                # shared cache made it cheap).
+                self.dup_results += 1
+            else:
+                link.executed += 1
+                self._record_row(index, row)
+            self._refill(link)
+            self._done.notify_all()
+
+    def _node_lost(self, link: _Link) -> None:
+        with self._lock:
+            if not link.alive:
+                return
+            link.alive = False
+            if self._draining:
+                return
+            self.node_losses += 1
+            self._reassign(link)
+            for other in self._links:
+                if other.alive:
+                    self._refill(other)
+            self._done.notify_all()
+
+    def _reassign(self, link: _Link) -> None:
+        """Move a dead node's claims and remaining shard to overflow.
+        Caller holds the lock."""
+        moved = [i for i in link.in_flight if i not in self._rows]
+        moved.extend(link.shard)
+        link.in_flight.clear()
+        link.shard.clear()
+        self.reassigned += len(moved)
+        self._overflow.extend(moved)
+
+    # -- endgame --------------------------------------------------------
+
+    def _run_locally(self, missing: List[int]) -> None:
+        """All nodes are gone and rows are missing: finish the batch
+        with the local failure ladder (same scheduler, same rows)."""
+        self.local_fallback_jobs = len(missing)
+        scheduler = BatchScheduler(
+            workers=None, timeout=self.timeout, retries=self.retries,
+            cache=self.cache, degrade=self.degrade,
+            heartbeat_s=self.heartbeat_s,
+            hang_grace_s=self.hang_grace_s)
+        remaining = [self._wire_job(self._jobs[i]) for i in missing]
+        results = scheduler.run(remaining, on_event=self._on_event)
+        for local_pos, result in zip(missing, results):
+            result.index = local_pos
+            self._record_row(local_pos, result.as_dict())
+
+    def _teardown(self) -> None:
+        self._draining = True
+        for link in self._links:
+            if link.sock is not None:
+                try:
+                    send_frame(link.sock, {"op": "bye"})
+                except (OSError, WireError):
+                    pass
+                # shutdown() before close(): close() alone does not
+                # interrupt a reader thread parked in recv().
+                try:
+                    link.sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    link.sock.close()
+                except OSError:
+                    pass
+        for link in self._links:
+            if link.reader is not None:
+                link.reader.join(timeout=2.0)
+        if self._cache_server is not None:
+            self._cache_server.close()
+
+    # -- observability --------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``dist`` section of the batch metrics document."""
+        data: Dict[str, Any] = {
+            "nodes": [{
+                "node": link.label, "workers": link.workers,
+                "alive": link.alive, "shard_jobs": link.shard_size,
+                "executed": link.executed,
+            } for link in self._links],
+            "steals": self.steals,
+            "reassigned": self.reassigned,
+            "node_losses": self.node_losses,
+            "dup_results": self.dup_results,
+            "local_fallback_jobs": self.local_fallback_jobs,
+        }
+        if self._cache_server is not None:
+            data["cache_server"] = dict(self._cache_server.counters)
+        return data
+
+
+__all__ = ["DistCoordinator", "parse_nodes", "WINDOW_FACTOR"]

@@ -1,0 +1,232 @@
+"""``repro dist serve-node``: one worker node of a distributed batch.
+
+A node is deliberately thin: it accepts a coordinator session, receives
+jobs one frame at a time, and runs **each job through a local
+:class:`~repro.runtime.scheduler.BatchScheduler`** (``workers=1``, one
+scheduler per job, up to ``workers`` concurrently via a thread pool).
+That reuse is the whole point — the node inherits the exact
+timeout/hang/crash/degrade failure ladder and produces the exact
+:meth:`~repro.runtime.scheduler.JobResult.as_dict` row shape of a
+single-host run, so the coordinator's merged output is byte-identical
+by construction, not by reimplementation.
+
+Session protocol (all frames :mod:`repro.dist.wire`)::
+
+    coordinator -> node   {"op": "hello", "scheduler": {...},
+                           "cache": {"host", "port"} | null}
+    node -> coordinator   {"op": "hello", "ok": true, "workers": W}
+    coordinator -> node   {"op": "job", "index": i, "job": {...}}   (many)
+    node -> coordinator   {"op": "event", "index": i, "event": {...}}
+    node -> coordinator   {"op": "result", "index": i, "row": {...}}
+    coordinator -> node   {"op": "bye"}  (or just EOF)
+
+With a ``cache`` advertised, the node attaches a
+:class:`~repro.dist.cachenet.RemoteCache` to every job's scheduler:
+hits skip execution exactly as locally, and results write behind to the
+shared store (flushed before the result frame ships, so a stolen
+duplicate landing on another node dedupes on its cache key).
+
+Chaos sites: ``node.loss`` fires on every job receipt — its ``crash``
+kind is ``os._exit``, a *real* node death the coordinator must survive;
+``shard.rpc`` wraps every frame the node sends, so injected corruption
+surfaces coordinator-side as a wire error (= lost node, jobs
+reassigned).  Either way the distributed run completes.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional
+
+from repro import faults
+from repro.dist.cachenet import RemoteCache
+from repro.dist.wire import WireError, recv_frame, send_frame
+from repro.runtime.pool import ProgressEvent, resolve_workers
+from repro.runtime.scheduler import BatchScheduler
+
+
+def wire_source(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Rewrite a job's source to its shipped ``wire`` payload.
+
+    Nodes must not need the coordinator's filesystem (a ``pla:`` path
+    manifest entry names a file only the coordinator has), so when the
+    coordinator attached a wire dump the node builds from *that*.  The
+    original label is kept so result rows stay byte-identical to a
+    single-host run.
+    """
+    if not job.get("wire"):
+        return job
+    from repro.runtime.jobspec import source_label
+    rewritten = dict(job)
+    rewritten["source"] = {"kind": "wire", "data": job["wire"],
+                           "label": source_label(job["source"])}
+    return rewritten
+
+
+class NodeServer:
+    """Accept coordinator sessions and execute shipped jobs locally."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: Optional[int] = None,
+                 timeout: Optional[float] = None, retries: int = 1,
+                 heartbeat_s: Optional[float] = 1.0,
+                 hang_grace_s: Optional[float] = None) -> None:
+        self.host = host
+        self.port = port
+        self.workers, _ = resolve_workers(workers)
+        self.timeout = timeout
+        self.retries = retries
+        self.heartbeat_s = heartbeat_s
+        self.hang_grace_s = hang_grace_s
+        self._sock: Optional[socket.socket] = None
+        self._closing = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "NodeServer":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(4)
+        self.port = sock.getsockname()[1]
+        self._sock = sock
+        return self
+
+    def serve_forever(self) -> None:
+        """Sessions run one at a time; a node serves one coordinator."""
+        if self._sock is None:
+            self.start()
+        while not self._closing:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            try:
+                self._session(conn)
+            except Exception:  # noqa: BLE001 — a poisoned session (e.g.
+                pass  # an injected node.loss raise) must not kill the
+                # node: the dropped connection is the whole signal the
+                # coordinator needs, and the node can serve again.
+            finally:
+                conn.close()
+
+    def close(self) -> None:
+        self._closing = True
+        if self._sock is not None:
+            # shutdown() first so a serve_forever() thread parked in
+            # accept() wakes up instead of blocking past close().
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    # -- one coordinator session ---------------------------------------
+
+    def _session(self, conn: socket.socket) -> None:
+        try:
+            hello = recv_frame(conn)
+        except (WireError, OSError):
+            return
+        if not isinstance(hello, dict) or hello.get("op") != "hello":
+            return
+        send_lock = threading.Lock()
+        alive = threading.Event()
+        alive.set()
+
+        def send(message: Dict[str, Any]) -> None:
+            # shard.rpc wraps every node->coordinator frame; any
+            # injected or real failure here means the coordinator can
+            # no longer hear us, which *is* node loss from its side —
+            # stop sending, and close the link so the coordinator's
+            # reader sees EOF and reassigns (a mute node with an open
+            # connection would stall the batch forever).
+            if not alive.is_set():
+                return
+            try:
+                with send_lock:
+                    send_frame(conn, message, site="shard.rpc")
+            except (OSError, WireError, faults.FaultInjected):
+                alive.clear()
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+        cache = self._make_cache(hello.get("cache"))
+        scheduler_cfg = hello.get("scheduler") or {}
+        send({"op": "hello", "ok": True, "workers": self.workers})
+        pool = ThreadPoolExecutor(max_workers=self.workers,
+                                  thread_name_prefix="repro-dist-job")
+        try:
+            while alive.is_set():
+                try:
+                    frame = recv_frame(conn)
+                except (WireError, OSError):
+                    break
+                if frame is None or frame.get("op") == "bye":
+                    break
+                if frame.get("op") != "job":
+                    continue
+                # The whole-node death site: a crash kind here is
+                # os._exit — the process vanishes mid-shard, which is
+                # exactly the loss the coordinator must tolerate.
+                faults.fault_point("node.loss")
+                pool.submit(self._run_job, int(frame["index"]),
+                            dict(frame["job"]), scheduler_cfg, cache,
+                            send)
+        finally:
+            pool.shutdown(wait=True)
+            if cache is not None:
+                cache.close()
+
+    def _make_cache(self,
+                    spec: Optional[Dict[str, Any]]) -> Optional[RemoteCache]:
+        if not spec:
+            return None
+        return RemoteCache(str(spec["host"]), int(spec["port"]))
+
+    def _run_job(self, index: int, job: Dict[str, Any],
+                 cfg: Dict[str, Any], cache: Optional[RemoteCache],
+                 send) -> None:
+        """One job through the full local failure ladder."""
+        scheduler = BatchScheduler(
+            workers=1,
+            timeout=cfg.get("timeout", self.timeout),
+            retries=int(cfg.get("retries", self.retries)),
+            cache=cache,
+            degrade=bool(cfg.get("degrade", True)),
+            heartbeat_s=cfg.get("heartbeat_s", self.heartbeat_s),
+            hang_grace_s=cfg.get("hang_grace_s", self.hang_grace_s))
+
+        def relay(event: ProgressEvent) -> None:
+            data = event.as_dict()
+            data["index"] = index  # the manifest index, not the local 0
+            send({"op": "event", "index": index, "event": data})
+
+        try:
+            results = scheduler.run([wire_source(job)], on_event=relay)
+            row = results[0].as_dict()
+        except Exception as exc:  # noqa: BLE001 — a node never dies on a job
+            row = {"job_id": job.get("job_id", "?"), "source": "?",
+                   "flow": job.get("flow", "map"), "status": "failed",
+                   "cache_hit": False, "degraded": False, "index": index,
+                   "queue_wait_s": 0.0, "exec_s": 0.0, "retries": 0,
+                   "beats": 0, "hung": False, "result": None,
+                   "error": f"node execution error: "
+                            f"{type(exc).__name__}: {exc}"}
+        row["index"] = index
+        if cache is not None:
+            # The write-behind entry must be visible before the claim
+            # settles, so a stolen duplicate dedupes on its cache key.
+            cache.flush()
+        send({"op": "result", "index": index, "row": row})
+
+
+__all__ = ["NodeServer", "wire_source"]

@@ -1,0 +1,119 @@
+"""Length-prefixed JSON framing — the codec of every dist connection.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  The prefix makes message boundaries explicit (TCP is a
+byte stream), keeps the parser trivial, and lets a receiver reject a
+nonsense length before allocating for it.  All dist protocols
+(coordinator<->node, node<->cache server) are frame sequences; a clean
+EOF between frames is the normal way a peer says goodbye, so
+:func:`recv_frame` returns ``None`` there instead of raising.
+
+Chaos: senders route the encoded bytes through a caller-named fault
+site (``shard.rpc`` for node RPC, ``cache.fetch`` for cache client
+frames), so injected corruption/raises happen *on the wire path* and
+containment is tested where the failure would really occur.  A frame
+corrupted in flight surfaces as :class:`WireError` on the receiving
+side (bad JSON / bad length), never as a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+from repro.faults import FaultInjected, fault_point
+
+#: Frames above this are protocol errors, not payloads (a corrupted
+#: length prefix reads as gibberish; don't allocate gibibytes for it).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class WireError(Exception):
+    """A malformed or oversized frame (protocol violation, not I/O)."""
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any],
+               site: Optional[str] = None) -> None:
+    """Encode and send one frame.
+
+    ``site`` names the fault site the encoded bytes route through
+    (``None`` skips injection — used by replies on the trusted side).
+    Raises ``OSError`` on a dead socket and :class:`FaultInjected` for
+    injected raise-kind faults; callers own the containment policy.
+    """
+    data = json.dumps(message, separators=(",", ":")).encode()
+    if site is not None:
+        data = fault_point(site, data)
+    if len(data) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(data)} bytes exceeds "
+                        f"{MAX_FRAME_BYTES}")
+    sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
+    """``count`` bytes, or ``None`` on a clean EOF *before* any byte.
+
+    EOF mid-chunk is a torn frame — that is a :class:`WireError`, not a
+    goodbye.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise WireError(f"connection closed {remaining} bytes into "
+                            f"a {count}-byte read")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """One decoded frame, or ``None`` on clean EOF between frames.
+
+    Raises :class:`WireError` for torn/oversized/undecodable frames and
+    propagates ``OSError``/``socket.timeout`` from the socket itself.
+    """
+    header = recv_exactly(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    body = recv_exactly(sock, length)
+    if body is None:
+        raise WireError("connection closed between header and body")
+    try:
+        message = json.loads(body.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise WireError(f"frame is {type(message).__name__}, expected "
+                        f"an object")
+    return message
+
+
+def connect(host: str, port: int,
+            timeout: Optional[float] = None) -> socket.socket:
+    """A connected TCP socket with ``TCP_NODELAY`` (frames are small
+    and latency-sensitive; Nagle would batch them)."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "connect",
+    "recv_exactly",
+    "recv_frame",
+    "send_frame",
+    "FaultInjected",
+]

@@ -71,6 +71,12 @@ SITES = (
     "server.accept",
     "server.reply",
     "server.dispatch",
+    # Distributed-tier sites (repro dist): remote cache client frames,
+    # node-side shard RPC framing, and whole-node death on job receipt.
+    # See the "Distributed batch" failure ladder in docs/RUNTIME.md.
+    "cache.fetch",
+    "shard.rpc",
+    "node.loss",
 )
 
 #: The fault kinds every site understands.

@@ -66,10 +66,22 @@ DEFAULT_MAX_VARS = 24
 DEFAULT_TIER1_MAX_VARS = 16
 
 #: Measured crossover for the symmetry ops: below this live-support
-#: width the BDD path is faster than lift/predicate/lower through the
-#: kernel (the conversion at the wrapper boundary dominates), so
-#: symmetry dispatch declines without counting a miss.
+#: width the BDD path is *usually* faster than lift/predicate/lower
+#: through the kernel (the conversion at the wrapper boundary
+#: dominates), so symmetry dispatch declines without counting a miss —
+#: unless the operands are dense enough that the BDD path pays per-node
+#: costs rivalling the whole packed table (see
+#: :data:`DEFAULT_SYMMETRY_DENSITY_FACTOR`).
 DEFAULT_SYMMETRY_MIN_VARS = 16
+
+#: Below-crossover profitability factor for the symmetry ops: a
+#: sub-``min_vars`` support is still served word-parallel when
+#: ``node_count * factor >= 2**num_live`` (table bits).  Dense small
+#: functions (a 10-var random table is ~400 joint nodes against 1024
+#: bits) win on masks — measured 1.2-1.3x over the BDD path — while
+#: sparse ones (where the BDD path is near-free) keep declining.  ``0``
+#: disables the rule, restoring the pure threshold crossover.
+DEFAULT_SYMMETRY_DENSITY_FACTOR = 3
 
 #: Tier-2 profitability factor: a tier-2 dispatch is served only when
 #: ``node_count * DEFAULT_COST_FACTOR >= table_words * num_outputs``.
@@ -148,6 +160,14 @@ def kernel_symmetry_min_vars() -> int:
     """
     value = _env_int("REPRO_KERNEL_SYMMETRY_MIN_VARS")
     return value if value >= 0 else DEFAULT_SYMMETRY_MIN_VARS
+
+
+def kernel_symmetry_density_factor() -> int:
+    """Below-crossover density rule for the symmetry ops
+    (``REPRO_KERNEL_SYMMETRY_DENSITY`` override; ``0`` disables the
+    rule and restores the pure ``min_vars`` threshold)."""
+    value = _env_int("REPRO_KERNEL_SYMMETRY_DENSITY")
+    return value if value >= 0 else DEFAULT_SYMMETRY_DENSITY_FACTOR
 
 
 def kernel_cost_model() -> bool:
@@ -248,6 +268,7 @@ __all__ = [
     "AVAILABLE",
     "DEFAULT_COST_FACTOR",
     "DEFAULT_MAX_VARS",
+    "DEFAULT_SYMMETRY_DENSITY_FACTOR",
     "DEFAULT_SYMMETRY_MIN_VARS",
     "DEFAULT_TIER1_MAX_VARS",
     "KernelStats",
@@ -256,6 +277,7 @@ __all__ = [
     "kernel_enabled",
     "kernel_max_vars",
     "kernel_metrics",
+    "kernel_symmetry_density_factor",
     "kernel_symmetry_min_vars",
     "kernel_tier1_max_vars",
     "reset_kernel_stats",

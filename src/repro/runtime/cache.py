@@ -26,9 +26,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Dict, Optional
 
 from repro.faults import FaultInjected, fault_point
@@ -42,6 +44,23 @@ CACHE_CODE_VERSION = "repro-1.0.0/runtime-1"
 
 #: Environment override for the default on-disk location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Sliding window of per-``get`` latency samples kept for the hit and
+#: miss percentiles — recent behaviour, bounded memory.
+LATENCY_WINDOW = 512
+
+
+def _latency_percentiles(samples) -> Dict[str, Any]:
+    """Nearest-rank p50/p90/p99 (milliseconds) over a sample window."""
+    data = sorted(samples)
+    if not data:
+        return {"p50_ms": None, "p90_ms": None, "p99_ms": None,
+                "samples": 0}
+    def rank(p: float) -> float:
+        idx = max(0, math.ceil(p * len(data)) - 1)
+        return round(data[idx] * 1000.0, 6)
+    return {"p50_ms": rank(0.50), "p90_ms": rank(0.90),
+            "p99_ms": rank(0.99), "samples": len(data)}
 
 
 def default_cache_dir() -> Path:
@@ -84,6 +103,11 @@ class ResultCache:
         #: fault, memory exhaustion) — the payload stays correct in
         #: memory, the disk entry is simply absent.
         self.write_errors = 0
+        #: Sliding windows of per-``get`` wall latencies, split by
+        #: outcome — the hit window says what a (local or remote) hit
+        #: costs, the miss window what a probe that found nothing costs.
+        self._hit_latency: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        self._miss_latency: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
 
     # -- paths ---------------------------------------------------------
 
@@ -97,8 +121,20 @@ class ResultCache:
 
         An entry unlinked concurrently (a ``repro cache clear`` racing
         this reader) is a plain miss — never an exception and never
-        counted as corruption.
+        counted as corruption.  Every call lands one latency sample in
+        the hit or miss window (:data:`LATENCY_WINDOW`).
         """
+        start = perf_counter()
+        payload = self._lookup(key)
+        window = self._hit_latency if payload is not None \
+            else self._miss_latency
+        window.append(perf_counter() - start)
+        return payload
+
+    def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        """The untimed lookup ladder (LRU front, then disk).  Subclasses
+        layer extra tiers here so :meth:`get` keeps the counters and the
+        latency windows for them."""
         cached = self._lru.get(key)
         if cached is not None:
             self._lru.move_to_end(key)
@@ -226,10 +262,19 @@ class ResultCache:
         self._lru.clear()
         return removed
 
+    def counter_stats(self) -> Dict[str, Any]:
+        """Session counters and latency percentiles — no disk walk, so
+        safe on every ``/metrics`` poll."""
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "corrupt": self.corrupt, "write_errors": self.write_errors,
+            "memory_entries": len(self._lru),
+            "hit_latency": _latency_percentiles(self._hit_latency),
+            "miss_latency": _latency_percentiles(self._miss_latency),
+        }
+
     def stats(self) -> Dict[str, Any]:
-        """Session counters plus the on-disk footprint."""
+        """Session counters, latency percentiles and on-disk footprint."""
         data = self.disk_stats()
-        data.update(hits=self.hits, misses=self.misses,
-                    corrupt=self.corrupt, write_errors=self.write_errors,
-                    memory_entries=len(self._lru))
+        data.update(self.counter_stats())
         return data

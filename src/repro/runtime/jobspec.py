@@ -24,15 +24,18 @@ Source descriptor kinds
                 (``{"name", "inputs", "outputs", "seed"}``)
 ``wire``        an inline :meth:`to_wire` dump (``{"data": ...}``)
 
-Test hooks (``hang:<seconds>``, ``crash`` / ``crash:<n>``) fire inside
-the worker before any real work; they exist so the scheduler's timeout,
-retry and degradation paths are testable end to end.
+Test hooks (``hang:<seconds>``, ``sleep:<seconds>``, ``crash`` /
+``crash:<n>``) fire inside the worker before any real work; they exist
+so the scheduler's timeout, retry and degradation paths are testable
+end to end (``sleep`` continues afterwards — it makes a job wall-clock
+bound, which is what the distributed benchmarks scale against).
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro import faults
@@ -146,7 +149,7 @@ def parse_manifest_entry(entry: str) -> Dict[str, Any]:
 
     Grammar: a circuit name, ``pla:<path>``, ``blif:<path>`` or
     ``synth:<name>:<inputs>:<outputs>[:<seed>]``, optionally followed by
-    a ``!hang=<s>`` / ``!crash[=<n>]`` test hook.
+    a ``!hang=<s>`` / ``!sleep=<s>`` / ``!crash[=<n>]`` test hook.
     """
     hook = None
     if "!" in entry:
@@ -203,6 +206,13 @@ def _apply_test_hook(hook: Optional[str], attempt: int) -> None:
     if kind == "hang":
         faults.perform("hang", site="test_hook",
                        seconds=float(arg) if arg else None)
+    elif kind == "sleep":
+        # A bounded wall-clock stall that then *continues* the job —
+        # models an I/O-bound phase (unlike ``hang``, which never
+        # returns and exists to trip the hang detector).  The dist
+        # benchmarks use it to make jobs wall-clock-bound so speedup
+        # measures concurrency, not CPU count.
+        time.sleep(float(arg) if arg else 0.1)
     elif kind == "crash":
         # Crash the first <n> attempts (every attempt when unbounded);
         # os._exit sidesteps any exception handling, like a real segfault.

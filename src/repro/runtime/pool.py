@@ -117,6 +117,19 @@ class ProgressEvent:
             data["detail"] = self.detail
         return data
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProgressEvent":
+        """Inverse of :meth:`as_dict` — how the dist tier rehydrates
+        events relayed over the wire into the same callback API."""
+        return cls(kind=str(data.get("event", "?")),
+                   job_id=str(data.get("job_id", "?")),
+                   index=int(data.get("index", -1)),
+                   attempt=int(data.get("attempt", 1)),
+                   phase=data.get("phase"),
+                   beats=int(data.get("beats", 0)),
+                   status=data.get("status"),
+                   detail=data.get("detail"))
+
 
 #: Signature of a progress-event sink.
 EventSink = Callable[[ProgressEvent], None]

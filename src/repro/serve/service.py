@@ -428,9 +428,8 @@ class DecompositionService:
             "pool": self.pool.stats(),
         }
         if self.cache is not None:
-            data["cache"] = {
-                "hits": self.cache.hits, "misses": self.cache.misses,
-                "corrupt": self.cache.corrupt,
-                "write_errors": self.cache.write_errors,
-            }
+            # counter_stats (not stats): /metrics is polled, so no disk
+            # walk; includes hit/miss latency percentiles and warm_hits
+            # already rides in pool.stats() above.
+            data["cache"] = self.cache.counter_stats()
         return data

@@ -54,7 +54,10 @@ def symmetry_domain(bdd: BDD, isfs: Sequence[ISF],
     when the live support of ``isfs`` plus ``variables`` fits the
     kernel's cap *and* clears the measured crossover
     (:func:`repro.kernel.kernel_symmetry_min_vars` — below it the BDD
-    path wins because the lift/lower conversion dominates), otherwise
+    path usually wins because the lift/lower conversion dominates,
+    unless the operands are dense enough that per-node BDD cost rivals
+    the packed table; see
+    :func:`repro.kernel.kernel_symmetry_density_factor`), otherwise
     the BDD adapter with the ISFs unchanged.  Misses are counted under
     ``op``; declining below the crossover is not a miss.
     """

@@ -1,0 +1,237 @@
+"""Containment for the distributed tier's fault sites.
+
+``cache.fetch`` — client-side store I/O: any injected failure serves as
+a cache miss and the job executes.  ``shard.rpc`` — node->coordinator
+frames: injected failure means the coordinator can no longer hear the
+node, which reads as node loss and the work reroutes.  ``node.loss`` —
+whole-node death on job receipt: the crash kind is a real ``os._exit``
+(exercised through subprocess nodes), the raise kind kills the session
+in-process; either way the batch completes with every row intact.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.dist.cachenet import CacheServer, RemoteCache
+from repro.dist.coordinator import DistCoordinator
+from repro.dist.node import NodeServer
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobspec import make_job, source_from_name
+from repro.runtime.scheduler import BatchScheduler
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::DeprecationWarning")  # fork-in-multithreaded on 3.12
+
+KEY = "ab" * 32
+PAYLOAD = {"lut_count": 4}
+
+
+def test_dist_sites_registered():
+    for site in ("cache.fetch", "shard.rpc", "node.loss"):
+        assert site in faults.SITES
+
+
+def make_jobs(names):
+    return [make_job(source_from_name(name)) for name in names]
+
+
+def stable(rows):
+    out = []
+    for row in sorted(rows, key=lambda r: r["index"]):
+        row = dict(row)
+        row["queue_wait_s"] = 0.0
+        row["exec_s"] = 0.0
+        row["beats"] = 0
+        out.append(row)
+    return out
+
+
+class TestCacheFetchSite:
+    @pytest.fixture
+    def server(self, tmp_path):
+        backing = ResultCache(tmp_path / "cache", memory_limit=0)
+        srv = CacheServer(backing).start()
+        yield srv
+        srv.close()
+
+    @pytest.mark.parametrize("kind", ["raise", "oom"])
+    def test_failure_is_miss_then_recovers(self, server, monkeypatch,
+                                           kind):
+        server.cache.put(KEY, PAYLOAD)
+        monkeypatch.setenv(faults.ENV_VAR, f"cache.fetch:{kind}:1:1")
+        rc = RemoteCache(server.host, server.port, timeout=2.0)
+        try:
+            assert rc.get(KEY) is None          # miss, not an exception
+            assert rc.fetch_errors == 1
+            assert rc.get(KEY) == PAYLOAD       # nth=1 consumed
+        finally:
+            rc.close()
+
+    def test_corrupt_request_is_miss_server_survives(self, server,
+                                                     monkeypatch):
+        # The corrupt kind poisons the outgoing get frame's bytes; the
+        # server drops that connection, the client reads it as a miss.
+        server.cache.put(KEY, PAYLOAD)
+        monkeypatch.setenv(faults.ENV_VAR, "cache.fetch:corrupt:1:1")
+        rc = RemoteCache(server.host, server.port, timeout=2.0)
+        try:
+            assert rc.get(KEY) in (None, PAYLOAD)  # flip may be benign
+            assert rc.get(KEY) == PAYLOAD          # reconnect serves
+        finally:
+            rc.close()
+
+
+class TestShardRpcSite:
+    def test_node_blackout_falls_back_locally(self, monkeypatch,
+                                              tmp_path):
+        # prob=1: every node->coordinator frame dies, including the
+        # hello reply, so the node never counts as alive and the whole
+        # manifest runs through the local ladder. The batch completes.
+        node = NodeServer(port=0, workers=1, heartbeat_s=0.5).start()
+        thread = threading.Thread(target=node.serve_forever, daemon=True)
+        thread.start()
+        monkeypatch.setenv(faults.ENV_VAR, "shard.rpc:raise:1")
+        try:
+            coordinator = DistCoordinator(
+                [(node.host, node.port)],
+                cache=ResultCache(tmp_path / "cache"),
+                connect_timeout_s=2.0)
+            rows = coordinator.run(make_jobs(("xor5", "rd53")))
+        finally:
+            monkeypatch.delenv(faults.ENV_VAR)
+            node.close()
+            thread.join(timeout=5.0)
+        assert [r["status"] for r in rows] == ["ok", "ok"]
+        assert coordinator.local_fallback_jobs == 2
+
+    def test_mid_session_rpc_fault_reads_as_node_loss(self, monkeypatch,
+                                                      tmp_path):
+        # nth=2: the hello reply (frame 1) survives, the next frame the
+        # node sends dies — the coordinator sees the link drop and
+        # reroutes; no row is lost.
+        node = NodeServer(port=0, workers=1, heartbeat_s=0.5).start()
+        thread = threading.Thread(target=node.serve_forever, daemon=True)
+        thread.start()
+        monkeypatch.setenv(faults.ENV_VAR, "shard.rpc:raise:1:2")
+        try:
+            coordinator = DistCoordinator(
+                [(node.host, node.port)],
+                cache=ResultCache(tmp_path / "cache"),
+                connect_timeout_s=2.0)
+            rows = coordinator.run(make_jobs(("xor5", "rd53")))
+        finally:
+            monkeypatch.delenv(faults.ENV_VAR)
+            node.close()
+            thread.join(timeout=5.0)
+        assert [r["status"] for r in rows] == ["ok", "ok"]
+
+
+class TestNodeLossSite:
+    def test_raise_kills_session_batch_completes(self, monkeypatch,
+                                                 tmp_path):
+        # nth=1: exactly one job receipt raises inside one node's
+        # session loop; that session dies, the survivor absorbs the
+        # shard, and the merged rows match a single-host run.
+        nodes, threads = [], []
+        for _ in range(2):
+            srv = NodeServer(port=0, workers=2, heartbeat_s=0.5).start()
+            thread = threading.Thread(target=srv.serve_forever,
+                                      daemon=True)
+            thread.start()
+            nodes.append(srv)
+            threads.append(thread)
+        monkeypatch.setenv(faults.ENV_VAR, "node.loss:raise:1:1")
+        names = ("xor5", "rd53", "majority", "rd73")
+        try:
+            coordinator = DistCoordinator(
+                [(n.host, n.port) for n in nodes],
+                cache=ResultCache(tmp_path / "cache"))
+            rows = coordinator.run(make_jobs(names))
+        finally:
+            monkeypatch.delenv(faults.ENV_VAR)
+            for srv in nodes:
+                srv.close()
+        assert all(r["status"] == "ok" for r in rows)
+        assert coordinator.node_losses == 1
+        assert coordinator.reassigned >= 1
+        with faults.suppressed():
+            scheduler = BatchScheduler(
+                workers=2, cache=ResultCache(tmp_path / "single"),
+                heartbeat_s=0.5)
+            reference = [r.as_dict() for r in
+                         scheduler.run(make_jobs(names))]
+        assert json.dumps(stable(rows)) == json.dumps(stable(reference))
+
+
+class TestNodeCrashSubprocess:
+    """The real thing: ``node.loss:crash`` is ``os._exit`` in a
+    subprocess node, a true mid-shard process death."""
+
+    @staticmethod
+    def _spawn(inject=None):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + os.pathsep + existing if existing \
+            else src
+        env.pop(faults.ENV_VAR, None)
+        argv = [sys.executable, "-m", "repro.cli", "dist", "serve-node",
+                "--port", "0", "--workers", "2", "--heartbeat", "0.5"]
+        if inject:
+            argv += ["--inject", inject]
+        proc = subprocess.Popen(argv, stdout=subprocess.PIPE,
+                                stderr=subprocess.STDOUT, text=True,
+                                env=env)
+        deadline = time.monotonic() + 30.0
+        while True:
+            line = proc.stdout.readline()
+            if "node serving on" in line:
+                addr = line.split("node serving on", 1)[1].split()[0]
+                host, _, port = addr.rpartition(":")
+                return proc, (host, int(port))
+            if not line or time.monotonic() > deadline:
+                proc.kill()
+                raise RuntimeError("node failed to become ready")
+
+    def test_process_death_mid_shard_is_survived(self, tmp_path):
+        healthy, healthy_addr = self._spawn()
+        doomed, doomed_addr = self._spawn(inject="node.loss:crash:1:1")
+        names = ("xor5", "rd53", "majority", "rd73")
+        try:
+            coordinator = DistCoordinator(
+                [doomed_addr, healthy_addr],
+                cache=ResultCache(tmp_path / "cache"))
+            rows = coordinator.run(make_jobs(names))
+            assert doomed.wait(timeout=15.0) == faults.CRASH_EXIT_CODE
+        finally:
+            for proc in (healthy, doomed):
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        assert all(r["status"] == "ok" for r in rows)
+        assert coordinator.node_losses == 1
+        assert coordinator.reassigned >= 1
+        scheduler = BatchScheduler(
+            workers=2, cache=ResultCache(tmp_path / "single"),
+            heartbeat_s=0.5)
+        reference = [r.as_dict() for r in scheduler.run(make_jobs(names))]
+        assert json.dumps(stable(rows)) == json.dumps(stable(reference))
+
+    def test_sigterm_is_a_clean_shutdown(self):
+        proc, (host, port) = self._spawn()
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=10.0) == 0
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=2.0)

@@ -1,0 +1,165 @@
+"""Frame protocol invariants: length-prefixed JSON over a socket.
+
+The contract is binary: a frame either arrives whole and decodes to a
+dict, or the receiver gets a clean ``None`` (EOF between frames) or a
+:class:`WireError` (torn, oversized or undecodable) — never a partial
+message and never a silent truncation.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.dist.wire import (
+    MAX_FRAME_BYTES,
+    WireError,
+    recv_frame,
+    send_frame,
+)
+
+
+def pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestRoundtrip:
+    def test_single_frame(self):
+        a, b = pair()
+        try:
+            send_frame(a, {"op": "ping", "n": 1})
+            assert recv_frame(b) == {"op": "ping", "n": 1}
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_frames_in_order(self):
+        a, b = pair()
+        try:
+            for i in range(50):
+                send_frame(a, {"i": i, "payload": "x" * i})
+            for i in range(50):
+                assert recv_frame(b)["i"] == i
+        finally:
+            a.close()
+            b.close()
+
+    def test_unicode_payload_survives(self):
+        a, b = pair()
+        try:
+            send_frame(a, {"label": "pla:é€/circuit"})
+            assert recv_frame(b) == {"label": "pla:é€/circuit"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_concurrent_senders_do_not_interleave(self):
+        # send_frame itself is a single sendall; frames from two
+        # threads may order arbitrarily but never tear.
+        a, b = pair()
+        try:
+            def blast(tag):
+                for i in range(25):
+                    send_frame(a, {"tag": tag, "i": i,
+                                   "pad": tag * 300})
+            seen = []
+
+            def drain():
+                for _ in range(50):
+                    seen.append(recv_frame(b))
+
+            threads = [threading.Thread(target=blast, args=(t,))
+                       for t in ("x", "y")]
+            reader = threading.Thread(target=drain)
+            reader.start()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            reader.join()
+            assert len(seen) == 50
+            assert all(f["pad"] == f["tag"] * 300 for f in seen)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestEdges:
+    def test_clean_eof_is_none(self):
+        a, b = pair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_between_frames_is_none(self):
+        a, b = pair()
+        try:
+            send_frame(a, {"op": "bye"})
+            a.close()
+            assert recv_frame(b) == {"op": "bye"}
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_torn_frame_raises(self):
+        a, b = pair()
+        try:
+            # Announce 100 bytes, deliver 10, hang up.
+            a.sendall(struct.pack(">I", 100) + b"x" * 10)
+            a.close()
+            with pytest.raises(WireError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_header_raises(self):
+        a, b = pair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(WireError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_undecodable_body_raises(self):
+        a, b = pair()
+        try:
+            body = b"\xff\xfe not json"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(WireError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_dict_body_raises(self):
+        a, b = pair()
+        try:
+            body = b"[1, 2, 3]"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(WireError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_send_refused(self):
+        a, b = pair()
+        try:
+            with pytest.raises(WireError):
+                send_frame(a, {"blob": "x" * (MAX_FRAME_BYTES + 16)})
+            # Nothing hit the wire: the peer still sees silence, not a
+            # truncated frame.
+            b.setblocking(False)
+            with pytest.raises(BlockingIOError):
+                b.recv(1)
+        finally:
+            a.close()
+            b.close()

@@ -1,0 +1,85 @@
+"""Cache observability: hit/miss latency percentiles and the polled
+counter surface.
+
+``counter_stats()`` is the no-disk-walk subset served on every
+``/metrics`` poll; ``stats()`` adds the on-disk footprint.  Latency
+windows are bounded deques, split by outcome, with nearest-rank
+percentiles.
+"""
+
+from collections import deque
+
+from repro.runtime.cache import (
+    LATENCY_WINDOW,
+    ResultCache,
+    _latency_percentiles,
+)
+
+KEY = "ab" * 32
+
+
+class TestPercentiles:
+    def test_empty_window_is_all_none(self):
+        stats = _latency_percentiles([])
+        assert stats == {"p50_ms": None, "p90_ms": None,
+                         "p99_ms": None, "samples": 0}
+
+    def test_single_sample_is_every_percentile(self):
+        stats = _latency_percentiles([0.002])
+        assert stats["p50_ms"] == stats["p90_ms"] == stats["p99_ms"] \
+            == 2.0
+        assert stats["samples"] == 1
+
+    def test_nearest_rank_ordering(self):
+        samples = [i / 1000.0 for i in range(1, 101)]  # 1..100 ms
+        stats = _latency_percentiles(samples)
+        assert stats["p50_ms"] == 50.0
+        assert stats["p90_ms"] == 90.0
+        assert stats["p99_ms"] == 99.0
+        assert stats["p50_ms"] <= stats["p90_ms"] <= stats["p99_ms"]
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert _latency_percentiles([0.003, 0.001,
+                                     0.002])["p50_ms"] == 2.0
+
+
+class TestCacheLatencyWindows:
+    def test_gets_split_by_outcome(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_limit=0)
+        cache.get(KEY)                      # miss
+        cache.put(KEY, {"lut_count": 4})
+        cache.get(KEY)                      # hit
+        cache.get(KEY)                      # hit
+        stats = cache.counter_stats()
+        assert stats["hit_latency"]["samples"] == 2
+        assert stats["miss_latency"]["samples"] == 1
+        assert stats["hit_latency"]["p50_ms"] > 0.0
+        assert stats["miss_latency"]["p99_ms"] >= \
+            stats["miss_latency"]["p50_ms"]
+
+    def test_window_is_bounded(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_limit=0)
+        assert isinstance(cache._hit_latency, deque)
+        assert cache._hit_latency.maxlen == LATENCY_WINDOW
+        for _ in range(LATENCY_WINDOW + 50):
+            cache.get(KEY)
+        assert cache.counter_stats()["miss_latency"]["samples"] \
+            == LATENCY_WINDOW
+        assert cache.misses == LATENCY_WINDOW + 50  # counter unbounded
+
+    def test_counter_stats_never_walks_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"lut_count": 4})
+        stats = cache.counter_stats()
+        assert "entries" not in stats and "bytes" not in stats
+        assert stats["memory_entries"] == 1
+
+    def test_stats_is_counters_plus_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"lut_count": 4})
+        cache.get(KEY)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["hits"] == 1
+        assert stats["hit_latency"]["samples"] == 1

@@ -302,3 +302,22 @@ class TestLifecycle:
         assert stats["queue"]["pushed"] == 1
         assert stats["cache"]["misses"] == 1
         assert stats["uptime_s"] >= 0
+
+    def test_stats_surface_latency_and_warm_hits(self, tmp_path):
+        # The /metrics document carries the cache latency percentiles
+        # (counter_stats — no disk walk on a poll) and the pool's
+        # warm-function hit counter.
+        async def scenario(service):
+            for _ in range(2):  # second request: cache hit
+                await service.handle(req({"source": "rd53"}),
+                                     lambda f: None)
+            return service.stats()
+
+        stats = run_with_service(
+            scenario, cache=ResultCache(tmp_path / "cache"))
+        cache = stats["cache"]
+        assert cache["hit_latency"]["samples"] == 1
+        assert cache["miss_latency"]["samples"] == 1
+        assert cache["hit_latency"]["p50_ms"] > 0.0
+        assert "entries" not in cache  # no disk walk on a poll
+        assert "warm_hits" in stats["pool"]
