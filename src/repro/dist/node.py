@@ -190,6 +190,14 @@ class NodeServer:
                     spec: Optional[Dict[str, Any]]) -> Optional[RemoteCache]:
         if not spec:
             return None
+        # Job workers forked by the per-job scheduler read this env to
+        # attach the shared store as their sub-ISF memo's remote layer
+        # (:mod:`repro.decomp.submemo`): one node's decomposition of a
+        # subfunction becomes every node's splice.  Rows stay identical
+        # either way — splices replay the recorded stats deltas.
+        import os
+        os.environ.setdefault(
+            "REPRO_SUBMEMO_REMOTE", f"{spec['host']}:{spec['port']}")
         return RemoteCache(str(spec["host"]), int(spec["port"]))
 
     def _run_job(self, index: int, job: Dict[str, Any],

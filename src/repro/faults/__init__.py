@@ -27,6 +27,7 @@ from repro.faults.injector import (
     FaultSpecError,
     arm,
     armed,
+    armed_sites,
     counters,
     disarm,
     fault_point,
@@ -51,6 +52,7 @@ __all__ = [
     "FaultSpecError",
     "arm",
     "armed",
+    "armed_sites",
     "counters",
     "disarm",
     "fault_point",

@@ -87,6 +87,12 @@ def run_metrics(*, command: str, source: str, stats: Any,
     dsd = getattr(stats, "dsd", None)
     if dsd:
         doc["engine"]["dsd"] = dict(dsd)
+    submemo = getattr(stats, "submemo", None)
+    if submemo:
+        doc["engine"]["submemo"] = dict(submemo)
+    score_evictions = getattr(stats, "score_memo_evictions", 0)
+    if score_evictions:
+        doc["engine"]["score_memo_evictions"] = score_evictions
     faults_fired = getattr(stats, "fault_metrics", None)
     if faults_fired:
         doc["faults"] = dict(faults_fired)
@@ -224,6 +230,11 @@ def profile_report(stats: Any,
     if dsd:
         pairs = ", ".join(f"{key}={dsd[key]}" for key in sorted(dsd))
         lines.append(f"dsd pre-pass (tier 0) : {pairs}")
+    submemo = getattr(stats, "submemo", None)
+    if submemo:
+        pairs = ", ".join(f"{key}={submemo[key]}"
+                          for key in sorted(submemo))
+        lines.append(f"sub-ISF memo          : {pairs}")
     fallbacks = getattr(stats, "exact_cover_fallbacks", 0)
     if fallbacks:
         lines.append(f"exact-cover fallbacks : {fallbacks} "

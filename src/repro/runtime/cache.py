@@ -28,6 +28,7 @@ import hashlib
 import json
 import math
 import os
+import time
 from collections import OrderedDict, deque
 from pathlib import Path
 from time import perf_counter
@@ -48,6 +49,35 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Sliding window of per-``get`` latency samples kept for the hit and
 #: miss percentiles — recent behaviour, bounded memory.
 LATENCY_WINDOW = 512
+
+#: The default namespace: whole-job results, stored in the original
+#: (pre-namespace) directory layout so existing caches keep hitting.
+DEFAULT_NAMESPACE = "jobs"
+
+_HEX = set("0123456789abcdef")
+
+
+def _is_shard_dir(name: str) -> bool:
+    """A two-hex-character shard directory (vs a namespace directory)."""
+    return len(name) == 2 and set(name) <= _HEX
+
+
+def list_namespaces(root: "Path | str | None" = None) -> list:
+    """Namespaces present on disk under ``root`` (always includes
+    ``jobs``): the legacy layout keeps job shards directly under the
+    root, every other namespace nests its shards one directory down, so
+    the two are distinguishable by name shape alone."""
+    base = Path(root) if root is not None else default_cache_dir()
+    names = [DEFAULT_NAMESPACE]
+    try:
+        children = sorted(base.iterdir())
+    except (FileNotFoundError, NotADirectoryError, OSError):
+        return names
+    for child in children:
+        if child.is_dir() and not _is_shard_dir(child.name) \
+                and child.name not in names:
+            names.append(child.name)
+    return names
 
 
 def _latency_percentiles(samples) -> Dict[str, Any]:
@@ -89,11 +119,23 @@ class ResultCache:
     entirely); the disk side is unbounded and shared between processes —
     writes go through a same-directory temp file + ``os.replace`` so a
     concurrent reader never sees a half-written entry.
+
+    ``namespace`` partitions the store: ``jobs`` (the default) keeps the
+    original layout (``root/<2-hex shard>/<key>.json``) so pre-existing
+    caches keep hitting, every other namespace (e.g. ``submemo``) nests
+    its shards under ``root/<namespace>/``.  Namespace directories can
+    never collide with job shards because shard names are exactly two
+    hex characters.
     """
 
     def __init__(self, root: "Path | str | None" = None,
-                 memory_limit: int = 256) -> None:
+                 memory_limit: int = 256,
+                 namespace: str = DEFAULT_NAMESPACE) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.namespace = namespace
+        if namespace != DEFAULT_NAMESPACE and _is_shard_dir(namespace):
+            raise ValueError(
+                f"namespace {namespace!r} would collide with a shard dir")
         self.memory_limit = memory_limit
         self._lru: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self.hits = 0
@@ -111,8 +153,15 @@ class ResultCache:
 
     # -- paths ---------------------------------------------------------
 
+    @property
+    def ns_root(self) -> Path:
+        """Directory this namespace's shards live under."""
+        if self.namespace == DEFAULT_NAMESPACE:
+            return self.root
+        return self.root / self.namespace
+
     def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        return self.ns_root / key[:2] / f"{key}.json"
 
     # -- lookup/store ---------------------------------------------------
 
@@ -207,6 +256,16 @@ class ResultCache:
         while len(self._lru) > self.memory_limit:
             self._lru.popitem(last=False)
 
+    def invalidate(self, key: str) -> None:
+        """Remove one entry from the LRU front and from disk (a caller
+        that proved the payload poisoned — e.g. a failed submemo splice
+        validation — must be able to force the next read cold)."""
+        self._lru.pop(key, None)
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
     def _drop_corrupt(self, path: Path) -> None:
         self.corrupt += 1
         try:
@@ -217,19 +276,21 @@ class ResultCache:
     # -- maintenance ----------------------------------------------------
 
     def iter_files(self):
-        """All entry files currently on disk.
+        """All entry files of this namespace currently on disk.
 
         Robust against concurrent maintenance: a ``repro cache clear``
         (or an external cleanup) racing this iteration may remove the
         root, a shard or an entry mid-walk — every such disappearance
-        is treated as "no entries there", never an exception.
+        is treated as "no entries there", never an exception.  The jobs
+        walk only descends into two-hex shard directories, so namespace
+        subtrees sharing the root are never double-counted.
         """
         try:
-            shards = sorted(self.root.iterdir())
+            shards = sorted(self.ns_root.iterdir())
         except (FileNotFoundError, NotADirectoryError):
             return
         for shard in shards:
-            if not shard.is_dir():
+            if not shard.is_dir() or not _is_shard_dir(shard.name):
                 continue
             try:
                 entries = sorted(shard.glob("*.json"))
@@ -250,15 +311,33 @@ class ResultCache:
                 pass
         return {"entries": entries, "bytes": size}
 
-    def clear(self) -> int:
-        """Delete every entry on disk; returns the number removed."""
+    def clear(self, older_than_s: Optional[float] = None) -> int:
+        """Delete this namespace's entries on disk; returns the count.
+
+        ``older_than_s`` keeps entries touched within the last that-many
+        seconds (mtime-based, so a fresh write or ``os.replace`` refresh
+        protects an entry) — the backing of ``repro cache clear
+        --older-than``.  An entry whose mtime cannot be read (racing
+        delete) is left alone.
+        """
         removed = 0
+        cutoff = None
+        if older_than_s is not None:
+            cutoff = time.time() - older_than_s
         for path in list(self.iter_files()):
+            if cutoff is not None:
+                try:
+                    if path.stat().st_mtime >= cutoff:
+                        continue
+                except OSError:
+                    continue
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
+        # The LRU may hold entries just unlinked; drop it wholesale
+        # rather than tracking per-entry ages in memory.
         self._lru.clear()
         return removed
 
@@ -266,6 +345,7 @@ class ResultCache:
         """Session counters and latency percentiles — no disk walk, so
         safe on every ``/metrics`` poll."""
         return {
+            "namespace": self.namespace,
             "hits": self.hits, "misses": self.misses,
             "corrupt": self.corrupt, "write_errors": self.write_errors,
             "memory_entries": len(self._lru),

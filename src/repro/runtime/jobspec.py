@@ -262,9 +262,17 @@ def execute_job(job: Dict[str, Any], attempt: int = 1,
     engine_cfg = {k: config[k] for k in
                   ("time_budget", "node_budget") if config.get(k)}
     from repro.core.api import map_to_xc3000
+    submemo_counts: Dict[str, int] = {}
+
+    def _tally_submemo(mapped) -> None:
+        for name, count in (mapped.stats.submemo or {}).items():
+            submemo_counts[name] = submemo_counts.get(name, 0) + count
+
     if job.get("flow") == "compare":
         baseline = map_to_xc3000(func, use_dontcares=False, **engine_cfg)
         with_dc = map_to_xc3000(func, use_dontcares=True, **engine_cfg)
+        _tally_submemo(baseline)
+        _tally_submemo(with_dc)
         record = {
             "mulopII": baseline.to_record(),
             "mulop_dc": with_dc.to_record(),
@@ -277,6 +285,7 @@ def execute_job(job: Dict[str, Any], attempt: int = 1,
         result = map_to_xc3000(
             func, use_dontcares=config.get("use_dontcares", True),
             **engine_cfg)
+        _tally_submemo(result)
         record = result.to_record()
         if verify:
             record["verified"] = _verify_record(func, result)
@@ -286,7 +295,12 @@ def execute_job(job: Dict[str, Any], attempt: int = 1,
         # the (independently verified) trivial mapping instead.
         return {"status": "failed", "result": record,
                 "error": "verification mismatch"}
-    return {"status": "ok", "result": record}
+    payload = {"status": "ok", "result": record}
+    if submemo_counts:
+        # Ride next to the record, never inside it: rows and cache
+        # entries stay byte-identical whether the memo hit or missed.
+        payload["submemo"] = submemo_counts
+    return payload
 
 
 def start_beat_thread(conn, send_lock: threading.Lock,

@@ -430,6 +430,9 @@ class WorkerPool:
         self.hangs = 0
         self.respawns = 0
         self.warm_hits = 0
+        #: Sub-ISF memo counters summed over worker payloads (feeds the
+        #: service tier's ``GET /metrics``).
+        self.submemo_totals: Dict[str, int] = {}
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
         self._thread = threading.Thread(target=self._loop,
@@ -492,6 +495,7 @@ class WorkerPool:
             "respawns": self.respawns,
             "warm_hits": self.warm_hits,
             "warm_limit": self.warm_limit,
+            "submemo": dict(self.submemo_totals),
             "pids": pids,
         }
 
@@ -607,6 +611,11 @@ class WorkerPool:
                 self.warm_hits += 1
             payload = (envelope.get("payload")
                        if isinstance(envelope, dict) else envelope)
+            if isinstance(payload, dict):
+                for name, count in (payload.get("submemo")
+                                    or {}).items():
+                    self.submemo_totals[name] = \
+                        self.submemo_totals.get(name, 0) + int(count)
             if not ticket.future.cancelled():
                 ticket.future.set_result(payload)
             return

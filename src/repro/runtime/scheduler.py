@@ -268,6 +268,10 @@ class BatchScheduler:
         self.hang_grace_s = hang_grace_s
         self._rng = random.Random(backoff_seed)
         self._on_event: Optional[EventSink] = None
+        #: Sub-ISF memo counters summed over workers' payloads for the
+        #: most recent :meth:`run` (rows never carry them — see
+        #: :mod:`repro.decomp.submemo`).
+        self.submemo_totals: Dict[str, int] = {}
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
@@ -293,6 +297,7 @@ class BatchScheduler:
         results: List[Optional[JobResult]] = [None] * len(jobs)
         queue: List[_Pending] = []
         self._on_event = on_event
+        self.submemo_totals = {}
 
         def finish(index: int, res: JobResult) -> None:
             res.index = index
@@ -449,6 +454,10 @@ class BatchScheduler:
         exec_s = now - entry.started_at
         if entry.payload is not None:
             self._reap(entry)
+            for name, count in (entry.payload.get("submemo")
+                                or {}).items():
+                self.submemo_totals[name] = \
+                    self.submemo_totals.get(name, 0) + int(count)
             if entry.payload.get("status") == "ok":
                 record = entry.payload["result"]
                 if self.cache is not None and entry.key is not None:

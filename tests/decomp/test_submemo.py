@@ -1,0 +1,384 @@
+"""The sub-ISF computed table: key canonicality, byte-identity of
+spliced results, corruption degradation and eviction accounting.
+
+The memo's contract is strict: a hit must splice a sub-network
+*bit-identical* to what the cold search would have built (same BLIF,
+same engine counters), and anything less than a perfect payload must
+degrade to the cold search — never a wrong network.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import BDD
+from repro.bench.registry import BENCHMARKS, benchmark
+from repro.boolfunc.spec import ISF, MultiFunction
+from repro.core.api import map_to_xc3000
+from repro.decomp import recursive, submemo
+from repro.decomp.encoding import sub_isf_key
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store():
+    submemo.reset_default_store()
+    yield
+    submemo.reset_default_store()
+
+
+def _table_function(bdd, variables, table):
+    return bdd.from_truth_table(table, variables)
+
+
+# ---------------------------------------------------------------------
+# Key canonicality
+# ---------------------------------------------------------------------
+
+
+class TestKeyStability:
+    @given(st.integers(0, 2 ** 32 - 1), st.permutations(range(8)))
+    @settings(max_examples=25, deadline=None)
+    def test_cube_insertion_order_irrelevant(self, seed, order):
+        """The same function assembled from cubes in any insertion
+        order reduces to the same BDD, hence the same key."""
+        import random
+        rng = random.Random(seed)
+        cubes = [{v: rng.randint(0, 1) for v in rng.sample(range(6), 3)}
+                 for _ in range(8)]
+
+        def build(sequence):
+            bdd = BDD(6)
+            f = BDD.FALSE
+            for i in sequence:
+                f = bdd.apply_or(f, bdd.cube(cubes[i]))
+            isf = ISF.complete(f)
+            support = sorted(isf.support(bdd))
+            return sub_isf_key(bdd, [isf], support, "cfg")
+
+        assert build(range(8)) == build(order)
+
+    @given(st.lists(st.integers(0, 1), min_size=32, max_size=32),
+           st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_shifted_support_labels_same_key(self, table, pad):
+        """The same subfunction living on differently-numbered
+        variables (other outputs allocated vars first) keys
+        identically: the key names variables by support rank."""
+        bdd_a = BDD(5)
+        isf_a = ISF.complete(_table_function(bdd_a, list(range(5)),
+                                             table))
+        key_a = sub_isf_key(bdd_a, [isf_a],
+                            sorted(isf_a.support(bdd_a)), "cfg")
+
+        bdd_b = BDD(5 + pad)
+        shifted = [pad + i for i in range(5)]
+        isf_b = ISF.complete(_table_function(bdd_b, shifted, table))
+        key_b = sub_isf_key(bdd_b, [isf_b],
+                            sorted(isf_b.support(bdd_b)), "cfg")
+        assert key_a == key_b
+
+    def test_interval_and_order_sensitivity(self):
+        """Different don't-care intervals and different output orders
+        are different bundles (payload results map positionally)."""
+        bdd = BDD(4)
+        f = _table_function(bdd, list(range(4)), [0, 1] * 8)
+        g = _table_function(bdd, list(range(4)), [1, 0] * 8)
+        complete = ISF.complete(f)
+        widened = ISF.create(bdd, bdd.apply_and(f, g),
+                             bdd.apply_or(f, g))
+        support = list(range(4))
+        assert sub_isf_key(bdd, [complete], support, "cfg") \
+            != sub_isf_key(bdd, [widened], support, "cfg")
+        two = sub_isf_key(bdd, [ISF.complete(f), ISF.complete(g)],
+                          support, "cfg")
+        assert two != sub_isf_key(bdd, [ISF.complete(g),
+                                        ISF.complete(f)],
+                                  support, "cfg")
+        assert sub_isf_key(bdd, [complete], support, "cfg") \
+            != sub_isf_key(bdd, [complete], support, "other-cfg")
+
+    def test_kernel_toggle_hits_same_entries(self, monkeypatch):
+        """The kernel is bit-identical to the BDD path, so it is *not*
+        part of the key: entries recorded kernel-on splice kernel-off."""
+        monkeypatch.setenv("REPRO_SUBMEMO_VERIFY", "1")
+        func = benchmark("rd84")
+        store = submemo.SubMemoStore(byte_limit=1 << 22)
+
+        monkeypatch.setenv("REPRO_KERNEL", "on")
+        cold = map_to_xc3000(func, submemo_store=store)
+        assert cold.stats.submemo["stores"] > 0
+
+        monkeypatch.setenv("REPRO_KERNEL", "off")
+        warm = map_to_xc3000(benchmark("rd84"), submemo_store=store)
+        assert warm.stats.submemo["store_hits"] > 0
+        assert warm.network.to_blif() == cold.network.to_blif()
+
+
+# ---------------------------------------------------------------------
+# Byte-identity of spliced results
+# ---------------------------------------------------------------------
+
+
+FAST_TABLE1 = [name for name, spec in BENCHMARKS.items()
+               if not spec.heavy]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name", FAST_TABLE1)
+    def test_memo_on_equals_memo_off(self, name, monkeypatch):
+        """Cold-with-memo and warm-from-memo runs must both be
+        byte-identical to the memo-off engine: BLIF and the full
+        result record (engine counters included)."""
+        monkeypatch.setenv("REPRO_SUBMEMO_VERIFY", "1")
+        func = benchmark(name)
+        off = map_to_xc3000(func, use_submemo=False)
+        cold = map_to_xc3000(benchmark(name))
+        warm = map_to_xc3000(benchmark(name))
+        assert cold.network.to_blif() == off.network.to_blif()
+        assert warm.network.to_blif() == off.network.to_blif()
+        assert cold.to_record() == off.to_record()
+        assert warm.to_record() == off.to_record()
+
+    def test_cross_output_hit_in_one_run(self, monkeypatch):
+        """Two outputs that are the same function of disjoint supports:
+        the second bundle must hit the per-run table."""
+        monkeypatch.setenv("REPRO_SUBMEMO_VERIFY", "1")
+        bdd = BDD()
+        vs = [bdd.add_var(f"x{i}") for i in range(14)]
+
+        def block(group):
+            f = BDD.FALSE
+            for i in range(len(group) - 2):
+                t = bdd.apply_and(bdd.var(group[i]),
+                                  bdd.var(group[i + 1]))
+                f = bdd.apply_xor(f, bdd.apply_xor(
+                    t, bdd.var(group[i + 2])))
+            return f
+
+        func = MultiFunction(
+            bdd, vs, [ISF.complete(block(vs[:7])),
+                      ISF.complete(block(vs[7:]))],
+            [f"x{i}" for i in range(14)], ["o1", "o2"])
+        off = map_to_xc3000(func, use_submemo=False)
+        on = map_to_xc3000(func)
+        assert on.stats.submemo["run_hits"] > 0
+        assert on.stats.submemo["splices"] > 0
+        assert on.network.to_blif() == off.network.to_blif()
+        assert on.to_record() == off.to_record()
+
+    def test_trace_identical_warm(self, monkeypatch):
+        """The per-step decomposition trace replays on a splice (bound
+        variables included), so `map --trace` reads the same warm."""
+        monkeypatch.setenv("REPRO_SUBMEMO_VERIFY", "1")
+        cold = map_to_xc3000(benchmark("rd84"))
+        warm = map_to_xc3000(benchmark("rd84"))
+        assert warm.stats.submemo["splices"] > 0
+        assert [(s.depth, s.bound, s.num_outputs, s.included,
+                 s.alphas_used, s.sum_r, s.joint_min_r)
+                for s in cold.stats.steps] \
+            == [(s.depth, s.bound, s.num_outputs, s.included,
+                 s.alphas_used, s.sum_r, s.joint_min_r)
+                for s in warm.stats.steps]
+
+
+# ---------------------------------------------------------------------
+# Corruption and gating
+# ---------------------------------------------------------------------
+
+
+class TestDegradation:
+    def test_corrupt_payload_degrades_to_cold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUBMEMO_VERIFY", "1")
+        func = benchmark("rd84")
+        off = map_to_xc3000(func, use_submemo=False)
+        store = submemo.SubMemoStore(byte_limit=1 << 22)
+        map_to_xc3000(benchmark("rd84"), submemo_store=store)
+        assert store.warm
+        poison = {"v": 1, "n": 2, "m": 1, "tape": [], "out": [0]}
+        for key in list(store.warm):
+            store.warm[key] = (poison, 40)
+        corrupt = map_to_xc3000(benchmark("rd84"), submemo_store=store)
+        assert corrupt.network.to_blif() == off.network.to_blif()
+        assert corrupt.stats.submemo["invalid_payloads"] > 0
+        assert store.counters["invalidated"] >= 1
+        # The cold rerun re-stored good entries; no poison survives.
+        assert all(p != poison for p, _ in store.warm.values())
+
+    def test_semantically_wrong_payload_is_verify_rejected(
+            self, monkeypatch):
+        """A structurally valid payload computing the wrong function
+        must fail the splice-time interval check, not splice."""
+        monkeypatch.setenv("REPRO_SUBMEMO_VERIFY", "1")
+        func = benchmark("rd84")
+        off = map_to_xc3000(func, use_submemo=False)
+        store = submemo.SubMemoStore(byte_limit=1 << 22)
+        map_to_xc3000(benchmark("rd84"), submemo_store=store)
+        for key, (payload, size) in list(store.warm.items()):
+            wrong = dict(payload)
+            # Constant-0 for every output: valid shape, wrong function.
+            wrong["tape"] = []
+            wrong["out"] = [submemo.REF_CONST0] * payload["m"]
+            store.warm[key] = (wrong, size)
+        rerun = map_to_xc3000(benchmark("rd84"), submemo_store=store)
+        assert rerun.network.to_blif() == off.network.to_blif()
+        assert rerun.stats.submemo["verify_rejects"] > 0
+
+    def test_validate_payload_rejects_malformed(self):
+        good = submemo.make_payload(
+            2, [([submemo.input_ref(0), submemo.input_ref(1)],
+                 "0110", None)], [0])
+        assert submemo.validate_payload(good, 2, 1)
+        assert not submemo.validate_payload(good, 3, 1)   # wrong arity
+        assert not submemo.validate_payload(good, 2, 2)   # wrong outputs
+        assert not submemo.validate_payload(None, 2, 1)
+        assert not submemo.validate_payload({}, 2, 1)
+        bad_ref = submemo.make_payload(
+            2, [([5], "01", None)], [0])                  # forward ref
+        assert not submemo.validate_payload(bad_ref, 2, 1)
+        bad_table = submemo.make_payload(
+            2, [([submemo.input_ref(0)], "012", None)], [0])
+        assert not submemo.validate_payload(bad_table, 2, 1)
+
+    def test_engine_fault_sites_disable_memo(self, monkeypatch):
+        """Chaos armed at an engine-internal site must turn the memo
+        off (a splice would skip the scheduled fault arrivals); cache
+        sites must not (the chaos drill targets the memo itself)."""
+        from repro import faults
+        faults.arm("bdd.ite:raise:0.0")
+        try:
+            result = map_to_xc3000(benchmark("rd84"))
+            assert result.stats.submemo == {}
+        finally:
+            faults.disarm()
+        faults.arm("cache.read:raise:0.0")
+        try:
+            result = map_to_xc3000(benchmark("rd84"))
+            assert result.stats.submemo
+        finally:
+            faults.disarm()
+
+    def test_budgeted_runs_disable_memo(self):
+        result = map_to_xc3000(benchmark("rd84"), time_budget=60.0)
+        assert result.stats.submemo == {}
+
+
+# ---------------------------------------------------------------------
+# Eviction accounting (tentpole L1/L2 budgets + satellite S1)
+# ---------------------------------------------------------------------
+
+
+class TestEvictions:
+    def test_warm_layer_byte_lru(self):
+        store = submemo.SubMemoStore(byte_limit=1)
+        big = submemo.make_payload(
+            2, [([submemo.input_ref(0)], "01", None)], [0])
+        store.put("a" * 64, big)
+        assert store.counters["stores"] == 1
+        assert not store.warm  # over budget: never resident
+        size = submemo.payload_bytes(big)
+        limit = int(size * 2.5)  # room for two residents, not three
+        store = submemo.SubMemoStore(byte_limit=limit)
+        store.put("a" * 64, big)
+        store.put("b" * 64, big)
+        store.put("c" * 64, big)
+        assert store.counters["warm_evictions"] >= 1
+        assert store.warm_bytes <= limit
+
+    @staticmethod
+    def _two_distinct_blocks():
+        """Two outputs, different functions on disjoint 7-var supports:
+        guarantees at least two distinct memo stores in one run."""
+        bdd = BDD()
+        vs = [bdd.add_var(f"x{i}") for i in range(14)]
+
+        def xor_and(group):
+            f = BDD.FALSE
+            for i in range(len(group) - 2):
+                t = bdd.apply_and(bdd.var(group[i]),
+                                  bdd.var(group[i + 1]))
+                f = bdd.apply_xor(f, bdd.apply_xor(
+                    t, bdd.var(group[i + 2])))
+            return f
+
+        def or_and(group):
+            f = BDD.TRUE
+            for i in range(len(group) - 2):
+                t = bdd.apply_or(bdd.var(group[i]),
+                                 bdd.var(group[i + 1]))
+                f = bdd.apply_xor(f, bdd.apply_and(
+                    t, bdd.var(group[i + 2])))
+            return f
+
+        return MultiFunction(
+            bdd, vs, [ISF.complete(xor_and(vs[:7])),
+                      ISF.complete(or_and(vs[7:]))],
+            [f"x{i}" for i in range(14)], ["o1", "o2"])
+
+    def test_run_table_byte_budget(self, monkeypatch):
+        """An engine whose per-run budget holds one payload must evict
+        while still producing the memo-off result."""
+        monkeypatch.setenv("REPRO_SUBMEMO_VERIFY", "1")
+        off = map_to_xc3000(self._two_distinct_blocks(),
+                            use_submemo=False)
+        probe = map_to_xc3000(self._two_distinct_blocks(),
+                              submemo_store=submemo.SubMemoStore())
+        assert probe.stats.submemo["stores"] > 1
+        # Budget below the probe's total: the second store must evict.
+        budget = max(1, probe.stats.submemo["store_bytes"] * 2 // 3)
+        monkeypatch.setenv("REPRO_SUBMEMO_BYTES", str(budget))
+        tight = map_to_xc3000(self._two_distinct_blocks(),
+                              submemo_store=submemo.SubMemoStore())
+        assert tight.network.to_blif() == off.network.to_blif()
+        counters = tight.stats.submemo
+        assert counters["stores"] > 1
+        assert counters["run_evictions"] > 0
+
+    def test_score_memo_eviction_counter(self, monkeypatch):
+        """S1: the bound-set score memo clears wholesale at its budget
+        and counts the eviction, like the kernel convert caches."""
+        monkeypatch.setattr(recursive, "_SCORE_MEMO_LIMIT", 0)
+        result = map_to_xc3000(benchmark("rd73"))
+        assert result.stats.score_memo_evictions > 0
+        assert "score memo evictions" in result.stats.report()
+
+
+# ---------------------------------------------------------------------
+# Store layers (disk namespace, promotion)
+# ---------------------------------------------------------------------
+
+
+class TestStoreLayers:
+    def test_disk_layer_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SUBMEMO_VERIFY", "1")
+        func = benchmark("rd84")
+        off = map_to_xc3000(func, use_submemo=False)
+        first = submemo.SubMemoStore(disk_root=tmp_path)
+        cold = map_to_xc3000(benchmark("rd84"), submemo_store=first)
+        assert cold.stats.submemo["stores"] > 0
+        assert (tmp_path / "submemo").is_dir()
+
+        fresh = submemo.SubMemoStore(disk_root=tmp_path)
+        warm = map_to_xc3000(benchmark("rd84"), submemo_store=fresh)
+        assert warm.stats.submemo["store_hits"] > 0
+        assert fresh.counters["disk_hits"] > 0
+        assert warm.network.to_blif() == off.network.to_blif()
+        # The disk hit was promoted into the warm layer.
+        assert fresh.warm
+
+    def test_oversize_entries_not_stored(self):
+        store = submemo.SubMemoStore(byte_limit=1 << 22)
+        huge = submemo.make_payload(
+            2, [([submemo.input_ref(0)], "01", "x" * (2 << 20))], [0])
+        store.put("d" * 64, huge)
+        assert store.counters["oversize"] == 1
+        assert store.get("d" * 64) is None
+
+    def test_default_store_rebuilds_on_env_change(self, tmp_path,
+                                                  monkeypatch):
+        first = submemo.default_store()
+        assert submemo.default_store() is first
+        monkeypatch.setenv("REPRO_SUBMEMO_DIR", str(tmp_path))
+        second = submemo.default_store()
+        assert second is not first
+        assert second.disk is not None
