@@ -417,27 +417,89 @@ def _write_batch_outputs(args, rows, totals, wall, cache_stats,
         print(f"wrote {args.metrics_out}")
 
 
+def _load_resume(args, site: str) -> tuple:
+    """Shared ``--resume`` loader for the single-host and distributed
+    paths: returns ``(jobs, done_rows, journal)`` with the journal
+    reopened for appending under ``site``.
+
+    The only hard errors left are the typed ones: an unreadable file
+    and a journal whose manifest/code-version binding does not match
+    (replaying half a batch under changed semantics would silently mix
+    incomparable rows).
+    """
+    from repro.runtime import (
+        BatchJournal,
+        JournalError,
+        journal_binding,
+        load_journal,
+    )
+
+    if args.journal:
+        raise SystemExit("--resume appends to the journal it is "
+                         "given; do not pass --journal as well")
+    try:
+        header, done_rows, started, corrupt = load_journal(args.resume)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.resume}: {exc.strerror}")
+    except JournalError as exc:
+        raise SystemExit(str(exc))
+    jobs = [dict(job) for job in header["jobs"]]
+    if args.manifest or args.names:
+        # A manifest given alongside --resume must describe the same
+        # workload the journal recorded — mixing rows from different
+        # job lists would be silent garbage.
+        if journal_binding(_parse_batch_jobs(args)) != header["binding"]:
+            raise SystemExit(
+                f"{args.resume}: journal does not match the given "
+                f"manifest/entries; resume without them (the journal "
+                f"is self-contained) or rerun from scratch")
+    in_flight = sorted(i for i in started if i not in done_rows)
+    if corrupt:
+        print(f"warning: {args.resume}: skipped {corrupt} corrupt "
+              f"journal line(s)")
+    print(f"resuming {args.resume}: {len(done_rows)} job(s) already "
+          f"done, {len(in_flight)} in-flight replayed, "
+          f"{len(jobs) - len(done_rows)} to run")
+    return jobs, done_rows, BatchJournal.resume(args.resume, site=site)
+
+
 def _cmd_batch_dist(args) -> int:
     """`repro batch --nodes`: shard the manifest across worker nodes."""
     from repro.dist import DistCoordinator, parse_nodes
-    from repro.runtime import ResultCache, summarize_rows
+    from repro.runtime import BatchJournal, ResultCache, summarize_rows
 
-    if args.resume or args.journal:
-        raise SystemExit("--nodes does not journal/resume yet; run "
-                         "distributed batches without --journal/--resume")
     try:
         nodes = parse_nodes(args.nodes)
     except ValueError as exc:
         raise SystemExit(str(exc))
-    jobs = _parse_batch_jobs(args)
+    journal = None
+    done_rows = {}
+    if args.resume:
+        jobs, done_rows, journal = _load_resume(args,
+                                                site="coord.journal")
+    else:
+        jobs = _parse_batch_jobs(args)
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or None)
+    if journal is None and args.journal:
+        journal = BatchJournal.create(args.journal, jobs,
+                                      site="coord.journal")
+
+    def on_listen(host: str, port: int) -> None:
+        print(f"membership: join listener on {host}:{port} "
+              f"(late nodes: repro dist serve-node --join "
+              f"{host}:{port})", flush=True)
+
     coordinator = DistCoordinator(
         nodes, cache=cache, timeout=args.timeout, retries=args.retries,
-        heartbeat_s=args.heartbeat, hang_grace_s=args.hang_grace)
+        heartbeat_s=args.heartbeat, hang_grace_s=args.hang_grace,
+        journal=journal,
+        join_port=None if args.join_port < 0 else args.join_port,
+        rpc_tries=args.rpc_tries, rpc_backoff_s=args.rpc_backoff,
+        backoff_seed=args.fault_seed or 0, on_listen=on_listen)
     total = len(jobs)
-    done = [0]
+    done = [len(done_rows)]
 
     def on_row(row: dict) -> None:
         done[0] += 1
@@ -445,7 +507,12 @@ def _cmd_batch_dist(args) -> int:
               f"{_row_detail(row, args.flow)}{_row_notes(row)}")
 
     start = perf_counter()
-    rows = coordinator.run(jobs, on_row=on_row)
+    try:
+        rows = coordinator.run(jobs, on_row=on_row,
+                               presettled=done_rows)
+    finally:
+        if journal is not None:
+            journal.close()
     wall = perf_counter() - start
     totals = summarize_rows(rows)
     dist = coordinator.stats()
@@ -456,6 +523,11 @@ def _cmd_batch_dist(args) -> int:
     if dist["node_losses"]:
         lost = (f", {dist['node_losses']} node(s) lost "
                 f"({dist['reassigned']} jobs reassigned)")
+    if dist["rpc_retries"]:
+        lost += f", {dist['rpc_retries']} rpc retries"
+    if dist["joins"] or dist["reconnects"]:
+        lost += (f", {dist['joins']} join(s), {dist['reconnects']} "
+                 f"reconnect(s)")
     if dist["local_fallback_jobs"]:
         lost += (f", {dist['local_fallback_jobs']} finished by local "
                  f"fallback")
@@ -472,10 +544,7 @@ def _cmd_batch(args) -> int:
     from repro.runtime import (
         BatchJournal,
         BatchScheduler,
-        JournalError,
         ResultCache,
-        journal_binding,
-        load_journal,
         summarize_rows,
     )
 
@@ -484,34 +553,8 @@ def _cmd_batch(args) -> int:
     journal = None
     done_rows = {}
     if args.resume:
-        if args.journal:
-            raise SystemExit("--resume appends to the journal it is "
-                             "given; do not pass --journal as well")
-        try:
-            header, done_rows, started, corrupt = load_journal(args.resume)
-        except OSError as exc:
-            raise SystemExit(f"cannot read {args.resume}: {exc.strerror}")
-        except JournalError as exc:
-            raise SystemExit(str(exc))
-        jobs = [dict(job) for job in header["jobs"]]
-        if args.manifest or args.names:
-            # A manifest given alongside --resume must describe the same
-            # workload the journal recorded — mixing rows from different
-            # job lists would be silent garbage.
-            if journal_binding(_parse_batch_jobs(args)) \
-                    != header["binding"]:
-                raise SystemExit(
-                    f"{args.resume}: journal does not match the given "
-                    f"manifest/entries; resume without them (the journal "
-                    f"is self-contained) or rerun from scratch")
-        in_flight = sorted(i for i in started if i not in done_rows)
-        if corrupt:
-            print(f"warning: {args.resume}: skipped {corrupt} corrupt "
-                  f"journal line(s)")
-        print(f"resuming {args.resume}: {len(done_rows)} job(s) already "
-              f"done, {len(in_flight)} in-flight replayed, "
-              f"{len(jobs) - len(done_rows)} to run")
-        journal = BatchJournal.resume(args.resume)
+        jobs, done_rows, journal = _load_resume(args,
+                                                site="journal.append")
     else:
         jobs = _parse_batch_jobs(args)
 
@@ -655,20 +698,44 @@ def _cmd_dist(args) -> int:
     """`repro dist serve-node`: run one distributed worker node."""
     import signal
 
-    from repro.dist import NodeServer
+    from repro.dist import NodeServer, parse_nodes
 
     workers, _ = _resolve_worker_arg(args.workers)
     server = NodeServer(
         host=args.host, port=args.port, workers=workers,
         timeout=args.timeout, retries=args.retries,
         heartbeat_s=args.heartbeat if args.heartbeat else None,
-        hang_grace_s=args.hang_grace)
-    server.start()
+        hang_grace_s=args.hang_grace, node_id=args.node_id,
+        join_tries=args.join_tries, join_backoff_s=args.join_backoff,
+        backoff_seed=args.fault_seed or 0)
 
     def on_term(signum, frame) -> None:
         server.close()
 
     signal.signal(signal.SIGTERM, on_term)
+    if args.join:
+        # Dial-out mode: register with a running coordinator's
+        # membership listener instead of binding a port, rejoining
+        # under bounded seeded-jitter backoff when the link drops.
+        try:
+            coord_host, coord_port = parse_nodes(args.join)[0]
+        except ValueError as exc:
+            raise SystemExit(f"--join: {exc}")
+        print(f"node {server.node_id} joining coordinator at "
+              f"{coord_host}:{coord_port} with {server.workers} worker "
+              f"slot(s)", flush=True)
+        try:
+            clean = server.serve_join(coord_host, coord_port)
+        except KeyboardInterrupt:
+            server.close()
+            clean = True
+        if clean:
+            print("node closed; bye")
+            return 0
+        print(f"node: gave up joining {coord_host}:{coord_port} after "
+              f"{server.join_tries} attempt(s); bye")
+        return 1
+    server.start()
     print(f"node serving on {server.host}:{server.port} with "
           f"{server.workers} worker slot(s)", flush=True)
     try:
@@ -884,6 +951,19 @@ def main(argv: Optional[list] = None) -> int:
                             "(repro dist serve-node) instead of local "
                             "worker processes; the result cache is "
                             "served to the nodes over TCP")
+    batch.add_argument("--join-port", type=int, default=0, metavar="N",
+                       help="with --nodes: membership listener port for "
+                            "late joiners (repro dist serve-node "
+                            "--join); default 0 picks a free port, -1 "
+                            "disables the listener")
+    batch.add_argument("--rpc-tries", type=int, default=3, metavar="K",
+                       help="with --nodes: bounded seeded-jitter "
+                            "connect/redial attempts per node before "
+                            "declaring it lost (default: 3)")
+    batch.add_argument("--rpc-backoff", type=float, default=0.2,
+                       metavar="S",
+                       help="with --nodes: base of the jittered retry "
+                            "backoff in seconds (default: 0.2)")
     batch.add_argument("--no-submemo", action="store_true",
                        help="disable the sub-ISF computed table in "
                             "workers (same as REPRO_SUBMEMO=off)")
@@ -927,6 +1007,22 @@ def main(argv: Optional[list] = None) -> int:
                         metavar="S",
                         help="kill a worker silent for S seconds "
                              "(default: off)")
+    node_p.add_argument("--join", metavar="HOST:PORT", default=None,
+                        help="dial a running coordinator's membership "
+                             "listener instead of binding a port — how "
+                             "a late node joins a batch mid-run")
+    node_p.add_argument("--join-tries", type=int, default=5,
+                        metavar="K",
+                        help="bounded join/rejoin attempts before "
+                             "giving up (default: 5)")
+    node_p.add_argument("--join-backoff", type=float, default=0.5,
+                        metavar="S",
+                        help="base of the seeded-jitter rejoin backoff "
+                             "in seconds (default: 0.5)")
+    node_p.add_argument("--node-id", metavar="ID", default=None,
+                        help="stable identity across reconnects "
+                             "(default: hostname-pid); a rejoin under "
+                             "the same id re-registers in place")
     node_p.add_argument("--inject", action="append", metavar="SPEC",
                         help="arm a fault site: site:kind:prob[:nth] "
                              "(repeatable; e.g. node.loss:crash:1:3 "

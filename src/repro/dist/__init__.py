@@ -25,14 +25,28 @@ scales that runtime across machines without changing any of it:
 
 Failure containment extends the local ladder one level up: a fault
 *inside* a node degrades the job (local ladder), the *loss* of a node
-reassigns its jobs (coordinator), and losing every node falls back to
-running the remainder locally — the batch always completes.
+is first answered with bounded seeded-jitter redial, then reassignment
+(coordinator), and losing every node falls back to running the
+remainder locally — the batch always completes.  Two robustness layers
+sit on top: the coordinator journals ``start``/``done`` plus
+``claim``/``reassign`` records through the PR 5 write-ahead journal
+(``repro batch --nodes --journal``; a SIGKILL'd coordinator resumes
+with ``--resume``), and membership is dynamic — late nodes register
+mid-batch through the coordinator's join listener (``repro dist
+serve-node --join``) and dropped nodes re-register in place.
 """
 
 from repro.dist.cachenet import CacheServer, RemoteCache
 from repro.dist.coordinator import DistCoordinator, parse_nodes
 from repro.dist.node import NodeServer
-from repro.dist.wire import WireError, recv_frame, send_frame
+from repro.dist.wire import (
+    WireError,
+    backoff_rng,
+    connect_with_retry,
+    recv_frame,
+    retry_backoff,
+    send_frame,
+)
 
 __all__ = [
     "CacheServer",
@@ -40,7 +54,10 @@ __all__ = [
     "NodeServer",
     "RemoteCache",
     "WireError",
+    "backoff_rng",
+    "connect_with_retry",
     "parse_nodes",
     "recv_frame",
+    "retry_backoff",
     "send_frame",
 ]

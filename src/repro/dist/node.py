@@ -20,6 +20,23 @@ Session protocol (all frames :mod:`repro.dist.wire`)::
     node -> coordinator   {"op": "result", "index": i, "row": {...}}
     coordinator -> node   {"op": "bye"}  (or just EOF)
 
+A node can also dial *out*: ``serve-node --join host:port`` registers
+with a running coordinator's membership listener instead of waiting to
+be dialed — that is how a late node joins a batch already in flight::
+
+    node -> coordinator   {"op": "join", "workers": W,
+                           "node_id": "..."}
+    coordinator -> node   {"op": "hello", "ok": true, "cache": ...,
+                           "scheduler": ...}    (then the same session)
+
+``node_id`` is stable across reconnects (default ``hostname-pid``): a
+node whose link dropped mid-batch rejoins under bounded seeded-jitter
+backoff and re-registers *in place* — its stale claims were already
+reassigned at loss time, and any row that raced through anyway is
+deduped by the coordinator's first-claim-wins index map.  An explicit
+``bye`` ends the join loop (the batch drained); a torn link re-enters
+it.
+
 With a ``cache`` advertised, the node attaches a
 :class:`~repro.dist.cachenet.RemoteCache` to every job's scheduler:
 hits skip execution exactly as locally, and results write behind to the
@@ -30,21 +47,36 @@ Chaos sites: ``node.loss`` fires on every job receipt — its ``crash``
 kind is ``os._exit``, a *real* node death the coordinator must survive;
 ``shard.rpc`` wraps every frame the node sends, so injected corruption
 surfaces coordinator-side as a wire error (= lost node, jobs
-reassigned).  Either way the distributed run completes.
+reassigned).  ``node.join`` wraps the first registration frame and
+``node.reconnect`` every re-registration, so chaos on the membership
+path is contained by the same bounded-retry loop that absorbs a slow
+coordinator.  Either way the distributed run completes.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional
 
 from repro import faults
 from repro.dist.cachenet import RemoteCache
-from repro.dist.wire import WireError, recv_frame, send_frame
+from repro.dist.wire import (
+    WireError,
+    backoff_rng,
+    connect,
+    recv_frame,
+    retry_backoff,
+    send_frame,
+)
 from repro.runtime.pool import ProgressEvent, resolve_workers
 from repro.runtime.scheduler import BatchScheduler
+
+#: Handshake budget when dialing a coordinator to join.
+JOIN_HANDSHAKE_TIMEOUT_S = 10.0
 
 
 def wire_source(job: Dict[str, Any]) -> Dict[str, Any]:
@@ -72,7 +104,10 @@ class NodeServer:
                  workers: Optional[int] = None,
                  timeout: Optional[float] = None, retries: int = 1,
                  heartbeat_s: Optional[float] = 1.0,
-                 hang_grace_s: Optional[float] = None) -> None:
+                 hang_grace_s: Optional[float] = None,
+                 node_id: Optional[str] = None,
+                 join_tries: int = 5, join_backoff_s: float = 0.5,
+                 backoff_seed: int = 0) -> None:
         self.host = host
         self.port = port
         self.workers, _ = resolve_workers(workers)
@@ -80,6 +115,12 @@ class NodeServer:
         self.retries = retries
         self.heartbeat_s = heartbeat_s
         self.hang_grace_s = hang_grace_s
+        #: Stable identity across reconnects — the coordinator keys its
+        #: membership map on this, so a rejoin lands on the same link.
+        self.node_id = node_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.join_tries = max(1, join_tries)
+        self.join_backoff_s = join_backoff_s
+        self.backoff_seed = backoff_seed
         self._sock: Optional[socket.socket] = None
         self._closing = False
 
@@ -127,6 +168,79 @@ class NodeServer:
             except OSError:
                 pass
 
+    # -- join mode ------------------------------------------------------
+
+    def serve_join(self, coord_host: str, coord_port: int) -> bool:
+        """Dial a coordinator's membership listener and serve it.
+
+        Registers (``node.join`` site), runs the ordinary session, and
+        on a torn link re-registers (``node.reconnect`` site) under
+        bounded seeded-jitter backoff — ``join_tries`` consecutive
+        failures end the loop.  Returns ``True`` when the session ended
+        with an explicit ``bye`` (batch drained), ``False`` when the
+        retry budget ran out without one.
+        """
+        rng = backoff_rng(self.backoff_seed, f"join:{self.node_id}")
+        registrations = 0
+        failures = 0
+        while not self._closing:
+            site = "node.join" if registrations == 0 else "node.reconnect"
+            conn = None
+            try:
+                conn = connect(coord_host, coord_port,
+                               timeout=JOIN_HANDSHAKE_TIMEOUT_S)
+                conn.settimeout(JOIN_HANDSHAKE_TIMEOUT_S)
+                # The membership fault site: a crash kind here is a
+                # node dying mid-registration, a raise/corrupt kind a
+                # poisoned join frame — all absorbed by this loop.
+                send_frame(conn, {"op": "join", "workers": self.workers,
+                                  "node_id": self.node_id}, site=site)
+                hello = recv_frame(conn)
+                if (not isinstance(hello, dict)
+                        or hello.get("op") != "hello"
+                        or not hello.get("ok")):
+                    detail = (hello or {}).get("error", "bad hello") \
+                        if isinstance(hello, dict) else "connection closed"
+                    raise WireError(f"join refused: {detail}")
+                conn.settimeout(None)
+            except (OSError, WireError, faults.FaultInjected,
+                    MemoryError):
+                # MemoryError included: an oom-poisoned registration
+                # must cost a retry, not the whole join loop.
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                failures += 1
+                if failures >= self.join_tries:
+                    return False
+                time.sleep(retry_backoff(failures, self.join_backoff_s,
+                                         rng))
+                continue
+            registrations += 1
+            failures = 0  # a successful registration resets the budget
+            saw_bye = False
+            try:
+                saw_bye = self._serve(conn, hello, greet=False)
+            except Exception:  # noqa: BLE001 — same containment as
+                pass  # accept mode: a poisoned session must not kill
+                # the node; the dropped link is the whole signal.
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if saw_bye:
+                return True
+            # Torn link mid-batch: our claims are being reassigned
+            # coordinator-side; rejoin and keep serving.
+            failures += 1
+            if failures >= self.join_tries:
+                return False
+            time.sleep(retry_backoff(failures, self.join_backoff_s, rng))
+        return False
+
     # -- one coordinator session ---------------------------------------
 
     def _session(self, conn: socket.socket) -> None:
@@ -136,6 +250,17 @@ class NodeServer:
             return
         if not isinstance(hello, dict) or hello.get("op") != "hello":
             return
+        self._serve(conn, hello, greet=True)
+
+    def _serve(self, conn: socket.socket, hello: Dict[str, Any],
+               greet: bool) -> bool:
+        """The job loop shared by accept mode and join mode.
+
+        ``greet`` sends the accept-mode hello reply (join mode already
+        advertised its workers in the join frame).  Returns ``True``
+        when the coordinator said an explicit ``bye`` — join mode uses
+        that to tell a drained batch from a torn link.
+        """
         send_lock = threading.Lock()
         alive = threading.Event()
         alive.set()
@@ -161,16 +286,21 @@ class NodeServer:
 
         cache = self._make_cache(hello.get("cache"))
         scheduler_cfg = hello.get("scheduler") or {}
-        send({"op": "hello", "ok": True, "workers": self.workers})
+        if greet:
+            send({"op": "hello", "ok": True, "workers": self.workers})
         pool = ThreadPoolExecutor(max_workers=self.workers,
                                   thread_name_prefix="repro-dist-job")
+        saw_bye = False
         try:
             while alive.is_set():
                 try:
                     frame = recv_frame(conn)
                 except (WireError, OSError):
                     break
-                if frame is None or frame.get("op") == "bye":
+                if frame is None:
+                    break
+                if frame.get("op") == "bye":
+                    saw_bye = True
                     break
                 if frame.get("op") != "job":
                     continue
@@ -185,6 +315,7 @@ class NodeServer:
             pool.shutdown(wait=True)
             if cache is not None:
                 cache.close()
+        return saw_bye
 
     def _make_cache(self,
                     spec: Optional[Dict[str, Any]]) -> Optional[RemoteCache]:
@@ -195,7 +326,6 @@ class NodeServer:
         # (:mod:`repro.decomp.submemo`): one node's decomposition of a
         # subfunction becomes every node's splice.  Rows stay identical
         # either way — splices replay the recorded stats deltas.
-        import os
         os.environ.setdefault(
             "REPRO_SUBMEMO_REMOTE", f"{spec['host']}:{spec['port']}")
         return RemoteCache(str(spec["host"]), int(spec["port"]))
@@ -237,4 +367,4 @@ class NodeServer:
         send({"op": "result", "index": index, "row": row})
 
 
-__all__ = ["NodeServer", "wire_source"]
+__all__ = ["NodeServer", "wire_source", "JOIN_HANDSHAKE_TIMEOUT_S"]

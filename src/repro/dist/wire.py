@@ -19,9 +19,12 @@ side (bad JSON / bad length), never as a crash.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import struct
-from typing import Any, Dict, Optional
+import time
+import zlib
+from typing import Any, Callable, Dict, Optional
 
 from repro.faults import FaultInjected, fault_point
 
@@ -108,12 +111,62 @@ def connect(host: str, port: int,
     return sock
 
 
+def backoff_rng(seed: int, label: str) -> random.Random:
+    """A deterministic per-peer jitter stream.
+
+    Every retry loop in the dist tier (coordinator redial, node rejoin)
+    draws its backoff jitter from a stream seeded by ``(seed, label)``
+    via crc32 — the same idiom as :mod:`repro.faults` — so a given
+    topology + seed reproduces the exact retry schedule, and two peers
+    with the same seed still jitter differently.
+    """
+    return random.Random(zlib.crc32(f"{seed}:{label}".encode()))
+
+
+def retry_backoff(attempt: int, base_s: float,
+                  rng: random.Random) -> float:
+    """Jittered linear backoff: ``base * attempt * uniform(0.5, 1.5)``
+    — the scheduler's crash-retry curve, reused for RPC retries."""
+    return base_s * max(1, attempt) * rng.uniform(0.5, 1.5)
+
+
+def connect_with_retry(host: str, port: int, tries: int = 3,
+                       backoff_s: float = 0.2,
+                       timeout: Optional[float] = None,
+                       rng: Optional[random.Random] = None,
+                       on_retry: Optional[Callable[[int, Exception],
+                                                   None]] = None
+                       ) -> socket.socket:
+    """Dial with bounded seeded-jitter retry before giving up.
+
+    A transient refusal (node mid-session, accept backlog full, TCP
+    blip) costs a short jittered sleep instead of a shard reassignment.
+    ``on_retry(attempt, exc)`` fires before each re-attempt so callers
+    can count retries.  The final failure's ``OSError`` propagates.
+    """
+    rng = rng or random.Random(0)
+    tries = max(1, tries)
+    for attempt in range(1, tries + 1):
+        try:
+            return connect(host, port, timeout=timeout)
+        except OSError as exc:
+            if attempt >= tries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            time.sleep(retry_backoff(attempt, backoff_s, rng))
+    raise OSError(f"unreachable {host}:{port}")  # pragma: no cover
+
+
 __all__ = [
     "MAX_FRAME_BYTES",
     "WireError",
+    "backoff_rng",
     "connect",
+    "connect_with_retry",
     "recv_exactly",
     "recv_frame",
+    "retry_backoff",
     "send_frame",
     "FaultInjected",
 ]

@@ -77,6 +77,13 @@ SITES = (
     "cache.fetch",
     "shard.rpc",
     "node.loss",
+    # Crash-safe distributed sites: coordinator-side journal appends
+    # (the crash kind is the SIGKILL-the-coordinator scenario --resume
+    # exists for), and the node-side join/re-registration handshakes of
+    # dynamic membership.
+    "coord.journal",
+    "node.join",
+    "node.reconnect",
 )
 
 #: The fault kinds every site understands.

@@ -8,6 +8,8 @@ jobs that were in flight::
      "code_version": "...", "jobs": [<job dict>, ...]}
     {"kind": "start", "index": 0, "job_id": "rd53", "attempt": 1}
     {"kind": "done",  "index": 0, "row": {<JobResult.as_dict()>}}
+    {"kind": "claim",    "index": 3, "node": "host:port"}   (dist only)
+    {"kind": "reassign", "index": 3, "node": "host:port"}   (dist only)
     ...
 
 * The **header** binds the journal to its workload: ``jobs`` carries the
@@ -23,6 +25,12 @@ jobs that were in flight::
   and splices the recorded rows into the merged output verbatim, which
   is what makes an interrupted-then-resumed batch byte-identical to an
   uninterrupted one modulo timing/retry fields.
+* **claim**/**reassign** records are written only by the distributed
+  coordinator (``repro batch --nodes --journal``): a claim binds an
+  in-flight index to the node it shipped to, a reassign marks that
+  binding void (node loss).  Resume does not need them — a claim
+  without a done is in-flight and reruns regardless — but they make a
+  post-mortem journal tell the whole story of who held what when.
 
 Torn tails (the parent died mid-append) and corrupted records (chaos
 ``journal.append:corrupt`` bit-flips) are *skipped and counted*, never
@@ -39,6 +47,7 @@ import hashlib
 import json
 import os
 import sys
+import threading
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.faults import fault_point
@@ -73,22 +82,32 @@ def _strip_wire(job: Dict[str, Any]) -> Dict[str, Any]:
 
 
 class BatchJournal:
-    """Appender for one batch run's journal file."""
+    """Appender for one batch run's journal file.
 
-    def __init__(self, path: str, handle) -> None:
+    ``site`` names the fault site every append routes through — the
+    single-host scheduler journals under ``journal.append``, the
+    distributed coordinator under ``coord.journal`` — so chaos can arm
+    either tier independently.  Appends are serialized by an internal
+    lock: the coordinator's per-node reader threads all record rows.
+    """
+
+    def __init__(self, path: str, handle,
+                 site: str = "journal.append") -> None:
         self.path = path
         self._handle = handle
+        self.site = site
+        self._lock = threading.Lock()
         #: Set after an append failure; later appends become no-ops.
         self.broken = False
 
     # -- construction ----------------------------------------------------
 
     @classmethod
-    def create(cls, path: str, jobs: List[Dict[str, Any]]
-               ) -> "BatchJournal":
+    def create(cls, path: str, jobs: List[Dict[str, Any]],
+               site: str = "journal.append") -> "BatchJournal":
         """Start a fresh journal: truncate and write the bound header."""
         handle = open(path, "wb")
-        journal = cls(path, handle)
+        journal = cls(path, handle, site=site)
         journal._append({
             "kind": "header",
             "journal_version": JOURNAL_VERSION,
@@ -99,9 +118,10 @@ class BatchJournal:
         return journal
 
     @classmethod
-    def resume(cls, path: str) -> "BatchJournal":
+    def resume(cls, path: str,
+               site: str = "journal.append") -> "BatchJournal":
         """Reopen an existing journal for appending (post-:func:`load`)."""
-        return cls(path, open(path, "ab"))
+        return cls(path, open(path, "ab"), site=site)
 
     # -- records ---------------------------------------------------------
 
@@ -112,15 +132,24 @@ class BatchJournal:
     def record_done(self, index: int, row: Dict[str, Any]) -> None:
         self._append({"kind": "done", "index": index, "row": row})
 
+    def record_claim(self, index: int, node: str) -> None:
+        """Bind an in-flight ``index`` to the node it was shipped to."""
+        self._append({"kind": "claim", "index": index, "node": node})
+
+    def record_reassign(self, index: int, node: str) -> None:
+        """Void a claim: ``node`` was lost holding ``index``."""
+        self._append({"kind": "reassign", "index": index, "node": node})
+
     def _append(self, record: Dict[str, Any]) -> None:
         if self.broken:
             return
         data = (json.dumps(record, separators=(",", ":")) + "\n").encode()
         try:
-            data = fault_point("journal.append", data)
-            self._handle.write(data)
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+            with self._lock:
+                data = fault_point(self.site, data)
+                self._handle.write(data)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
         except Exception as exc:  # noqa: BLE001 — journaling is best-effort
             self.broken = True
             print(f"warning: journal append failed "
@@ -188,6 +217,12 @@ def load_journal(path: str) -> Tuple[Dict[str, Any],
                 started.add(index)
             elif kind == "done" and isinstance(record.get("row"), dict):
                 done[index] = record["row"]
+            elif kind == "claim":
+                # A distributed claim implies dispatch even if the start
+                # append was the record the crash tore.
+                started.add(index)
+            elif kind == "reassign":
+                pass  # membership bookkeeping; nothing to replay
             else:
                 corrupt += 1
     if header is None:

@@ -183,9 +183,11 @@ class TestNodeLoss:
                                                    tmp_path):
         flaky_addr, thread = flaky_node(accepted_jobs=2)
         real = two_nodes[0]
+        # rpc_tries=1 pins the immediate loss ladder (no redial grace);
+        # the redial path has its own suite in test_membership.py.
         coordinator = DistCoordinator(
             [flaky_addr, (real.host, real.port)],
-            cache=ResultCache(tmp_path / "cache"))
+            cache=ResultCache(tmp_path / "cache"), rpc_tries=1)
         rows = coordinator.run(make_jobs())
         thread.join(timeout=5.0)
         assert all(r["status"] == "ok" for r in rows)

@@ -153,9 +153,12 @@ class TestNodeLossSite:
         monkeypatch.setenv(faults.ENV_VAR, "node.loss:raise:1:1")
         names = ("xor5", "rd53", "majority", "rd73")
         try:
+            # rpc_tries=1: no redial grace, so the torn session reads
+            # as an immediate loss (the redial/reconnect path is
+            # covered in test_membership.py).
             coordinator = DistCoordinator(
                 [(n.host, n.port) for n in nodes],
-                cache=ResultCache(tmp_path / "cache"))
+                cache=ResultCache(tmp_path / "cache"), rpc_tries=1)
             rows = coordinator.run(make_jobs(names))
         finally:
             monkeypatch.delenv(faults.ENV_VAR)
@@ -210,7 +213,7 @@ class TestNodeCrashSubprocess:
         try:
             coordinator = DistCoordinator(
                 [doomed_addr, healthy_addr],
-                cache=ResultCache(tmp_path / "cache"))
+                cache=ResultCache(tmp_path / "cache"), rpc_tries=1)
             rows = coordinator.run(make_jobs(names))
             assert doomed.wait(timeout=15.0) == faults.CRASH_EXIT_CODE
         finally:

@@ -1,0 +1,247 @@
+"""Coordinator journaling and resumable shards.
+
+Two layers of coverage:
+
+* record semantics — a journaled distributed run writes the single-host
+  ``header``/``start``/``done`` grammar plus ``claim`` records binding
+  every dispatched index to a node, in WAL order (claim durable before
+  the job can execute anywhere);
+* resume byte-identity, property-style over kill points — the journal
+  of an uninterrupted run is truncated at k ∈ {during prepare, after
+  first claim, mid-shard, during merge} (exactly the journal states a
+  SIGKILL at those moments leaves behind — the real-process SIGKILL is
+  ``tests/faults/dist_kill_resume_smoke.py``), and resuming each
+  truncated journal must splice the recorded ``done`` rows verbatim and
+  produce rows identical (modulo timing fields) to the uninterrupted
+  run.  A dist journal must also resume on the *single-host* tier:
+  claim records imply dispatch, everything else is the PR 5 grammar.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.dist.coordinator import DistCoordinator
+from repro.dist.node import NodeServer
+from repro.runtime.jobspec import make_job, source_from_name
+from repro.runtime.journal import BatchJournal, load_journal
+from repro.runtime.scheduler import BatchScheduler
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::DeprecationWarning")  # fork-in-multithreaded on 3.12
+
+CIRCUITS = ("xor5", "rd53", "majority", "rd73")
+
+
+def make_jobs(names=CIRCUITS):
+    return [make_job(source_from_name(name)) for name in names]
+
+
+def stable(rows):
+    out = []
+    for row in sorted(rows, key=lambda r: r["index"]):
+        row = dict(row)
+        row["queue_wait_s"] = 0.0
+        row["exec_s"] = 0.0
+        row["beats"] = 0
+        out.append(row)
+    return out
+
+
+@pytest.fixture
+def two_nodes():
+    nodes, threads = [], []
+    for _ in range(2):
+        srv = NodeServer(port=0, workers=2, heartbeat_s=0.5).start()
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        nodes.append(srv)
+        threads.append(thread)
+    yield nodes
+    for srv in nodes:
+        srv.close()
+    for thread in threads:
+        thread.join(timeout=5.0)
+
+
+def run_dist(nodes, jobs, journal=None, presettled=None):
+    coordinator = DistCoordinator(
+        [(n.host, n.port) for n in nodes], journal=journal)
+    rows = coordinator.run(jobs, presettled=presettled)
+    return coordinator, rows
+
+
+def read_records(path):
+    return [json.loads(line) for line in open(path)]
+
+
+class TestJournalRecords:
+    def test_claims_bind_every_index_to_a_node(self, two_nodes,
+                                               tmp_path):
+        jobs = make_jobs()
+        path = str(tmp_path / "dist.jnl")
+        journal = BatchJournal.create(path, jobs, site="coord.journal")
+        _, rows = run_dist(two_nodes, jobs, journal=journal)
+        journal.close()
+        assert all(r["status"] == "ok" for r in rows)
+        records = read_records(path)
+        assert records[0]["kind"] == "header"
+        everything = set(range(len(jobs)))
+        by_kind = {}
+        for record in records[1:]:
+            by_kind.setdefault(record["kind"], []).append(record)
+        assert {r["index"] for r in by_kind["start"]} == everything
+        assert {r["index"] for r in by_kind["done"]} == everything
+        claims = by_kind["claim"]
+        assert {r["index"] for r in claims} == everything
+        labels = {f"{n.host}:{n.port}" for n in two_nodes}
+        assert {r["node"] for r in claims} <= labels
+
+    def test_wal_order_claim_precedes_done(self, two_nodes, tmp_path):
+        jobs = make_jobs(("xor5", "rd53"))
+        path = str(tmp_path / "dist.jnl")
+        journal = BatchJournal.create(path, jobs, site="coord.journal")
+        run_dist(two_nodes, jobs, journal=journal)
+        journal.close()
+        first_claim, first_done = {}, {}
+        for pos, record in enumerate(read_records(path)):
+            if record.get("kind") == "claim":
+                first_claim.setdefault(record["index"], pos)
+            elif record.get("kind") == "done":
+                first_done.setdefault(record["index"], pos)
+        assert set(first_claim) == set(first_done)
+        for index, claimed_at in first_claim.items():
+            assert claimed_at < first_done[index]
+
+    def test_reassign_recorded_on_node_loss(self, two_nodes, tmp_path):
+        # One node address is a dead port: its shard reassigns, and
+        # every moved index leaves a reassign record behind.
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        jobs = make_jobs()
+        path = str(tmp_path / "dist.jnl")
+        journal = BatchJournal.create(path, jobs, site="coord.journal")
+        real = two_nodes[0]
+        coordinator = DistCoordinator(
+            [("127.0.0.1", dead_port), (real.host, real.port)],
+            connect_timeout_s=2.0, rpc_tries=1, journal=journal)
+        rows = coordinator.run(jobs)
+        journal.close()
+        assert all(r["status"] == "ok" for r in rows)
+        reassigns = [r for r in read_records(path)
+                     if r.get("kind") == "reassign"]
+        if coordinator.reassigned:
+            assert len(reassigns) == coordinator.reassigned
+            assert all(r["node"] == f"127.0.0.1:{dead_port}"
+                       for r in reassigns)
+
+
+class TestResumeByteIdentity:
+    """Kill-point property: truncating the journal where a SIGKILL at
+    moment k would have, then resuming, reproduces the uninterrupted
+    rows."""
+
+    KILL_POINTS = ("during_prepare", "after_first_claim", "mid_shard",
+                   "during_merge")
+
+    def _truncate_at(self, lines, point):
+        if point == "during_prepare":
+            return lines[:1]  # header fsync'd, no dispatch yet
+        if point == "after_first_claim":
+            for pos, line in enumerate(lines):
+                if json.loads(line).get("kind") == "claim":
+                    return lines[:pos + 1]
+            pytest.fail("journal holds no claim records")
+        if point == "mid_shard":
+            seen = 0
+            for pos, line in enumerate(lines):
+                if json.loads(line).get("kind") == "done":
+                    seen += 1
+                    if seen == 2:
+                        return lines[:pos + 1]
+            pytest.fail("journal holds fewer than 2 done records")
+        return list(lines)  # during_merge: all recorded, died at exit
+
+    def _reference(self, two_nodes, tmp_path):
+        jobs = make_jobs()
+        path = tmp_path / "full.jnl"
+        journal = BatchJournal.create(str(path), jobs,
+                                      site="coord.journal")
+        _, rows = run_dist(two_nodes, jobs, journal=journal)
+        journal.close()
+        assert all(r["status"] == "ok" for r in rows)
+        return path, rows
+
+    @pytest.mark.parametrize("point", KILL_POINTS)
+    def test_resume_matches_uninterrupted(self, two_nodes, tmp_path,
+                                          point):
+        full, reference = self._reference(two_nodes, tmp_path)
+        lines = full.read_text().splitlines(keepends=True)
+        cut = tmp_path / f"{point}.jnl"
+        cut.write_text("".join(self._truncate_at(lines, point)))
+        header, done_rows, started, corrupt = load_journal(str(cut))
+        assert corrupt == 0
+        journal = BatchJournal.resume(str(cut), site="coord.journal")
+        coordinator, rows = run_dist(
+            two_nodes, [dict(job) for job in header["jobs"]],
+            journal=journal, presettled=done_rows)
+        journal.close()
+        # Spliced verbatim: recorded rows were not re-executed.
+        assert coordinator.stats()["spliced_rows"] == len(done_rows)
+        assert json.dumps(stable(rows)) == json.dumps(stable(reference))
+        # The journal after resume is complete: every index done.
+        _, done_after, _, _ = load_journal(str(cut))
+        assert set(done_after) == set(range(len(reference)))
+
+    def test_torn_tail_is_skipped_and_rerun(self, two_nodes, tmp_path):
+        full, reference = self._reference(two_nodes, tmp_path)
+        lines = full.read_text().splitlines(keepends=True)
+        seen = 0
+        for pos, line in enumerate(lines):
+            if json.loads(line).get("kind") == "done":
+                seen += 1
+                if seen == 2:
+                    break
+        # Keep 2 done records, then half of the next line — the torn
+        # append a SIGKILL mid-write leaves behind.
+        torn = tmp_path / "torn.jnl"
+        torn.write_text("".join(lines[:pos + 1])
+                        + lines[pos + 1][:len(lines[pos + 1]) // 2])
+        header, done_rows, _, corrupt = load_journal(str(torn))
+        assert corrupt == 1
+        assert len(done_rows) == 2
+        journal = BatchJournal.resume(str(torn), site="coord.journal")
+        _, rows = run_dist(
+            two_nodes, [dict(job) for job in header["jobs"]],
+            journal=journal, presettled=done_rows)
+        journal.close()
+        assert json.dumps(stable(rows)) == json.dumps(stable(reference))
+
+    def test_single_host_resumes_a_dist_journal(self, two_nodes,
+                                                tmp_path):
+        # Cross-tier: the claim records a coordinator writes must not
+        # confuse the single-host loader — a claim without a done is
+        # in-flight and reruns, exactly like a torn start.
+        full, reference = self._reference(two_nodes, tmp_path)
+        lines = full.read_text().splitlines(keepends=True)
+        cut = tmp_path / "cross.jnl"
+        cut.write_text("".join(self._truncate_at(lines, "mid_shard")))
+        header, done_rows, started, corrupt = load_journal(str(cut))
+        assert corrupt == 0
+        assert started  # claims imply dispatch
+        remaining = [i for i in range(len(header["jobs"]))
+                     if i not in done_rows]
+        scheduler = BatchScheduler(workers=2, heartbeat_s=0.5)
+        results = scheduler.run(
+            [dict(header["jobs"][i]) for i in remaining])
+        merged = dict(done_rows)
+        for local, result in zip(remaining, results):
+            row = result.as_dict()
+            row["index"] = local
+            merged[local] = row
+        rows = [merged[i] for i in sorted(merged)]
+        assert json.dumps(stable(rows)) == json.dumps(stable(reference))

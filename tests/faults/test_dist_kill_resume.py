@@ -1,0 +1,18 @@
+"""Pytest wrapper for the distributed kill -9 / resume smoke."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from tests.faults.chaos_util import REPO_ROOT
+
+
+def test_dist_kill_resume_smoke():
+    script = (Path(REPO_ROOT) / "tests" / "faults"
+              / "dist_kill_resume_smoke.py")
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, (
+        f"dist kill-resume smoke failed (rc={proc.returncode})\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}")
+    assert "dist kill-resume smoke OK" in proc.stdout
